@@ -1,0 +1,145 @@
+// Command gnnquery runs an ad-hoc GNN query against a dataset file.
+//
+// The data file is in gnngen's binary or CSV format; query points are
+// given inline as "x,y;x,y;..." or read from a second file. Example:
+//
+//	gnngen -dataset PP -out pp.bin
+//	gnnquery -data pp.bin -query "2000,3000;2500,3500;1800,2900" -k 3
+//	gnnquery -data pp.bin -queryfile users.csv -k 5 -algo MQM -agg max
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gnn"
+	"gnn/internal/dataset"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "dataset file (bin or csv, required)")
+		queryStr  = flag.String("query", "", `inline query points "x,y;x,y;..."`)
+		queryPath = flag.String("queryfile", "", "query points file (bin or csv)")
+		k         = flag.Int("k", 1, "number of neighbors")
+		algoName  = flag.String("algo", "MBM", "MQM | SPM | MBM | brute")
+		aggName   = flag.String("agg", "sum", "sum | max | min")
+		showCost  = flag.Bool("cost", false, "print node-access counts")
+	)
+	flag.Parse()
+	if *dataPath == "" || (*queryStr == "" && *queryPath == "") {
+		fmt.Fprintln(os.Stderr, `usage: gnnquery -data pp.bin -query "x,y;x,y" [-k 3]`)
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	data, err := loadDataset(*dataPath)
+	fail(err)
+	var query []gnn.Point
+	if *queryStr != "" {
+		query, err = parseInline(*queryStr)
+	} else {
+		var qd *dataset.Dataset
+		qd, err = loadDataset(*queryPath)
+		if err == nil {
+			for _, p := range qd.Points {
+				query = append(query, gnn.Point(p))
+			}
+		}
+	}
+	fail(err)
+
+	pts := make([]gnn.Point, len(data.Points))
+	for i, p := range data.Points {
+		pts[i] = gnn.Point(p)
+	}
+	ix, err := gnn.BuildIndex(pts, nil, gnn.IndexConfig{})
+	fail(err)
+
+	opts := []gnn.QueryOption{gnn.WithK(*k)}
+	switch strings.ToUpper(*algoName) {
+	case "MQM":
+		opts = append(opts, gnn.WithAlgorithm(gnn.AlgoMQM))
+	case "SPM":
+		opts = append(opts, gnn.WithAlgorithm(gnn.AlgoSPM))
+	case "MBM":
+		opts = append(opts, gnn.WithAlgorithm(gnn.AlgoMBM))
+	case "BRUTE":
+		opts = append(opts, gnn.WithAlgorithm(gnn.AlgoBruteForce))
+	default:
+		fail(fmt.Errorf("unknown algorithm %q", *algoName))
+	}
+	switch strings.ToLower(*aggName) {
+	case "sum":
+	case "max":
+		opts = append(opts, gnn.WithAggregate(gnn.MaxDist))
+	case "min":
+		opts = append(opts, gnn.WithAggregate(gnn.MinDist))
+	default:
+		fail(fmt.Errorf("unknown aggregate %q", *aggName))
+	}
+
+	ix.ResetCost()
+	res, err := ix.GroupNN(query, opts...)
+	fail(err)
+	fmt.Printf("%d data points, %d query points, k=%d, %s/%s\n",
+		ix.Len(), len(query), *k, strings.ToUpper(*algoName), strings.ToLower(*aggName))
+	for i, r := range res {
+		fmt.Printf("%2d. id=%-8d point=(%.2f, %.2f)  dist=%.3f\n",
+			i+1, r.ID, r.Point[0], r.Point[1], r.Dist)
+	}
+	if *showCost {
+		c := ix.Cost()
+		fmt.Printf("cost: %d node accesses (%d logical, %d buffer hits)\n",
+			c.NodeAccesses, c.LogicalAccesses, c.BufferHits)
+	}
+}
+
+func loadDataset(path string) (*dataset.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(strings.ToLower(path), ".csv") {
+		return dataset.ReadCSV(f, path)
+	}
+	return dataset.Read(f)
+}
+
+func parseInline(s string) ([]gnn.Point, error) {
+	var out []gnn.Point
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		coords := strings.Split(part, ",")
+		if len(coords) != 2 {
+			return nil, fmt.Errorf("bad query point %q (want x,y)", part)
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(coords[0]), 64)
+		if err != nil {
+			return nil, err
+		}
+		y, err := strconv.ParseFloat(strings.TrimSpace(coords[1]), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, gnn.Point{x, y})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no query points in %q", s)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gnnquery:", err)
+		os.Exit(1)
+	}
+}

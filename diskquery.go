@@ -1,0 +1,151 @@
+package gnn
+
+import (
+	"fmt"
+
+	"gnn/internal/core"
+	"gnn/internal/geom"
+	"gnn/internal/pagestore"
+)
+
+// DiskAlgorithm selects the processing method for disk-resident query
+// sets.
+type DiskAlgorithm int
+
+const (
+	// DiskAuto follows the paper's guidance (§5.2 summary): F-MQM when
+	// the query set partitions into few blocks, F-MBM otherwise.
+	DiskAuto DiskAlgorithm = iota
+	// DiskFMQM is the file-multiple query method (§4.2).
+	DiskFMQM
+	// DiskFMBM is the file-minimum bounding method (§4.3).
+	DiskFMBM
+)
+
+// autoBlockThreshold is the block count at which DiskAuto switches from
+// F-MQM to F-MBM. The paper's PP query set yields 3 blocks (F-MQM wins)
+// and its TS query set 20 blocks (F-MBM wins); the crossover sits between.
+const autoBlockThreshold = 8
+
+// String names the disk algorithm.
+func (a DiskAlgorithm) String() string {
+	switch a {
+	case DiskAuto:
+		return "auto"
+	case DiskFMQM:
+		return "F-MQM"
+	case DiskFMBM:
+		return "F-MBM"
+	default:
+		return fmt.Sprintf("DiskAlgorithm(%d)", int(a))
+	}
+}
+
+// QuerySetConfig tunes a QuerySet.
+type QuerySetConfig struct {
+	// BlockPoints is the number of query points per memory block
+	// (default 10,000, as in §5.2).
+	BlockPoints int
+	// BufferPages attaches an LRU buffer over the set's pages.
+	BufferPages int
+}
+
+// QuerySet is a disk-resident, non-indexed query set: Hilbert-sorted,
+// paged, and read block-by-block with I/O accounting — the input of F-MQM
+// and F-MBM. Build one with NewQuerySet.
+type QuerySet struct {
+	qf      *core.QueryFile
+	counter *pagestore.AccessCounter
+}
+
+// NewQuerySet prepares a disk-resident query set from 2-D points.
+func NewQuerySet(points []Point, cfg QuerySetConfig) (*QuerySet, error) {
+	counter := &pagestore.AccessCounter{}
+	if cfg.BufferPages > 0 {
+		counter.SetBuffer(pagestore.NewLRU(cfg.BufferPages))
+	}
+	pts := make([]geom.Point, len(points))
+	for i, p := range points {
+		pts[i] = geom.Point(p)
+	}
+	qf, err := core.NewQueryFile(pts, cfg.BlockPoints, counter, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &QuerySet{qf: qf, counter: counter}, nil
+}
+
+// Len returns the number of query points.
+func (qs *QuerySet) Len() int { return qs.qf.Len() }
+
+// Blocks returns the number of memory-sized blocks.
+func (qs *QuerySet) Blocks() int { return qs.qf.NumBlocks() }
+
+// Pages returns the number of disk pages the set occupies.
+func (qs *QuerySet) Pages() int { return qs.qf.Pages() }
+
+// Cost reports the page reads charged to the query set since ResetCost.
+func (qs *QuerySet) Cost() Cost {
+	return Cost{
+		NodeAccesses:    qs.counter.Physical(),
+		LogicalAccesses: qs.counter.Logical(),
+		BufferHits:      qs.counter.Hits(),
+	}
+}
+
+// ResetCost zeroes the counters, keeping buffer contents warm.
+func (qs *QuerySet) ResetCost() { qs.counter.Reset() }
+
+// GroupNNFromSet answers a GNN query whose query set resides on disk,
+// using F-MQM or F-MBM. Accepted options: WithK, WithDepthFirst (F-MBM
+// only) and WithDiskAlgorithm via the DiskQueryOption wrappers below.
+func (ix *Index) GroupNNFromSet(qs *QuerySet, algo DiskAlgorithm, opts ...QueryOption) ([]Result, error) {
+	c := buildConfig(opts)
+	if c.aggregate != SumDist {
+		return nil, ErrUnsupportedAggregate
+	}
+	dopt := core.DiskOptions{Options: c.coreOptions()}
+	if algo == DiskAuto {
+		if qs.Blocks() <= autoBlockThreshold {
+			algo = DiskFMQM
+		} else {
+			algo = DiskFMBM
+		}
+	}
+	var (
+		rep *core.DiskReport
+		err error
+	)
+	switch algo {
+	case DiskFMQM:
+		rep, err = core.FMQM(ix.tree, qs.qf, dopt)
+	case DiskFMBM:
+		rep, err = core.FMBM(ix.tree, qs.qf, dopt)
+	default:
+		return nil, fmt.Errorf("gnn: unknown disk algorithm %v", algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return toResults(rep.Neighbors), nil
+}
+
+// GroupNNClosestPairs answers a GNN query whose query set is itself
+// indexed by an R*-tree, using the group closest pairs method (§4.1).
+// pairBudget caps the number of closest pairs consumed (0 = unlimited);
+// exceeding it returns ErrBudgetExceeded, mirroring the paper's
+// non-terminating GCP configurations.
+func (ix *Index) GroupNNClosestPairs(queryIndex *Index, pairBudget int64, opts ...QueryOption) ([]Result, error) {
+	c := buildConfig(opts)
+	if c.aggregate != SumDist {
+		return nil, ErrUnsupportedAggregate
+	}
+	rep, err := core.GCP(ix.tree, queryIndex.tree, core.GCPOptions{
+		Options:    c.coreOptions(),
+		PairBudget: pairBudget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return toResults(rep.Neighbors), nil
+}

@@ -1,0 +1,123 @@
+// Cluster evaluation: the paper's §1 notes that in clustering "the quality
+// of a solution can be evaluated by the distances between the points and
+// their nearest cluster centroid". This example runs a small k-means over
+// a point set and then uses GNN queries to find each cluster's MEDOID —
+// the actual data point minimising the sum of distances to the cluster's
+// members, which is exactly a GNN query with the cluster as the query
+// group. Comparing the medoid cost against the centroid cost grades the
+// clustering.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"gnn"
+)
+
+const (
+	numPoints   = 8000
+	numClusters = 6
+	kmeansIters = 12
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+
+	// Ground truth: six Gaussian blobs.
+	var pts []gnn.Point
+	for c := 0; c < numClusters; c++ {
+		cx, cy := rng.Float64()*1000, rng.Float64()*1000
+		for j := 0; j < numPoints/numClusters; j++ {
+			pts = append(pts, gnn.Point{cx + rng.NormFloat64()*30, cy + rng.NormFloat64()*30})
+		}
+	}
+	ix, err := gnn.BuildIndex(pts, nil, gnn.IndexConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Plain Lloyd's k-means on the raw points.
+	centroids := kmeans(rng, pts, numClusters, kmeansIters)
+	assign := assignments(pts, centroids)
+
+	fmt.Println("cluster   size   centroid-cost   medoid (GNN)   medoid-cost   ratio")
+	var totCentroid, totMedoid float64
+	for c := 0; c < numClusters; c++ {
+		var members []gnn.Point
+		for i, a := range assign {
+			if a == c {
+				members = append(members, pts[i])
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		centroidCost := sumDist(centroids[c], members)
+
+		// The medoid of the cluster = GNN of the member group over P.
+		// (Using the whole indexed set P is fine: the medoid of a compact
+		// cluster is always one of its own members.)
+		res, err := ix.GroupNN(members)
+		if err != nil {
+			log.Fatal(err)
+		}
+		medoidCost := res[0].Dist
+		totCentroid += centroidCost
+		totMedoid += medoidCost
+		fmt.Printf("%7d  %5d  %14.0f   #%-11d  %11.0f   %.4f\n",
+			c, len(members), centroidCost, res[0].ID, medoidCost, medoidCost/centroidCost)
+	}
+	fmt.Printf("\ntotal: centroid cost %.0f vs medoid cost %.0f (ratio %.4f)\n",
+		totCentroid, totMedoid, totMedoid/totCentroid)
+	fmt.Println("a ratio near 1.0 means the continuous centroids are nearly realisable")
+	fmt.Println("by actual data points — a sign of compact, well-separated clusters.")
+}
+
+func kmeans(rng *rand.Rand, pts []gnn.Point, k, iters int) []gnn.Point {
+	centroids := make([]gnn.Point, k)
+	for i := range centroids {
+		p := pts[rng.Intn(len(pts))]
+		centroids[i] = gnn.Point{p[0], p[1]}
+	}
+	for it := 0; it < iters; it++ {
+		assign := assignments(pts, centroids)
+		sums := make([][3]float64, k) // x, y, count
+		for i, a := range assign {
+			sums[a][0] += pts[i][0]
+			sums[a][1] += pts[i][1]
+			sums[a][2]++
+		}
+		for c := range centroids {
+			if sums[c][2] > 0 {
+				centroids[c] = gnn.Point{sums[c][0] / sums[c][2], sums[c][1] / sums[c][2]}
+			}
+		}
+	}
+	return centroids
+}
+
+func assignments(pts, centroids []gnn.Point) []int {
+	out := make([]int, len(pts))
+	for i, p := range pts {
+		best, bestD := 0, math.Inf(1)
+		for c, q := range centroids {
+			d := math.Hypot(p[0]-q[0], p[1]-q[1])
+			if d < bestD {
+				best, bestD = c, d
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+func sumDist(q gnn.Point, members []gnn.Point) float64 {
+	var s float64
+	for _, m := range members {
+		s += math.Hypot(q[0]-m[0], q[1]-m[1])
+	}
+	return s
+}

@@ -1,0 +1,102 @@
+// VLSI component placement: §1 cites [NO97] — "the operability and speed
+// of very large circuits depends on the relative distance between the
+// various components in them. GNN can be applied to detect abnormalities
+// and guide relocation of components."
+//
+// This example models a die with thousands of placed standard cells and a
+// set of signal pins that a new buffer must connect to. A SUM-aggregate
+// GNN finds the free slot minimising total wire length; a MAX-aggregate
+// GNN finds the slot minimising the worst single wire (the timing-critical
+// metric). It also scans for "abnormal" nets whose current buffer is far
+// from its GNN-optimal slot — the relocation candidates.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"gnn"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(1997))
+
+	// A 10mm × 10mm die (coordinates in µm) with 40,000 legal slots on a
+	// routing grid, jittered to mimic placement blockages.
+	var slots []gnn.Point
+	for x := 0; x < 200; x++ {
+		for y := 0; y < 200; y++ {
+			if rng.Float64() < 0.08 {
+				continue // blocked site
+			}
+			slots = append(slots, gnn.Point{
+				float64(x)*50 + rng.Float64()*10,
+				float64(y)*50 + rng.Float64()*10,
+			})
+		}
+	}
+	ix, err := gnn.BuildIndex(slots, nil, gnn.IndexConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("die: %d legal slots\n", ix.Len())
+
+	// Net 1: a buffer driving 6 pins spread over one corner.
+	pins := make([]gnn.Point, 6)
+	for i := range pins {
+		pins[i] = gnn.Point{1000 + rng.Float64()*2000, 1000 + rng.Float64()*2000}
+	}
+
+	sum, err := ix.GroupNN(pins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxr, err := ix.GroupNN(pins, gnn.WithAggregate(gnn.MaxDist))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnet with %d pins:\n", len(pins))
+	fmt.Printf("  min-total-wire slot  #%-6d (%.0f, %.0f)  total %.0f µm\n",
+		sum[0].ID, sum[0].Point[0], sum[0].Point[1], sum[0].Dist)
+	fmt.Printf("  min-worst-wire slot  #%-6d (%.0f, %.0f)  worst %.0f µm\n",
+		maxr[0].ID, maxr[0].Point[0], maxr[0].Point[1], maxr[0].Dist)
+
+	// Abnormality scan: 50 existing nets, each with a current buffer slot;
+	// flag nets whose buffer exceeds the GNN optimum by > 25%.
+	fmt.Println("\nabnormality scan (relocation candidates):")
+	flagged := 0
+	for net := 0; net < 50; net++ {
+		nPins := 3 + rng.Intn(5)
+		netPins := make([]gnn.Point, nPins)
+		cx, cy := rng.Float64()*9000, rng.Float64()*9000
+		for i := range netPins {
+			netPins[i] = gnn.Point{cx + rng.Float64()*800, cy + rng.Float64()*800}
+		}
+		// Current buffer: sometimes badly placed.
+		cur := gnn.Point{cx + rng.Float64()*800, cy + rng.Float64()*800}
+		if rng.Float64() < 0.2 {
+			cur = gnn.Point{rng.Float64() * 10000, rng.Float64() * 10000} // legacy placement
+		}
+		curCost := totalWire(cur, netPins)
+		best, err := ix.GroupNN(netPins)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if curCost > best[0].Dist*1.25 {
+			flagged++
+			fmt.Printf("  net %2d: current %.0f µm vs optimal %.0f µm (%.1fx) → relocate to #%d\n",
+				net, curCost, best[0].Dist, curCost/best[0].Dist, best[0].ID)
+		}
+	}
+	fmt.Printf("%d of 50 nets flagged for relocation\n", flagged)
+}
+
+func totalWire(buf gnn.Point, pins []gnn.Point) float64 {
+	var s float64
+	for _, p := range pins {
+		s += math.Hypot(buf[0]-p[0], buf[1]-p[1])
+	}
+	return s
+}

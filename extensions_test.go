@@ -1,0 +1,69 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWeightedQueriesPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	data := randPoints(rng, 500, 1000)
+	ix, _ := BuildIndex(data, nil, IndexConfig{NodeCapacity: 8})
+	query := randPoints(rng, 4, 300)
+	w := []float64{3, 1, 1, 0.5}
+
+	want, err := ix.GroupNN(query, WithWeights(w), WithAlgorithm(AlgoBruteForce), WithK(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{AlgoMQM, AlgoSPM, AlgoMBM} {
+		got, err := ix.GroupNN(query, WithWeights(w), WithAlgorithm(algo), WithK(3))
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		for i := range got {
+			if math.Abs(got[i].Dist-want[i].Dist) > 1e-6 {
+				t.Fatalf("%v rank %d: %v vs %v", algo, i, got[i].Dist, want[i].Dist)
+			}
+		}
+	}
+	// Bad weights surface as errors.
+	if _, err := ix.GroupNN(query, WithWeights([]float64{1})); err == nil {
+		t.Fatal("short weight vector accepted")
+	}
+}
+
+func TestConstrainedQueriesPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	data := randPoints(rng, 800, 1000)
+	ix, _ := BuildIndex(data, nil, IndexConfig{NodeCapacity: 8})
+	query := randPoints(rng, 5, 400)
+
+	res, err := ix.GroupNN(query, WithRegion(Point{200, 200}, Point{600, 600}), WithK(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no results in a populated region")
+	}
+	for _, r := range res {
+		if r.Point[0] < 200 || r.Point[0] > 600 || r.Point[1] < 200 || r.Point[1] > 600 {
+			t.Fatalf("out-of-region result %v", r.Point)
+		}
+	}
+	// The unconstrained best must be at least as good.
+	free, _ := ix.GroupNN(query)
+	if free[0].Dist > res[0].Dist+1e-9 {
+		t.Fatalf("constraint improved the optimum: %v vs %v", free[0].Dist, res[0].Dist)
+	}
+	// The iterator honours the region too.
+	it, err := ix.GroupNNIterator(query, WithRegion(Point{200, 200}, Point{600, 600}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := it.Next()
+	if !ok || math.Abs(r.Dist-res[0].Dist) > 1e-9 {
+		t.Fatalf("iterator first = %v/%v, want %v", r.Dist, ok, res[0].Dist)
+	}
+}

@@ -1,0 +1,183 @@
+// Package gnn answers group nearest neighbor (GNN) queries: given a set of
+// indexed data points P and a group of query points Q, it finds the data
+// point(s) minimising the aggregate distance to the whole group — e.g. the
+// restaurant minimising the total travel distance of several users.
+//
+// It is a from-scratch Go implementation of the algorithms in
+//
+//	D. Papadias, Q. Shen, Y. Tao, K. Mouratidis:
+//	"Group Nearest Neighbor Queries", ICDE 2004.
+//
+// Data points live in an R*-tree (Index). Memory-resident query groups are
+// answered by MQM, SPM or MBM; disk-resident query sets (QuerySet) by
+// F-MQM, F-MBM or — when the query set is itself indexed — GCP. The
+// library reproduces the paper's cost model: every traversal counts
+// simulated node accesses, optionally through an LRU buffer.
+//
+// Quick start:
+//
+//	ix, _ := gnn.BuildIndex(places, nil)
+//	res, _ := ix.GroupNN([]gnn.Point{{1, 2}, {5, 6}, {9, 3}}, gnn.WithK(3))
+//	fmt.Println(res[0].Point, res[0].Dist)
+package gnn
+
+import (
+	"fmt"
+
+	"gnn/internal/core"
+	"gnn/internal/geom"
+	"gnn/internal/pagestore"
+	"gnn/internal/rtree"
+)
+
+// Point is a point in d-dimensional Euclidean space (the paper evaluates
+// d = 2, but any dimensionality works for the memory-resident algorithms).
+type Point = []float64
+
+// Result is one GNN answer: a data point, its caller-supplied identifier
+// and its aggregate distance to the query group.
+type Result struct {
+	Point Point
+	ID    int64
+	Dist  float64
+}
+
+// IndexConfig tunes an Index. The zero value matches the paper's setup:
+// 2-D points, 50 entries per node (1 KB pages), no buffer.
+type IndexConfig struct {
+	// Dim is the point dimensionality (default 2).
+	Dim int
+	// NodeCapacity is the R*-tree fanout M (default 50, the paper's 1 KB
+	// pages).
+	NodeCapacity int
+	// BufferPages attaches an LRU buffer of that many pages to the
+	// index's access accounting; 0 disables buffering.
+	BufferPages int
+}
+
+// Index is an R*-tree over the data set P. Build one with NewIndex (empty,
+// then Insert) or BuildIndex (bulk load). Not safe for concurrent use.
+type Index struct {
+	tree    *rtree.Tree
+	counter *pagestore.AccessCounter
+}
+
+// NewIndex returns an empty index.
+func NewIndex(cfg IndexConfig) (*Index, error) {
+	counter, rcfg := indexConfig(cfg)
+	t, err := rtree.New(rcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{tree: t, counter: counter}, nil
+}
+
+// BuildIndex bulk-loads an index from points using sort-tile-recursive
+// packing. ids[i] identifies points[i]; pass nil to use the slice index.
+func BuildIndex(points []Point, ids []int64, cfg IndexConfig) (*Index, error) {
+	counter, rcfg := indexConfig(cfg)
+	pts := make([]geom.Point, len(points))
+	for i, p := range points {
+		pts[i] = geom.Point(p)
+	}
+	t, err := rtree.BulkLoadSTR(rcfg, pts, ids)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{tree: t, counter: counter}, nil
+}
+
+func indexConfig(cfg IndexConfig) (*pagestore.AccessCounter, rtree.Config) {
+	counter := &pagestore.AccessCounter{}
+	if cfg.BufferPages > 0 {
+		counter.SetBuffer(pagestore.NewLRU(cfg.BufferPages))
+	}
+	return counter, rtree.Config{
+		Dim:        cfg.Dim,
+		MaxEntries: cfg.NodeCapacity,
+		Counter:    counter,
+	}
+}
+
+// Insert adds a data point with its identifier.
+func (ix *Index) Insert(p Point, id int64) error {
+	return ix.tree.Insert(geom.Point(p), id)
+}
+
+// Delete removes one occurrence of (p, id); it reports whether a matching
+// entry existed.
+func (ix *Index) Delete(p Point, id int64) bool {
+	return ix.tree.Delete(geom.Point(p), id)
+}
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return ix.tree.Len() }
+
+// Dim returns the index dimensionality.
+func (ix *Index) Dim() int { return ix.tree.Dim() }
+
+// Bounds returns the MBR of the indexed points as (lo, hi); ok is false
+// when the index is empty.
+func (ix *Index) Bounds() (lo, hi Point, ok bool) {
+	r, ok := ix.tree.Bounds()
+	if !ok {
+		return nil, nil, false
+	}
+	return Point(r.Lo), Point(r.Hi), true
+}
+
+// Cost reports the I/O charged to the index since the last ResetCost.
+type Cost struct {
+	// NodeAccesses is the paper's NA metric: physical node reads (buffer
+	// misses when a buffer is attached, all logical accesses otherwise).
+	NodeAccesses int64
+	// LogicalAccesses counts every node visit, before buffering.
+	LogicalAccesses int64
+	// BufferHits counts accesses served by the LRU buffer.
+	BufferHits int64
+}
+
+// Cost returns the accumulated access counts.
+func (ix *Index) Cost() Cost {
+	return Cost{
+		NodeAccesses:    ix.counter.Physical(),
+		LogicalAccesses: ix.counter.Logical(),
+		BufferHits:      ix.counter.Hits(),
+	}
+}
+
+// ResetCost zeroes the counters, keeping any buffer contents warm.
+func (ix *Index) ResetCost() { ix.counter.Reset() }
+
+// ResetCostCold zeroes the counters and drops the buffer contents.
+func (ix *Index) ResetCostCold() { ix.counter.ResetAll() }
+
+// CheckInvariants validates the underlying R*-tree structure (exposed for
+// tests and diagnostics).
+func (ix *Index) CheckInvariants() error { return ix.tree.CheckInvariants() }
+
+// NearestNeighbors answers a classical point-NN query (k nearest indexed
+// points to q) with the best-first algorithm of [HS99] — the n = 1 special
+// case of a GNN query, exposed because it is independently useful.
+func (ix *Index) NearestNeighbors(q Point, k int) ([]Result, error) {
+	if len(q) != ix.Dim() {
+		return nil, fmt.Errorf("gnn: query dimension %d, index dimension %d", len(q), ix.Dim())
+	}
+	if k < 1 {
+		return nil, core.ErrBadK
+	}
+	nbs := ix.tree.NearestBF(geom.Point(q), k)
+	out := make([]Result, len(nbs))
+	for i, nb := range nbs {
+		out[i] = Result{Point: Point(nb.Point), ID: nb.ID, Dist: nb.Dist}
+	}
+	return out, nil
+}
+
+func toResults(gs []core.GroupNeighbor) []Result {
+	out := make([]Result, len(gs))
+	for i, g := range gs {
+		out[i] = Result{Point: Point(g.Point), ID: g.ID, Dist: g.Dist}
+	}
+	return out
+}

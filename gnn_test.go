@@ -1,0 +1,264 @@
+package gnn
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randPoints(rng *rand.Rand, n int, span float64) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{rng.Float64() * span, rng.Float64() * span}
+	}
+	return pts
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := randPoints(rng, 1000, 100)
+	ix, err := BuildIndex(data, nil, IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 1000 || ix.Dim() != 2 {
+		t.Fatalf("Len/Dim = %d/%d", ix.Len(), ix.Dim())
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ix.GroupNN([]Point{{10, 10}, {20, 20}, {30, 10}}, WithK(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Dist < res[i-1].Dist {
+			t.Fatal("results not sorted")
+		}
+	}
+	if cost := ix.Cost(); cost.NodeAccesses == 0 {
+		t.Fatal("no node accesses recorded")
+	}
+	ix.ResetCost()
+	if cost := ix.Cost(); cost.NodeAccesses != 0 {
+		t.Fatal("ResetCost did not clear")
+	}
+}
+
+func TestAllAlgorithmsAgreeViaPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := randPoints(rng, 800, 1000)
+	ix, err := BuildIndex(data, nil, IndexConfig{NodeCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		query := randPoints(rng, 8, 300)
+		var base []Result
+		for _, algo := range []Algorithm{AlgoBruteForce, AlgoMQM, AlgoSPM, AlgoMBM, AlgoAuto} {
+			res, err := ix.GroupNN(query, WithK(3), WithAlgorithm(algo))
+			if err != nil {
+				t.Fatalf("%v: %v", algo, err)
+			}
+			if base == nil {
+				base = res
+				continue
+			}
+			for i := range res {
+				if math.Abs(res[i].Dist-base[i].Dist) > 1e-6 {
+					t.Fatalf("%v: rank %d %v vs %v", algo, i, res[i].Dist, base[i].Dist)
+				}
+			}
+		}
+	}
+}
+
+func TestInsertDeleteRoundTrip(t *testing.T) {
+	ix, err := NewIndex(IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	pts := randPoints(rng, 200, 50)
+	for i, p := range pts {
+		if err := ix.Insert(p, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !ix.Delete(pts[7], 7) {
+		t.Fatal("Delete failed")
+	}
+	if ix.Delete(pts[7], 7) {
+		t.Fatal("double Delete succeeded")
+	}
+	if ix.Len() != 199 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	lo, hi, ok := ix.Bounds()
+	if !ok || len(lo) != 2 || len(hi) != 2 {
+		t.Fatalf("Bounds = %v %v %v", lo, hi, ok)
+	}
+}
+
+func TestNearestNeighbors(t *testing.T) {
+	ix, _ := NewIndex(IndexConfig{})
+	ix.Insert(Point{0, 0}, 1)
+	ix.Insert(Point{5, 5}, 2)
+	ix.Insert(Point{9, 9}, 3)
+	res, err := ix.NearestNeighbors(Point{6, 6}, 2)
+	if err != nil || len(res) != 2 || res[0].ID != 2 {
+		t.Fatalf("NN = %+v, %v", res, err)
+	}
+	if _, err := ix.NearestNeighbors(Point{1, 2, 3}, 1); err == nil {
+		t.Fatal("3-D query accepted")
+	}
+	if _, err := ix.NearestNeighbors(Point{1, 2}, 0); !errors.Is(err, ErrBadK) {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestIteratorMatchesGroupNN(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := randPoints(rng, 300, 100)
+	ix, _ := BuildIndex(data, nil, IndexConfig{NodeCapacity: 8})
+	query := randPoints(rng, 4, 50)
+	want, _ := ix.GroupNN(query, WithK(10))
+	it, err := ix.GroupNNIterator(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		r, ok := it.Next()
+		if !ok {
+			t.Fatalf("iterator dry at %d", i)
+		}
+		if math.Abs(r.Dist-want[i].Dist) > 1e-9 {
+			t.Fatalf("rank %d: %v vs %v", i, r.Dist, want[i].Dist)
+		}
+	}
+}
+
+func TestAggregatesViaPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := randPoints(rng, 400, 100)
+	ix, _ := BuildIndex(data, nil, IndexConfig{})
+	query := randPoints(rng, 6, 60)
+	for _, agg := range []Aggregate{SumDist, MaxDist, MinDist} {
+		a, err := ix.GroupNN(query, WithAggregate(agg), WithK(2))
+		if err != nil {
+			t.Fatalf("%v: %v", agg, err)
+		}
+		b, err := ix.GroupNN(query, WithAggregate(agg), WithK(2), WithAlgorithm(AlgoBruteForce))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if math.Abs(a[i].Dist-b[i].Dist) > 1e-9 {
+				t.Fatalf("%v rank %d: %v vs %v", agg, i, a[i].Dist, b[i].Dist)
+			}
+		}
+	}
+	if _, err := ix.GroupNN(query, WithAggregate(MaxDist), WithAlgorithm(AlgoSPM)); !errors.Is(err, ErrUnsupportedAggregate) {
+		t.Fatal("SPM accepted MaxDist")
+	}
+}
+
+func TestDiskQueriesViaPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	data := randPoints(rng, 700, 1000)
+	ix, _ := BuildIndex(data, nil, IndexConfig{NodeCapacity: 16})
+	queryPts := randPoints(rng, 150, 400)
+	qs, err := NewQuerySet(queryPts, QuerySetConfig{BlockPoints: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.Len() != 150 || qs.Blocks() != 5 || qs.Pages() != 3 {
+		t.Fatalf("QuerySet = %d/%d/%d", qs.Len(), qs.Blocks(), qs.Pages())
+	}
+	want, _ := ix.GroupNN(queryPts, WithK(3), WithAlgorithm(AlgoBruteForce))
+	for _, algo := range []DiskAlgorithm{DiskFMQM, DiskFMBM, DiskAuto} {
+		res, err := ix.GroupNNFromSet(qs, algo, WithK(3))
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		for i := range res {
+			if math.Abs(res[i].Dist-want[i].Dist) > 1e-6 {
+				t.Fatalf("%v rank %d: %v vs %v", algo, i, res[i].Dist, want[i].Dist)
+			}
+		}
+	}
+	if qs.Cost().NodeAccesses == 0 {
+		t.Fatal("query set I/O not charged")
+	}
+	qs.ResetCost()
+	if qs.Cost().NodeAccesses != 0 {
+		t.Fatal("ResetCost failed")
+	}
+	// GCP through the public API.
+	qix, _ := BuildIndex(queryPts, nil, IndexConfig{NodeCapacity: 16})
+	res, err := ix.GroupNNClosestPairs(qix, 0, WithK(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		if math.Abs(res[i].Dist-want[i].Dist) > 1e-6 {
+			t.Fatalf("GCP rank %d: %v vs %v", i, res[i].Dist, want[i].Dist)
+		}
+	}
+	// Budget error surfaces.
+	if _, err := ix.GroupNNClosestPairs(qix, 3); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("budget err = %v", err)
+	}
+	// Aggregates rejected on disk paths.
+	if _, err := ix.GroupNNFromSet(qs, DiskFMBM, WithAggregate(MaxDist)); !errors.Is(err, ErrUnsupportedAggregate) {
+		t.Fatal("disk Max accepted")
+	}
+}
+
+func TestBufferedIndexCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := randPoints(rng, 2000, 1000)
+	ix, _ := BuildIndex(data, nil, IndexConfig{NodeCapacity: 10, BufferPages: 4096})
+	query := randPoints(rng, 4, 100)
+	ix.ResetCostCold()
+	ix.GroupNN(query)
+	cold := ix.Cost()
+	ix.ResetCost() // warm buffer
+	ix.GroupNN(query)
+	warm := ix.Cost()
+	if warm.NodeAccesses != 0 || warm.BufferHits == 0 {
+		t.Fatalf("warm cost = %+v", warm)
+	}
+	if cold.NodeAccesses == 0 {
+		t.Fatalf("cold cost = %+v", cold)
+	}
+}
+
+func TestAlgorithmStrings(t *testing.T) {
+	if AlgoMQM.String() != "MQM" || AlgoAuto.String() != "auto" ||
+		Algorithm(99).String() == "" {
+		t.Fatal("Algorithm.String broken")
+	}
+	if DiskFMQM.String() != "F-MQM" || DiskAuto.String() != "auto" ||
+		DiskAlgorithm(99).String() == "" {
+		t.Fatal("DiskAlgorithm.String broken")
+	}
+}
+
+func TestErrorsSurface(t *testing.T) {
+	ix, _ := NewIndex(IndexConfig{})
+	ix.Insert(Point{1, 1}, 1)
+	if _, err := ix.GroupNN(nil); !errors.Is(err, ErrEmptyQuery) {
+		t.Fatalf("empty query err = %v", err)
+	}
+	if _, err := ix.GroupNN([]Point{{1, 1}}, WithK(-1)); !errors.Is(err, ErrBadK) {
+		t.Fatalf("bad k err = %v", err)
+	}
+	if _, err := NewQuerySet(nil, QuerySetConfig{}); !errors.Is(err, ErrEmptyQuery) {
+		t.Fatalf("empty query set err = %v", err)
+	}
+}

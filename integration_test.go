@@ -1,0 +1,164 @@
+package gnn_test
+
+import (
+	"math"
+	"testing"
+
+	"gnn"
+	"gnn/internal/dataset"
+)
+
+// TestIntegrationFullPipeline exercises the entire stack end to end on the
+// PP dataset substitute: generate → index → query through every public
+// path (all memory algorithms, the iterator, both disk algorithms, GCP)
+// and require identical answers plus the paper's cost ordering.
+func TestIntegrationFullPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test on a real dataset substitute")
+	}
+	pp := dataset.GeneratePP(1)
+	pts := make([]gnn.Point, 5000)
+	for i := range pts {
+		pts[i] = gnn.Point(pp.Points[i])
+	}
+	ix, err := gnn.BuildIndex(pts, nil, gnn.IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A query group in the middle of the workspace.
+	query := []gnn.Point{
+		{4000, 5000}, {4500, 5500}, {5200, 4800}, {4800, 5100},
+		{4100, 4600}, {5000, 5000}, {4400, 5300}, {4700, 4900},
+	}
+
+	want, err := ix.GroupNN(query, gnn.WithK(8), gnn.WithAlgorithm(gnn.AlgoBruteForce))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 8 {
+		t.Fatalf("brute force returned %d", len(want))
+	}
+
+	check := func(name string, got []gnn.Result, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d results, want %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(got[i].Dist-want[i].Dist) > 1e-6 {
+				t.Fatalf("%s rank %d: %v vs %v", name, i, got[i].Dist, want[i].Dist)
+			}
+		}
+	}
+
+	// Memory algorithms with NA ordering MQM ≥ SPM ≥ MBM (Fig 5.1's
+	// qualitative finding; logical accesses, no buffer).
+	na := map[gnn.Algorithm]int64{}
+	for _, algo := range []gnn.Algorithm{gnn.AlgoMQM, gnn.AlgoSPM, gnn.AlgoMBM} {
+		ix.ResetCost()
+		res, err := ix.GroupNN(query, gnn.WithK(8), gnn.WithAlgorithm(algo))
+		check(algo.String(), res, err)
+		na[algo] = ix.Cost().LogicalAccesses
+	}
+	if !(na[gnn.AlgoMBM] <= na[gnn.AlgoSPM] && na[gnn.AlgoSPM] <= na[gnn.AlgoMQM]) {
+		t.Errorf("NA ordering violated: MQM=%d SPM=%d MBM=%d",
+			na[gnn.AlgoMQM], na[gnn.AlgoSPM], na[gnn.AlgoMBM])
+	}
+
+	// Incremental iterator yields the same prefix.
+	it, err := ix.GroupNNIterator(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		r, ok := it.Next()
+		if !ok || math.Abs(r.Dist-want[i].Dist) > 1e-6 {
+			t.Fatalf("iterator rank %d: %v/%v", i, r.Dist, ok)
+		}
+	}
+
+	// Disk-resident paths over the same group embedded in a larger file.
+	qset, err := gnn.NewQuerySet(query, gnn.QuerySetConfig{BlockPoints: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ix.GroupNNFromSet(qset, gnn.DiskFMQM, gnn.WithK(8))
+	check("F-MQM", res, err)
+	res, err = ix.GroupNNFromSet(qset, gnn.DiskFMBM, gnn.WithK(8))
+	check("F-MBM", res, err)
+
+	qix, err := gnn.BuildIndex(query, nil, gnn.IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = ix.GroupNNClosestPairs(qix, 0, gnn.WithK(8))
+	check("GCP", res, err)
+
+	// Mutation keeps the structure valid and the results fresh: delete the
+	// winner and re-query.
+	if !ix.Delete(want[0].Point, want[0].ID) {
+		t.Fatal("failed to delete the GNN")
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := ix.GroupNN(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(after[0].Dist-want[1].Dist) > 1e-6 {
+		t.Fatalf("after deleting the winner, best = %v, want %v", after[0].Dist, want[1].Dist)
+	}
+}
+
+// TestIntegrationTSSubset runs a smaller sweep on the TS substitute, whose
+// polyline clustering produces a differently shaped tree.
+func TestIntegrationTSSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test on a real dataset substitute")
+	}
+	ts := dataset.GenerateTS(1)
+	pts := make([]gnn.Point, 8000)
+	for i := range pts {
+		pts[i] = gnn.Point(ts.Points[i])
+	}
+	ix, err := gnn.BuildIndex(pts, nil, gnn.IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, ok := ix.Bounds()
+	if !ok {
+		t.Fatal("no bounds")
+	}
+	// Query groups at the corners and centre of the data extent.
+	centers := [][2]float64{
+		{lo[0], lo[1]}, {hi[0], hi[1]}, {(lo[0] + hi[0]) / 2, (lo[1] + hi[1]) / 2},
+	}
+	for _, c := range centers {
+		query := []gnn.Point{
+			{c[0], c[1]}, {c[0] + 100, c[1]}, {c[0], c[1] + 100}, {c[0] + 50, c[1] + 50},
+		}
+		want, err := ix.GroupNN(query, gnn.WithK(4), gnn.WithAlgorithm(gnn.AlgoBruteForce))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, algo := range []gnn.Algorithm{gnn.AlgoMQM, gnn.AlgoSPM, gnn.AlgoMBM} {
+			got, err := ix.GroupNN(query, gnn.WithK(4), gnn.WithAlgorithm(algo))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if math.Abs(got[i].Dist-want[i].Dist) > 1e-6 {
+					t.Fatalf("%v at %v rank %d: %v vs %v", algo, c, i, got[i].Dist, want[i].Dist)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package centroid computes the point q minimising dist(q,Q) = Σ_i |q qi|,
+// the Fermat-Weber point (geometric median) of the query group.
+//
+// As the paper notes (§3.2), the minimiser has no closed form for n > 2, so
+// it must be approximated numerically. The paper uses gradient descent; we
+// implement that method faithfully and additionally provide the Weiszfeld
+// iteration, the classical fixed-point scheme for this problem, as an
+// ablation alternative. SPM only needs an approximation: Lemma 1 holds for
+// any point q, so a better centroid merely tightens the pruning bound.
+package centroid
+
+import (
+	"errors"
+	"math"
+
+	"gnn/internal/geom"
+)
+
+// Options tunes the solvers. The zero value selects sensible defaults.
+type Options struct {
+	// MaxIters bounds the number of iterations (default 200).
+	MaxIters int
+	// Tolerance stops iteration when dist(q,Q) improves by less than
+	// Tolerance in both absolute and relative terms (default 1e-9).
+	Tolerance float64
+	// Step is the initial gradient-descent step size η. When zero, it is
+	// derived from the spread of Q.
+	Step float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIters == 0 {
+		o.MaxIters = 200
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-9
+	}
+	return o
+}
+
+// ErrEmptyGroup reports that no query points were supplied.
+var ErrEmptyGroup = errors.New("centroid: empty query group")
+
+// Mean returns the arithmetic mean of the group — the paper's starting
+// point for gradient descent and the crudest centroid approximation.
+func Mean(qs []geom.Point) (geom.Point, error) {
+	if len(qs) == 0 {
+		return nil, ErrEmptyGroup
+	}
+	dim := len(qs[0])
+	c := make(geom.Point, dim)
+	for _, q := range qs {
+		for i := range c {
+			c[i] += q[i]
+		}
+	}
+	for i := range c {
+		c[i] /= float64(len(qs))
+	}
+	return c, nil
+}
+
+// gradient writes ∂dist(q,Q)/∂q into grad, returning dist(q,Q). The
+// gradient of Σ|q qi| is Σ (q-qi)/|q qi|; terms with |q qi| = 0 are skipped
+// (the function is non-differentiable there but the subgradient 0 is
+// valid).
+func gradient(q geom.Point, qs []geom.Point, grad []float64) float64 {
+	for i := range grad {
+		grad[i] = 0
+	}
+	var total float64
+	for _, p := range qs {
+		d := geom.Dist(q, p)
+		total += d
+		if d == 0 {
+			continue
+		}
+		for i := range grad {
+			grad[i] += (q[i] - p[i]) / d
+		}
+	}
+	return total
+}
+
+// GradientDescent approximates the Fermat-Weber point with the paper's
+// method: starting from the arithmetic mean, repeatedly move against the
+// gradient of dist(q,Q) with step η, halving η whenever a step fails to
+// improve (a standard safeguarded variant that guarantees monotone
+// progress). Returns the approximate centroid and its dist(q,Q).
+func GradientDescent(qs []geom.Point, opt Options) (geom.Point, float64, error) {
+	opt = opt.withDefaults()
+	q, err := Mean(qs)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(qs) == 1 {
+		return q, 0, nil
+	}
+	grad := make([]float64, len(q))
+	cur := gradient(q, qs, grad)
+
+	step := opt.Step
+	if step == 0 {
+		// Scale the initial step to the group's spread; the mean is at
+		// most ~diameter away from the optimum.
+		r := geom.BoundingRect(qs)
+		step = r.Margin() / float64(2*len(q)) / 8
+		if step == 0 {
+			return q, cur, nil // all points coincide
+		}
+	}
+	cand := make(geom.Point, len(q))
+	for iter := 0; iter < opt.MaxIters && step > 1e-18; iter++ {
+		norm := 0.0
+		for _, g := range grad {
+			norm += g * g
+		}
+		if norm == 0 {
+			break
+		}
+		norm = math.Sqrt(norm)
+		for i := range cand {
+			cand[i] = q[i] - step*grad[i]/norm
+		}
+		next := geom.SumDist(cand, qs)
+		if next < cur {
+			copy(q, cand)
+			if cur-next < opt.Tolerance*(1+cur) {
+				cur = next
+				break
+			}
+			cur = gradient(q, qs, grad)
+		} else {
+			step /= 2
+		}
+	}
+	return q, cur, nil
+}
+
+// Weiszfeld approximates the Fermat-Weber point with the classical
+// Weiszfeld fixed-point iteration: q ← Σ(qi/|q qi|) / Σ(1/|q qi|).
+// When an iterate lands exactly on a data point the iteration stops there
+// (the standard safeguard). Returns the approximate centroid and its
+// dist(q,Q).
+func Weiszfeld(qs []geom.Point, opt Options) (geom.Point, float64, error) {
+	opt = opt.withDefaults()
+	q, err := Mean(qs)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(qs) == 1 {
+		return q, 0, nil
+	}
+	num := make([]float64, len(q))
+	cur := geom.SumDist(q, qs)
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		for i := range num {
+			num[i] = 0
+		}
+		var den float64
+		onPoint := false
+		for _, p := range qs {
+			d := geom.Dist(q, p)
+			if d == 0 {
+				onPoint = true
+				break
+			}
+			w := 1 / d
+			den += w
+			for i := range num {
+				num[i] += p[i] * w
+			}
+		}
+		if onPoint || den == 0 {
+			break
+		}
+		for i := range q {
+			q[i] = num[i] / den
+		}
+		next := geom.SumDist(q, qs)
+		if cur-next < opt.Tolerance*(1+cur) {
+			cur = next
+			break
+		}
+		cur = next
+	}
+	return q, cur, nil
+}

@@ -1,0 +1,217 @@
+package centroid
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"gnn/internal/geom"
+)
+
+type solver struct {
+	name string
+	run  func([]geom.Point, Options) (geom.Point, float64, error)
+}
+
+var solvers = []solver{
+	{"GradientDescent", GradientDescent},
+	{"Weiszfeld", Weiszfeld},
+}
+
+func TestEmptyGroup(t *testing.T) {
+	if _, err := Mean(nil); !errors.Is(err, ErrEmptyGroup) {
+		t.Fatalf("Mean(nil) err = %v", err)
+	}
+	for _, s := range solvers {
+		if _, _, err := s.run(nil, Options{}); !errors.Is(err, ErrEmptyGroup) {
+			t.Errorf("%s(nil) err = %v", s.name, err)
+		}
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	qs := []geom.Point{{3, 4}}
+	for _, s := range solvers {
+		q, d, err := s.run(qs, Options{})
+		if err != nil || !q.Equal(qs[0]) || d != 0 {
+			t.Errorf("%s single point: q=%v d=%v err=%v", s.name, q, d, err)
+		}
+	}
+}
+
+func TestTwoPoints(t *testing.T) {
+	// Any point on the segment is optimal with dist = |q1 q2|.
+	qs := []geom.Point{{0, 0}, {10, 0}}
+	for _, s := range solvers {
+		_, d, err := s.run(qs, Options{})
+		if err != nil || math.Abs(d-10) > 1e-6 {
+			t.Errorf("%s two points: d=%v err=%v", s.name, d, err)
+		}
+	}
+}
+
+func TestCoincidentPoints(t *testing.T) {
+	qs := []geom.Point{{5, 5}, {5, 5}, {5, 5}}
+	for _, s := range solvers {
+		q, d, err := s.run(qs, Options{})
+		if err != nil || !q.Equal(geom.Point{5, 5}) || d != 0 {
+			t.Errorf("%s coincident: q=%v d=%v err=%v", s.name, q, d, err)
+		}
+	}
+}
+
+func TestEquilateralTriangle(t *testing.T) {
+	// The Fermat point of an equilateral triangle is its centroid; the
+	// optimal total distance is 3 * circumradius = side * sqrt(3).
+	side := 10.0
+	h := side * math.Sqrt(3) / 2
+	qs := []geom.Point{{0, 0}, {side, 0}, {side / 2, h}}
+	want := side * math.Sqrt(3)
+	for _, s := range solvers {
+		q, d, err := s.run(qs, Options{MaxIters: 500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(d-want) > 1e-3*want {
+			t.Errorf("%s: dist %v, want %v (q=%v)", s.name, d, want, q)
+		}
+		if geom.Dist(q, geom.Point{side / 2, h / 3}) > 0.05*side {
+			t.Errorf("%s: centroid %v far from Fermat point", s.name, q)
+		}
+	}
+}
+
+func TestFermatPointWith120DegreeProperty(t *testing.T) {
+	// For a triangle with all angles < 120°, unit vectors from the Fermat
+	// point to the vertices sum to ~0.
+	qs := []geom.Point{{0, 0}, {8, 1}, {3, 7}}
+	for _, s := range solvers {
+		q, _, err := s.run(qs, Options{MaxIters: 2000, Tolerance: 1e-14})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sx, sy float64
+		for _, p := range qs {
+			d := geom.Dist(q, p)
+			sx += (p[0] - q[0]) / d
+			sy += (p[1] - q[1]) / d
+		}
+		if math.Hypot(sx, sy) > 0.02 {
+			t.Errorf("%s: gradient norm %v at solution %v", s.name, math.Hypot(sx, sy), q)
+		}
+	}
+}
+
+func TestObtuseTriangleMedianAtVertex(t *testing.T) {
+	// With one angle ≥ 120°, the geometric median is the obtuse vertex.
+	qs := []geom.Point{{0, 0}, {10, 0}, {5, 0.3}}
+	want := geom.SumDist(geom.Point{5, 0.3}, qs)
+	for _, s := range solvers {
+		_, d, err := s.run(qs, Options{MaxIters: 3000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < want-1e-9 || d > want*1.02 {
+			t.Errorf("%s: dist %v, optimal %v", s.name, d, want)
+		}
+	}
+}
+
+func TestSolversBeatMeanOnRandomGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(30)
+		qs := make([]geom.Point, n)
+		for i := range qs {
+			qs[i] = geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}
+		}
+		mean, _ := Mean(qs)
+		meanDist := geom.SumDist(mean, qs)
+		for _, s := range solvers {
+			q, d, err := s.run(qs, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d > meanDist+1e-9 {
+				t.Errorf("trial %d %s: dist %v worse than mean %v", trial, s.name, d, meanDist)
+			}
+			if math.Abs(geom.SumDist(q, qs)-d) > 1e-6 {
+				t.Errorf("%s: reported distance inconsistent", s.name)
+			}
+		}
+	}
+}
+
+func TestSolversAgreeWithEachOther(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(20)
+		qs := make([]geom.Point, n)
+		for i := range qs {
+			qs[i] = geom.Point{rng.Float64() * 100, rng.Float64() * 100}
+		}
+		_, d1, _ := GradientDescent(qs, Options{MaxIters: 2000})
+		_, d2, _ := Weiszfeld(qs, Options{MaxIters: 2000})
+		// Both approximate the same optimum; allow 1% slack.
+		if math.Abs(d1-d2) > 0.01*math.Max(d1, d2) {
+			t.Errorf("trial %d: GD %v vs Weiszfeld %v", trial, d1, d2)
+		}
+	}
+}
+
+func TestLemma1HoldsForApproximateCentroid(t *testing.T) {
+	// Lemma 1: for ANY q and any p, dist(p,Q) >= n*|pq| - dist(q,Q).
+	// The whole point of using an approximate centroid in SPM is that the
+	// bound stays sound; verify on random instances.
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(10)
+		qs := make([]geom.Point, n)
+		for i := range qs {
+			qs[i] = geom.Point{rng.Float64() * 100, rng.Float64() * 100}
+		}
+		q, dq, err := GradientDescent(qs, Options{MaxIters: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := geom.Point{rng.Float64() * 200, rng.Float64() * 200}
+		lhs := geom.SumDist(p, qs)
+		rhs := float64(n)*geom.Dist(p, q) - dq
+		if lhs < rhs-1e-6 {
+			t.Fatalf("Lemma 1 violated: dist(p,Q)=%v < %v", lhs, rhs)
+		}
+	}
+}
+
+func TestMean(t *testing.T) {
+	qs := []geom.Point{{0, 0}, {4, 0}, {2, 6}}
+	m, err := Mean(qs)
+	if err != nil || !m.Equal(geom.Point{2, 2}) {
+		t.Fatalf("Mean = %v, err %v", m, err)
+	}
+}
+
+func BenchmarkGradientDescent64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	qs := make([]geom.Point, 64)
+	for i := range qs {
+		qs[i] = geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GradientDescent(qs, Options{})
+	}
+}
+
+func BenchmarkWeiszfeld64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	qs := make([]geom.Point, 64)
+	for i := range qs {
+		qs[i] = geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Weiszfeld(qs, Options{})
+	}
+}

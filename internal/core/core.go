@@ -1,0 +1,345 @@
+// Package core implements the paper's contribution: algorithms that answer
+// group nearest neighbor (GNN) queries over a dataset P indexed by an
+// R-tree and a query group Q.
+//
+// Memory-resident Q (§3):
+//
+//   - MQM — multiple query method: one incremental point-NN stream per
+//     query point, combined with the threshold algorithm.
+//   - SPM — single point method: one traversal ordered around the group
+//     centroid, pruned with Lemma 1 / heuristic 1.
+//   - MBM — minimum bounding method: one traversal pruned with the query
+//     MBR (heuristics 2 and 3). The incremental variant backs F-MQM.
+//
+// Disk-resident Q (§4):
+//
+//   - GCP — group closest pairs over R-trees on P and Q (heuristic 4).
+//   - FMQM — F-MQM over Hilbert-sorted memory-sized blocks of Q.
+//   - FMBM — F-MBM with the weighted-mindist heuristics 5 and 6.
+//
+// BruteForce provides the exact baseline used for validation, and every
+// algorithm supports k ≥ 1 results. MQM, MBM and BruteForce additionally
+// support the MAX and MIN aggregates (the paper's future-work extension);
+// SPM, GCP, F-MQM and F-MBM are SUM-only because their pruning bounds
+// (Lemma 1, heuristics 4-6) are derived for the sum of distances.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gnn/internal/geom"
+	"gnn/internal/rtree"
+)
+
+// GroupNeighbor is one GNN result: a data point and its aggregate distance
+// to the query group.
+type GroupNeighbor struct {
+	Point geom.Point
+	ID    int64
+	Dist  float64
+}
+
+// Aggregate selects the distance-combination function dist(p,Q).
+type Aggregate int
+
+const (
+	// Sum is the paper's aggregate: dist(p,Q) = Σ_i |p qi|.
+	Sum Aggregate = iota
+	// Max is the extension aggregate max_i |p qi| (minimises the farthest
+	// group member's travel).
+	Max
+	// Min is the extension aggregate min_i |p qi| (any one member reaches
+	// the point).
+	Min
+)
+
+// String names the aggregate.
+func (a Aggregate) String() string {
+	switch a {
+	case Sum:
+		return "sum"
+	case Max:
+		return "max"
+	case Min:
+		return "min"
+	default:
+		return fmt.Sprintf("Aggregate(%d)", int(a))
+	}
+}
+
+// Traversal selects between the two branch-and-bound paradigms of §2.
+type Traversal int
+
+const (
+	// BestFirst is the I/O-optimal ordering of [HS99]; the paper's
+	// experiments use it for all algorithms (§5).
+	BestFirst Traversal = iota
+	// DepthFirst is the recursive ordering of [RKV95]; supported by SPM,
+	// MBM and F-MBM, exactly as the paper notes.
+	DepthFirst
+)
+
+// CentroidMethod selects how SPM approximates the group centroid.
+type CentroidMethod int
+
+const (
+	// GradientDescent is the paper's method (§3.2).
+	GradientDescent CentroidMethod = iota
+	// Weiszfeld is the classical fixed-point iteration (ablation).
+	Weiszfeld
+	// ArithmeticMean skips optimisation entirely (ablation): Lemma 1
+	// holds for any point, so correctness is unaffected — only pruning
+	// power degrades.
+	ArithmeticMean
+)
+
+// Options configures a query. The zero value means: k = 1, SUM aggregate,
+// best-first traversal, full heuristics, gradient-descent centroid.
+type Options struct {
+	// K is the number of neighbors to return (default 1).
+	K int
+	// Aggregate is the distance combination (default Sum).
+	Aggregate Aggregate
+	// Traversal picks best-first or depth-first where both exist.
+	Traversal Traversal
+	// DisableHeuristic3 makes MBM use heuristic 2 only — the ablation of
+	// §5.1 footnote 3.
+	DisableHeuristic3 bool
+	// Centroid picks SPM's centroid solver.
+	Centroid CentroidMethod
+	// Weights assigns a positive weight per query point:
+	// dist(p,Q) = agg_i w_i·|p q_i| (extension; MQM, SPM, MBM, BruteForce).
+	// nil means unweighted. Must match the query group's length.
+	Weights []float64
+	// Region restricts results to data points inside the rectangle
+	// (extension, cf. constrained NN [FSAA01]; MQM, SPM, MBM, BruteForce).
+	// nil means unconstrained.
+	Region *geom.Rect
+	// Trace, when non-nil, accumulates per-heuristic pruning diagnostics
+	// (currently populated by MBM and its iterator).
+	Trace *Trace
+}
+
+func (o Options) withDefaults() Options {
+	if o.K == 0 {
+		o.K = 1
+	}
+	return o
+}
+
+// Errors shared by the algorithms.
+var (
+	// ErrEmptyQuery reports an empty query group.
+	ErrEmptyQuery = errors.New("core: empty query group")
+	// ErrBadK reports a non-positive k.
+	ErrBadK = errors.New("core: k must be >= 1")
+	// ErrUnsupportedAggregate reports an aggregate the algorithm's pruning
+	// bounds do not cover.
+	ErrUnsupportedAggregate = errors.New("core: aggregate not supported by this algorithm")
+	// ErrBudgetExceeded reports that GCP hit its pair budget before
+	// terminating (the paper's "GCP does not terminate at all" regime).
+	ErrBudgetExceeded = errors.New("core: pair budget exceeded before termination")
+	// ErrUnsupportedOption reports an extension option (weights, region)
+	// passed to an algorithm whose bounds do not cover it (the disk-
+	// resident family).
+	ErrUnsupportedOption = errors.New("core: option not supported by this algorithm")
+)
+
+func validate(t *rtree.Tree, qs []geom.Point, opt Options) error {
+	if len(qs) == 0 {
+		return ErrEmptyQuery
+	}
+	if opt.K < 1 {
+		return ErrBadK
+	}
+	for i, q := range qs {
+		if len(q) != t.Dim() {
+			return fmt.Errorf("core: query point %d has dimension %d, tree dimension %d",
+				i, len(q), t.Dim())
+		}
+	}
+	return nil
+}
+
+// aggDist returns dist(p,Q) under the aggregate.
+func aggDist(a Aggregate, p geom.Point, qs []geom.Point) float64 {
+	switch a {
+	case Max:
+		return geom.MaxDistToGroup(p, qs)
+	case Min:
+		return geom.MinDistToGroup(p, qs)
+	default:
+		return geom.SumDist(p, qs)
+	}
+}
+
+// aggCombine folds per-query-point lower bounds into a group bound: given
+// values v_i that lower-bound |p q_i| for every p of interest, the result
+// lower-bounds dist(p,Q).
+func aggCombine(a Aggregate, vs []float64) float64 {
+	switch a {
+	case Max:
+		m := 0.0
+		for _, v := range vs {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	case Min:
+		m := math.Inf(1)
+		for _, v := range vs {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	default:
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		return s
+	}
+}
+
+// nodeLB returns the tight per-query-point lower bound on dist(p,Q) for
+// any p inside r — heuristic 3 for SUM, the analogous bounds for MAX/MIN.
+func nodeLB(a Aggregate, r geom.Rect, qs []geom.Point) float64 {
+	switch a {
+	case Max:
+		m := 0.0
+		for _, q := range qs {
+			if d := geom.MinDistPointRect(q, r); d > m {
+				m = d
+			}
+		}
+		return m
+	case Min:
+		m := math.Inf(1)
+		for _, q := range qs {
+			if d := geom.MinDistPointRect(q, r); d < m {
+				m = d
+			}
+		}
+		return m
+	default:
+		return geom.SumMinDistRectToGroup(r, qs)
+	}
+}
+
+// quickNodeLB returns the cheap single-computation lower bound on
+// dist(p,Q) for p inside r, from the query MBR — heuristic 2 for SUM.
+func quickNodeLB(a Aggregate, r geom.Rect, qmbr geom.Rect, n int) float64 {
+	d := geom.MinDistRectRect(r, qmbr)
+	if a == Sum {
+		return float64(n) * d
+	}
+	return d // both max_i and min_i of |p qi| are ≥ mindist(r, MBR(Q))
+}
+
+// quickPointLB is quickNodeLB for a data point.
+func quickPointLB(a Aggregate, p geom.Point, qmbr geom.Rect, n int) float64 {
+	d := geom.MinDistPointRect(p, qmbr)
+	if a == Sum {
+		return float64(n) * d
+	}
+	return d
+}
+
+// kbest maintains the k best (smallest-distance) group neighbors found so
+// far, deduplicated by point ID. It is a small sorted slice rather than a
+// heap because the paper's k ≤ 32.
+type kbest struct {
+	k     int
+	items []GroupNeighbor
+}
+
+func newKBest(k int) *kbest {
+	return &kbest{k: k, items: make([]GroupNeighbor, 0, k)}
+}
+
+// bound returns the current pruning bound best_dist: the k-th best
+// distance, or +Inf while fewer than k neighbors are known.
+func (b *kbest) bound() float64 {
+	if len(b.items) < b.k {
+		return math.Inf(1)
+	}
+	return b.items[len(b.items)-1].Dist
+}
+
+// offer inserts the candidate if it ranks among the k best and its ID is
+// not already present. Returns true when the result set changed.
+func (b *kbest) offer(g GroupNeighbor) bool {
+	for _, it := range b.items {
+		if it.ID == g.ID {
+			return false // already a result (same point ⇒ same distance)
+		}
+	}
+	if len(b.items) == b.k && g.Dist >= b.items[len(b.items)-1].Dist {
+		return false
+	}
+	pos := len(b.items)
+	for i, it := range b.items {
+		if g.Dist < it.Dist {
+			pos = i
+			break
+		}
+	}
+	b.items = append(b.items, GroupNeighbor{})
+	copy(b.items[pos+1:], b.items[pos:])
+	b.items[pos] = g
+	if len(b.items) > b.k {
+		b.items = b.items[:b.k]
+	}
+	return true
+}
+
+// results returns the accumulated neighbors in ascending distance order.
+func (b *kbest) results() []GroupNeighbor {
+	out := make([]GroupNeighbor, len(b.items))
+	copy(out, b.items)
+	return out
+}
+
+// BruteForce scans every indexed point and returns the exact k GNNs. It is
+// the validation baseline; it does not charge node accesses (a sequential
+// file scan, not an index traversal).
+func BruteForce(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
+	opt = opt.withDefaults()
+	if err := validate(t, qs, opt); err != nil {
+		return nil, err
+	}
+	w, err := newWeightCtx(opt.Weights, len(qs))
+	if err != nil {
+		return nil, err
+	}
+	best := newKBest(opt.K)
+	t.All(func(p geom.Point, id int64) bool {
+		if regionAllows(opt.Region, p) {
+			best.offer(GroupNeighbor{Point: p, ID: id, Dist: aggDistW(opt.Aggregate, p, qs, w)})
+		}
+		return true
+	})
+	return best.results(), nil
+}
+
+// BruteForcePoints computes the exact k GNNs of qs over a plain point
+// slice (ids are the slice indexes). Used to validate the disk-resident
+// algorithms without building a tree.
+func BruteForcePoints(pts []geom.Point, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
+	opt = opt.withDefaults()
+	if len(qs) == 0 {
+		return nil, ErrEmptyQuery
+	}
+	if opt.K < 1 {
+		return nil, ErrBadK
+	}
+	best := newKBest(opt.K)
+	for i, p := range pts {
+		best.offer(GroupNeighbor{Point: p, ID: int64(i), Dist: aggDist(opt.Aggregate, p, qs)})
+	}
+	return best.results(), nil
+}

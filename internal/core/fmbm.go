@@ -1,0 +1,195 @@
+package core
+
+import (
+	"sort"
+
+	"gnn/internal/geom"
+	"gnn/internal/pq"
+	"gnn/internal/rtree"
+)
+
+// FMBM answers a disk-resident GNN query with F-MBM (§4.3): the traversal
+// of the R-tree on P is pruned with the in-memory block summaries (MBR M_i
+// and cardinality n_i per block of the Hilbert-sorted query file) and only
+// qualifying leaves pay the cost of streaming the query blocks.
+//
+//   - Heuristic 5: a node N is pruned when its weighted mindist
+//     Σ_i n_i·mindist(N,M_i) ≥ best_dist.
+//   - Heuristic 6: while a leaf's points accumulate their exact distances
+//     group by group, point p_j is dropped as soon as
+//     curr_dist(p_j) + Σ_{l≥i} n_l·mindist(p_j,M_l) ≥ best_dist.
+//
+// Nodes are visited in ascending weighted mindist (best-first by default,
+// depth-first per Figure 4.7 on request). At each leaf, groups are read in
+// descending mindist(N,M_i) order so far-away groups trigger heuristic 6
+// early and spare the exact computations against the remaining groups.
+//
+// SUM aggregate only (the weighted bounds are sums).
+func FMBM(t *rtree.Tree, qf *QueryFile, opt DiskOptions) (*DiskReport, error) {
+	opt.Options = opt.Options.withDefaults()
+	if opt.K < 1 {
+		return nil, ErrBadK
+	}
+	if opt.Aggregate != Sum {
+		return nil, ErrUnsupportedAggregate
+	}
+	if opt.Weights != nil || opt.Region != nil {
+		return nil, ErrUnsupportedOption
+	}
+	f := &fmbmRun{t: t, qf: qf, opt: opt, best: newKBest(opt.K), report: &DiskReport{}}
+	if t.Len() > 0 {
+		if opt.Traversal == DepthFirst {
+			root := t.Root()
+			rootRect, _ := t.Bounds()
+			if err := f.df(root, rootRect); err != nil {
+				return nil, err
+			}
+		} else if err := f.bf(); err != nil {
+			return nil, err
+		}
+	}
+	f.report.Neighbors = f.best.results()
+	return f.report, nil
+}
+
+type fmbmRun struct {
+	t      *rtree.Tree
+	qf     *QueryFile
+	opt    DiskOptions
+	best   *kbest
+	report *DiskReport
+}
+
+// weightedMindist is the heuristic-5 bound Σ_i n_i·mindist(r, M_i).
+func (f *fmbmRun) weightedMindist(r geom.Rect) float64 {
+	var s float64
+	for i := 0; i < f.qf.NumBlocks(); i++ {
+		s += float64(f.qf.BlockLen(i)) * geom.MinDistRectRect(r, f.qf.MBR(i))
+	}
+	return s
+}
+
+// bf traverses internal entries best-first by weighted mindist; leaves are
+// processed wholesale when popped.
+func (f *fmbmRun) bf() error {
+	root := f.t.Root()
+	if root.IsLeaf() {
+		rootRect, _ := f.t.Bounds()
+		return f.processLeaf(root, rootRect)
+	}
+	heap := pq.NewHeap[rtree.Entry](64)
+	for _, e := range root.Entries() {
+		heap.Push(e, f.weightedMindist(e.Rect))
+	}
+	for {
+		item, ok := heap.Pop()
+		if !ok {
+			return nil
+		}
+		if item.Priority >= f.best.bound() {
+			return nil // heuristic 5 ends the search: all keys are larger
+		}
+		nd := f.t.Child(item.Value)
+		if nd.IsLeaf() {
+			if err := f.processLeaf(nd, item.Value.Rect); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, e := range nd.Entries() {
+			heap.Push(e, f.weightedMindist(e.Rect))
+		}
+	}
+}
+
+// df is the depth-first variant of Figure 4.7.
+func (f *fmbmRun) df(nd rtree.Node, ndRect geom.Rect) error {
+	if nd.IsLeaf() {
+		return f.processLeaf(nd, ndRect)
+	}
+	entries := nd.Entries()
+	type cand struct {
+		e rtree.Entry
+		w float64
+	}
+	cands := make([]cand, 0, len(entries))
+	for _, e := range entries {
+		cands = append(cands, cand{e, f.weightedMindist(e.Rect)})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].w < cands[b].w })
+	for _, c := range cands {
+		if c.w >= f.best.bound() {
+			return nil // heuristic 5; list is sorted, so stop
+		}
+		if err := f.df(f.t.Child(c.e), c.e.Rect); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// processLeaf accumulates the global distance of the leaf's points over
+// all query blocks, applying heuristic 6 before each exact pass.
+func (f *fmbmRun) processLeaf(nd rtree.Node, ndRect geom.Rect) error {
+	f.report.Rounds++
+	m := f.qf.NumBlocks()
+
+	// Read groups in descending mindist(N, M_i): far groups first, so
+	// their large exact distances inflate curr_dist early and heuristic 6
+	// kills hopeless points before the near (expensive) groups.
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return geom.MinDistRectRect(ndRect, f.qf.MBR(order[a])) >
+			geom.MinDistRectRect(ndRect, f.qf.MBR(order[b]))
+	})
+
+	type cand struct {
+		e rtree.Entry
+		// lbSuffix[s] = Σ_{l≥s in processing order} n_l·mindist(p, M_l);
+		// lbSuffix[0] is the point's weighted mindist.
+		lbSuffix []float64
+		curr     float64
+	}
+	entries := nd.Entries()
+	cands := make([]*cand, 0, len(entries))
+	for _, e := range entries {
+		c := &cand{e: e, lbSuffix: make([]float64, m+1)}
+		for s := m - 1; s >= 0; s-- {
+			i := order[s]
+			c.lbSuffix[s] = c.lbSuffix[s+1] +
+				float64(f.qf.BlockLen(i))*geom.MinDistPointRect(e.Point, f.qf.MBR(i))
+		}
+		cands = append(cands, c)
+	}
+	// Points sorted by weighted mindist, as in Figure 4.7.
+	sort.Slice(cands, func(a, b int) bool { return cands[a].lbSuffix[0] < cands[b].lbSuffix[0] })
+
+	survivors := cands
+	for s := 0; s < m && len(survivors) > 0; s++ {
+		// Heuristic 6 before paying for the block read.
+		keep := survivors[:0]
+		for _, c := range survivors {
+			if c.curr+c.lbSuffix[s] < f.best.bound() {
+				keep = append(keep, c)
+			}
+		}
+		survivors = keep
+		if len(survivors) == 0 {
+			break
+		}
+		blk, err := f.qf.ReadBlock(order[s])
+		if err != nil {
+			return err
+		}
+		for _, c := range survivors {
+			c.curr += geom.SumDist(c.e.Point, blk)
+		}
+	}
+	for _, c := range survivors {
+		f.best.offer(GroupNeighbor{Point: c.e.Point, ID: c.e.ID, Dist: c.curr})
+	}
+	return nil
+}

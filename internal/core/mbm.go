@@ -1,0 +1,234 @@
+package core
+
+import (
+	"sort"
+
+	"gnn/internal/geom"
+	"gnn/internal/pq"
+	"gnn/internal/rtree"
+)
+
+// MBM answers a GNN query with the minimum bounding method (§3.3): a
+// single traversal pruned by the MBR M of the query group.
+//
+//   - Heuristic 2 (cheap, one distance computation): prune node N when
+//     mindist(N,M) ≥ best_dist / n.
+//   - Heuristic 3 (tight, n computations, applied only to nodes that
+//     survive heuristic 2): prune N when Σ_i mindist(N,q_i) ≥ best_dist.
+//
+// The same bounds generalised to MAX/MIN make MBM work for the extension
+// aggregates. Options.DisableHeuristic3 reproduces the §5.1 footnote-3
+// ablation. The best-first variant is built on the incremental iterator
+// below; the depth-first variant follows Figure 3.7.
+func MBM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
+	opt = opt.withDefaults()
+	if err := validate(t, qs, opt); err != nil {
+		return nil, err
+	}
+	if t.Len() == 0 {
+		return nil, nil
+	}
+	if opt.Traversal == DepthFirst {
+		w, err := newWeightCtx(opt.Weights, len(qs))
+		if err != nil {
+			return nil, err
+		}
+		best := newKBest(opt.K)
+		qmbr := geom.BoundingRect(qs)
+		mbmDF(t, t.Root(), qs, qmbr, w, opt, best)
+		return best.results(), nil
+	}
+	it, err := NewGNNIterator(t, qs, opt)
+	if err != nil {
+		return nil, err
+	}
+	best := newKBest(opt.K)
+	for len(best.items) < opt.K {
+		g, ok := it.Next()
+		if !ok {
+			break
+		}
+		best.offer(g)
+	}
+	return best.results(), nil
+}
+
+// mbmDF is the depth-first MBM of Figure 3.7: entries sorted by mindist to
+// the query MBR; heuristic 2 ends the scan of the sorted list (monotone in
+// the sort key), heuristic 3 skips individual surviving nodes.
+func mbmDF(t *rtree.Tree, nd rtree.Node, qs []geom.Point, qmbr geom.Rect, w *weightCtx, opt Options, best *kbest) {
+	entries := nd.Entries()
+	n := len(qs)
+	type cand struct {
+		e rtree.Entry
+		d float64 // mindist(entry, M) — the sort key
+	}
+	cands := make([]cand, 0, len(entries))
+	for _, e := range entries {
+		if !regionIntersects(opt.Region, e.Rect) {
+			continue // constrained query: subtree holds no qualifying point
+		}
+		var d float64
+		if e.IsLeafEntry() {
+			d = geom.MinDistPointRect(e.Point, qmbr)
+		} else {
+			d = geom.MinDistRectRect(e.Rect, qmbr)
+		}
+		cands = append(cands, cand{e, d})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+	for _, c := range cands {
+		if c.e.IsLeafEntry() {
+			// Heuristic 2 on points: mindist(p,M) ≥ best_dist/n discards
+			// p without computing n exact distances; monotone in the sort
+			// key, so all later entries are discarded too.
+			if quickPointLBW(opt.Aggregate, c.e.Point, qmbr, n, w) >= best.bound() {
+				opt.Trace.add(func(tr *Trace) { tr.PointsPrunedQuick++ })
+				return
+			}
+			if regionAllows(opt.Region, c.e.Point) {
+				opt.Trace.add(func(tr *Trace) { tr.ExactDistances++ })
+				best.offer(GroupNeighbor{
+					Point: c.e.Point, ID: c.e.ID,
+					Dist: aggDistW(opt.Aggregate, c.e.Point, qs, w),
+				})
+			}
+			continue
+		}
+		if quickNodeLBW(opt.Aggregate, c.e.Rect, qmbr, n, w) >= best.bound() {
+			opt.Trace.add(func(tr *Trace) { tr.NodesPrunedH2++ })
+			return // heuristic 2: this and all later nodes pruned
+		}
+		if !opt.DisableHeuristic3 &&
+			nodeLBW(opt.Aggregate, c.e.Rect, qs, w) >= best.bound() {
+			opt.Trace.add(func(tr *Trace) { tr.NodesPrunedH3++ })
+			continue // heuristic 3: skip just this node
+		}
+		opt.Trace.add(func(tr *Trace) { tr.NodesVisited++ })
+		mbmDF(t, t.Child(c.e), qs, qmbr, w, opt, best)
+	}
+}
+
+// GNNIterator reports data points in ascending aggregate distance from the
+// query group, one at a time — incremental MBM. F-MQM consumes it per
+// query block (§4.2); it is also the engine of best-first MBM.
+//
+// The iterator is a lazy best-first search. Heap entries carry
+// progressively tighter keys:
+//
+//	node/cheap  — heuristic-2 bound (one distance computation)
+//	node/tight  — heuristic-3 bound (n computations, only when the node
+//	              reaches the heap top and heuristic 3 is enabled)
+//	point/cheap — heuristic-2 point bound
+//	point/exact — the true dist(p,Q); popping this yields a result
+//
+// Because every key lower-bounds the exact distance of everything beneath
+// it, results emerge in exact ascending order while far nodes and points
+// never pay the n-distance computation.
+type GNNIterator struct {
+	t    *rtree.Tree
+	qs   []geom.Point
+	qmbr geom.Rect
+	opt  Options
+	w    *weightCtx
+	heap *pq.Heap[gnnItem]
+}
+
+type gnnState int8
+
+const (
+	nodeCheap gnnState = iota
+	nodeTight
+	pointCheap
+	pointExact
+)
+
+type gnnItem struct {
+	e     rtree.Entry
+	state gnnState
+}
+
+// NewGNNIterator starts an incremental GNN scan of t around qs.
+func NewGNNIterator(t *rtree.Tree, qs []geom.Point, opt Options) (*GNNIterator, error) {
+	opt = opt.withDefaults()
+	if err := validate(t, qs, opt); err != nil {
+		return nil, err
+	}
+	w, err := newWeightCtx(opt.Weights, len(qs))
+	if err != nil {
+		return nil, err
+	}
+	it := &GNNIterator{
+		t:    t,
+		qs:   qs,
+		qmbr: geom.BoundingRect(qs),
+		opt:  opt,
+		w:    w,
+		heap: pq.NewHeap[gnnItem](64),
+	}
+	if t.Len() > 0 {
+		it.pushNode(t.Root())
+	}
+	return it, nil
+}
+
+func (it *GNNIterator) pushNode(nd rtree.Node) {
+	n := len(it.qs)
+	for _, e := range nd.Entries() {
+		if !regionIntersects(it.opt.Region, e.Rect) {
+			continue
+		}
+		if e.IsLeafEntry() {
+			if !regionAllows(it.opt.Region, e.Point) {
+				continue
+			}
+			it.heap.Push(gnnItem{e, pointCheap},
+				quickPointLBW(it.opt.Aggregate, e.Point, it.qmbr, n, it.w))
+		} else {
+			it.heap.Push(gnnItem{e, nodeCheap},
+				quickNodeLBW(it.opt.Aggregate, e.Rect, it.qmbr, n, it.w))
+		}
+	}
+}
+
+// Next returns the next group nearest neighbor; ok is false when the data
+// set is exhausted.
+func (it *GNNIterator) Next() (GroupNeighbor, bool) {
+	for {
+		item, ok := it.heap.Pop()
+		if !ok {
+			return GroupNeighbor{}, false
+		}
+		switch item.Value.state {
+		case pointExact:
+			return GroupNeighbor{
+				Point: item.Value.e.Point,
+				ID:    item.Value.e.ID,
+				Dist:  item.Priority,
+			}, true
+		case pointCheap:
+			it.opt.Trace.add(func(tr *Trace) { tr.ExactDistances++ })
+			exact := aggDistW(it.opt.Aggregate, item.Value.e.Point, it.qs, it.w)
+			it.heap.Push(gnnItem{item.Value.e, pointExact}, exact)
+		case nodeCheap:
+			if !it.opt.DisableHeuristic3 {
+				tight := nodeLBW(it.opt.Aggregate, item.Value.e.Rect, it.qs, it.w)
+				if tight > item.Priority {
+					it.heap.Push(gnnItem{item.Value.e, nodeTight}, tight)
+					continue
+				}
+			}
+			it.opt.Trace.add(func(tr *Trace) { tr.NodesVisited++ })
+			it.pushNode(it.t.Child(item.Value.e))
+		case nodeTight:
+			it.opt.Trace.add(func(tr *Trace) { tr.NodesVisited++ })
+			it.pushNode(it.t.Child(item.Value.e))
+		}
+	}
+}
+
+// PeekDist returns a lower bound on the distance of the next result; ok is
+// false when exhausted.
+func (it *GNNIterator) PeekDist() (float64, bool) {
+	return it.heap.MinPriority()
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"sort"
+
+	"gnn/internal/centroid"
+	"gnn/internal/geom"
+	"gnn/internal/pq"
+	"gnn/internal/rtree"
+)
+
+// SPM answers a GNN query with the single point method (§3.2): one
+// traversal of the R-tree ordered by distance from the (approximate) group
+// centroid q, pruned with heuristic 1, which follows from Lemma 1:
+//
+//	dist(p,Q) ≥ n·|pq| − dist(q,Q)        for every point p,
+//
+// so a node N (or point p) cannot improve on best_dist when
+//
+//	mindist(N,q) ≥ (best_dist + dist(q,Q)) / n.
+//
+// The lemma is specific to the SUM aggregate; SPM returns
+// ErrUnsupportedAggregate for MAX and MIN.
+func SPM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
+	opt = opt.withDefaults()
+	if err := validate(t, qs, opt); err != nil {
+		return nil, err
+	}
+	if opt.Aggregate != Sum {
+		return nil, ErrUnsupportedAggregate
+	}
+	w, err := newWeightCtx(opt.Weights, len(qs))
+	if err != nil {
+		return nil, err
+	}
+	q, _, err := spmCentroid(qs, opt.Centroid)
+	if err != nil {
+		return nil, err
+	}
+	// Lemma 1 under weights: w_i·|p q_i| ≥ w_i·(|pq| − |q_i q|), so
+	// dist_w(p,Q) ≥ W·|pq| − dist_w(q,Q) with W = Σ w_i. The centroid q
+	// may be any point (the unweighted Fermat point is used even for
+	// weighted queries — the bound stays sound, only slightly looser).
+	dq := aggDistW(Sum, q, qs, w)
+	n := float64(len(qs))
+	if w != nil {
+		n = w.sum
+	}
+	best := newKBest(opt.K)
+	if t.Len() > 0 {
+		run := spmRun{t: t, qs: qs, q: q, dq: dq, n: n, w: w, region: opt.Region, best: best}
+		if opt.Traversal == DepthFirst {
+			run.df(t.Root())
+		} else {
+			run.bf()
+		}
+	}
+	return best.results(), nil
+}
+
+// spmRun carries the per-query state of an SPM traversal.
+type spmRun struct {
+	t      *rtree.Tree
+	qs     []geom.Point
+	q      geom.Point // centroid
+	dq     float64    // dist_w(q, Q)
+	n      float64    // W = Σ w_i (or n when unweighted)
+	w      *weightCtx
+	region *geom.Rect
+	best   *kbest
+}
+
+// spmCentroid computes the approximate centroid and its dist(q,Q).
+func spmCentroid(qs []geom.Point, m CentroidMethod) (geom.Point, float64, error) {
+	switch m {
+	case Weiszfeld:
+		q, d, err := centroid.Weiszfeld(qs, centroid.Options{})
+		return q, d, err
+	case ArithmeticMean:
+		q, err := centroid.Mean(qs)
+		if err != nil {
+			return nil, 0, err
+		}
+		return q, geom.SumDist(q, qs), nil
+	default:
+		q, d, err := centroid.GradientDescent(qs, centroid.Options{})
+		return q, d, err
+	}
+}
+
+// threshold is the heuristic-1 pruning radius (best_dist+dist(q,Q))/W.
+func (r *spmRun) threshold() float64 {
+	return (r.best.bound() + r.dq) / r.n
+}
+
+// offer evaluates a data point against the region constraint and the
+// exact (weighted) group distance.
+func (r *spmRun) offer(e rtree.Entry) {
+	if !regionAllows(r.region, e.Point) {
+		return
+	}
+	r.best.offer(GroupNeighbor{
+		Point: e.Point, ID: e.ID,
+		Dist: aggDistW(Sum, e.Point, r.qs, r.w),
+	})
+}
+
+// df is the depth-first variant of Figure 3.4: entries sorted by mindist
+// to the centroid, recursion pruned by heuristic 1.
+func (r *spmRun) df(nd rtree.Node) {
+	entries := nd.Entries()
+	type cand struct {
+		e rtree.Entry
+		d float64 // mindist(entry, centroid)
+	}
+	cands := make([]cand, 0, len(entries))
+	for _, e := range entries {
+		var d float64
+		if e.IsLeafEntry() {
+			d = geom.Dist(r.q, e.Point)
+		} else {
+			d = geom.MinDistPointRect(r.q, e.Rect)
+		}
+		cands = append(cands, cand{e, d})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+	for _, c := range cands {
+		if c.d >= r.threshold() {
+			return // heuristic 1 prunes this and all later entries
+		}
+		if c.e.IsLeafEntry() {
+			r.offer(c.e)
+		} else if regionIntersects(r.region, c.e.Rect) {
+			r.df(r.t.Child(c.e))
+		}
+	}
+}
+
+// bf is the best-first variant: a single priority queue over entries
+// keyed by mindist to the centroid; the first key that fails heuristic 1
+// ends the search, since all remaining keys are at least as large.
+func (r *spmRun) bf() {
+	heap := pq.NewHeap[rtree.Entry](64)
+	push := func(nd rtree.Node) {
+		for _, e := range nd.Entries() {
+			if e.IsLeafEntry() {
+				heap.Push(e, geom.Dist(r.q, e.Point))
+			} else if regionIntersects(r.region, e.Rect) {
+				heap.Push(e, geom.MinDistPointRect(r.q, e.Rect))
+			}
+		}
+	}
+	push(r.t.Root())
+	for {
+		item, ok := heap.Pop()
+		if !ok {
+			return
+		}
+		if item.Priority >= r.threshold() {
+			return
+		}
+		if item.Value.IsLeafEntry() {
+			r.offer(item.Value)
+		} else {
+			push(r.t.Child(item.Value))
+		}
+	}
+}

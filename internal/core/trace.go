@@ -1,0 +1,47 @@
+package core
+
+import (
+	"gnn/internal/geom"
+	"gnn/internal/rtree"
+)
+
+// Trace collects per-query diagnostics about the work a traversal did and
+// which heuristic saved what. Attach one via Options.Trace; algorithms
+// that support tracing (MBM best-first/iterator, MBM depth-first) populate
+// it in place. Tracing is optional and costs nothing when absent.
+//
+// The counters quantify the paper's qualitative claims: heuristic 2 is
+// "not very tight" but nearly free; heuristic 3 "requires multiple
+// distance computations" but prunes what heuristic 2 misses (§3.3).
+type Trace struct {
+	// NodesVisited counts expanded (read) nodes.
+	NodesVisited int
+	// NodesPrunedH2 counts nodes discarded by the cheap MBR bound
+	// (heuristic 2 / heuristic 5's quick check).
+	NodesPrunedH2 int
+	// NodesPrunedH3 counts nodes that survived heuristic 2 but were
+	// discarded by the tight per-query-point bound (heuristic 3).
+	NodesPrunedH3 int
+	// PointsPrunedQuick counts data points discarded by the cheap point
+	// bound before paying for exact distance computations.
+	PointsPrunedQuick int
+	// ExactDistances counts full dist(p,Q) evaluations (n Euclidean
+	// distances each).
+	ExactDistances int
+}
+
+// add is nil-safe incrementing.
+func (tr *Trace) add(f func(*Trace)) {
+	if tr != nil {
+		f(tr)
+	}
+}
+
+// MBMTraced runs MBM and returns the trace alongside the results. It is a
+// convenience wrapper over Options.Trace.
+func MBMTraced(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, *Trace, error) {
+	trace := &Trace{}
+	opt.Trace = trace
+	res, err := MBM(t, qs, opt)
+	return res, trace, err
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"gnn/internal/geom"
+)
+
+// This file extends the paper's framework along two axes it flags as
+// future work (§6):
+//
+//   - Weighted groups: dist(p,Q) = Σ_i w_i·|p q_i| (or the weighted
+//     max/min). A user who must drive counts more than one who walks; a
+//     pin on a critical net counts more than a relaxed one. Every bound
+//     generalises: the triangle inequality scales by w_i, so Lemma 1
+//     becomes dist_w(p,Q) ≥ W·|pq| − dist_w(q,Q) with W = Σ w_i, and the
+//     heuristics 2/3 bounds pick up the corresponding weight factors.
+//
+//   - Constrained regions: only data points inside a rectangle qualify
+//     (cf. constrained NN search [FSAA01]). MBM prunes non-intersecting
+//     subtrees outright; MQM and SPM filter candidate points, which keeps
+//     their termination arguments intact (thresholds still lower-bound
+//     the distance of every unseen point, qualifying or not).
+
+// weightCtx precomputes the weight reductions the bounds need. A nil
+// *weightCtx means the unweighted query, and every helper accepts it.
+type weightCtx struct {
+	w             []float64
+	sum, max, min float64
+}
+
+// newWeightCtx validates weights against the group size. nil weights
+// yield a nil context (unweighted fast path).
+func newWeightCtx(w []float64, n int) (*weightCtx, error) {
+	if w == nil {
+		return nil, nil
+	}
+	if len(w) != n {
+		return nil, fmt.Errorf("core: %d weights for %d query points", len(w), n)
+	}
+	ctx := &weightCtx{w: w, min: math.Inf(1)}
+	for i, v := range w {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("core: weight %d is %v; weights must be positive and finite", i, v)
+		}
+		ctx.sum += v
+		if v > ctx.max {
+			ctx.max = v
+		}
+		if v < ctx.min {
+			ctx.min = v
+		}
+	}
+	return ctx, nil
+}
+
+// aggDistW returns the (possibly weighted) aggregate distance dist(p,Q).
+func aggDistW(a Aggregate, p geom.Point, qs []geom.Point, w *weightCtx) float64 {
+	if w == nil {
+		return aggDist(a, p, qs)
+	}
+	switch a {
+	case Max:
+		m := 0.0
+		for i, q := range qs {
+			if d := w.w[i] * geom.Dist(p, q); d > m {
+				m = d
+			}
+		}
+		return m
+	case Min:
+		m := math.Inf(1)
+		for i, q := range qs {
+			if d := w.w[i] * geom.Dist(p, q); d < m {
+				m = d
+			}
+		}
+		return m
+	default:
+		s := 0.0
+		for i, q := range qs {
+			s += w.w[i] * geom.Dist(p, q)
+		}
+		return s
+	}
+}
+
+// nodeLBW is the heuristic-3 family bound under weights: since
+// |p q_i| ≥ mindist(N, q_i) for p inside N, each term scales by w_i.
+func nodeLBW(a Aggregate, r geom.Rect, qs []geom.Point, w *weightCtx) float64 {
+	if w == nil {
+		return nodeLB(a, r, qs)
+	}
+	switch a {
+	case Max:
+		m := 0.0
+		for i, q := range qs {
+			if d := w.w[i] * geom.MinDistPointRect(q, r); d > m {
+				m = d
+			}
+		}
+		return m
+	case Min:
+		m := math.Inf(1)
+		for i, q := range qs {
+			if d := w.w[i] * geom.MinDistPointRect(q, r); d < m {
+				m = d
+			}
+		}
+		return m
+	default:
+		s := 0.0
+		for i, q := range qs {
+			s += w.w[i] * geom.MinDistPointRect(q, r)
+		}
+		return s
+	}
+}
+
+// quickNodeLBW is the heuristic-2 family bound under weights: every
+// |p q_i| ≥ mindist(N, M), so the weighted sum is ≥ W·mindist, the
+// weighted max ≥ max(w)·mindist and the weighted min ≥ min(w)·mindist.
+func quickNodeLBW(a Aggregate, r geom.Rect, qmbr geom.Rect, n int, w *weightCtx) float64 {
+	if w == nil {
+		return quickNodeLB(a, r, qmbr, n)
+	}
+	d := geom.MinDistRectRect(r, qmbr)
+	switch a {
+	case Max:
+		return d * w.max
+	case Min:
+		return d * w.min
+	default:
+		return d * w.sum
+	}
+}
+
+// quickPointLBW is quickNodeLBW for a data point.
+func quickPointLBW(a Aggregate, p geom.Point, qmbr geom.Rect, n int, w *weightCtx) float64 {
+	if w == nil {
+		return quickPointLB(a, p, qmbr, n)
+	}
+	d := geom.MinDistPointRect(p, qmbr)
+	switch a {
+	case Max:
+		return d * w.max
+	case Min:
+		return d * w.min
+	default:
+		return d * w.sum
+	}
+}
+
+// combineThresholdsW folds MQM's per-stream thresholds t_i into the
+// global threshold T under weights: every unseen point p has
+// |p q_i| ≥ t_i, hence w_i·|p q_i| ≥ w_i·t_i and T = agg_i(w_i·t_i).
+func combineThresholdsW(a Aggregate, thresholds []float64, w *weightCtx) float64 {
+	if w == nil {
+		return aggCombine(a, thresholds)
+	}
+	switch a {
+	case Max:
+		m := 0.0
+		for i, t := range thresholds {
+			if v := w.w[i] * t; v > m {
+				m = v
+			}
+		}
+		return m
+	case Min:
+		m := math.Inf(1)
+		for i, t := range thresholds {
+			if v := w.w[i] * t; v < m {
+				m = v
+			}
+		}
+		return m
+	default:
+		s := 0.0
+		for i, t := range thresholds {
+			s += w.w[i] * t
+		}
+		return s
+	}
+}
+
+// regionAllows reports whether a data point qualifies under the optional
+// constraint region.
+func regionAllows(region *geom.Rect, p geom.Point) bool {
+	return region == nil || region.ContainsPoint(p)
+}
+
+// regionIntersects reports whether a subtree can contain qualifying
+// points under the optional constraint region.
+func regionIntersects(region *geom.Rect, r geom.Rect) bool {
+	return region == nil || region.Intersects(r)
+}

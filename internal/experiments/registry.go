@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"gnn/internal/stats"
+)
+
+// Runner produces the figures of one experiment ID (most memory figures
+// yield two: one per dataset, matching the paper's four-panel layout).
+type Runner func(*Env) ([]*stats.Figure, error)
+
+// registry maps experiment IDs to their drivers.
+var registry = map[string]Runner{
+	"5.1": func(e *Env) ([]*stats.Figure, error) { return both(e, (*Env).Fig51) },
+	"5.2": func(e *Env) ([]*stats.Figure, error) { return both(e, (*Env).Fig52) },
+	"5.3": func(e *Env) ([]*stats.Figure, error) { return both(e, (*Env).Fig53) },
+	"5.4": single(func(e *Env) (*stats.Figure, error) { return e.Fig54() }),
+	"5.5": single(func(e *Env) (*stats.Figure, error) { return e.Fig55() }),
+	"5.6": single(func(e *Env) (*stats.Figure, error) { return e.Fig56() }),
+	"5.7": single(func(e *Env) (*stats.Figure, error) { return e.Fig57() }),
+	"A1":  single(func(e *Env) (*stats.Figure, error) { return e.AblationH2Only("PP") }),
+	"A2":  single(func(e *Env) (*stats.Figure, error) { return e.AblationCentroid("PP") }),
+	"A3":  single(func(e *Env) (*stats.Figure, error) { return e.AblationBuffer("PP") }),
+}
+
+func both(e *Env, f func(*Env, string) (*stats.Figure, error)) ([]*stats.Figure, error) {
+	pp, err := f(e, "PP")
+	if err != nil {
+		return nil, err
+	}
+	ts, err := f(e, "TS")
+	if err != nil {
+		return nil, err
+	}
+	return []*stats.Figure{pp, ts}, nil
+}
+
+func single(f func(*Env) (*stats.Figure, error)) Runner {
+	return func(e *Env) ([]*stats.Figure, error) {
+		fig, err := f(e)
+		if err != nil {
+			return nil, err
+		}
+		return []*stats.Figure{fig}, nil
+	}
+}
+
+// IDs lists the registered experiment IDs in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by ID and writes its figures to w.
+func Run(e *Env, id string, w io.Writer) error {
+	r, ok := registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	figs, err := r(e)
+	if err != nil {
+		return err
+	}
+	for _, f := range figs {
+		if err := f.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunAll executes every registered experiment in ID order.
+func RunAll(e *Env, w io.Writer) error {
+	for _, id := range IDs() {
+		if err := Run(e, id, w); err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,370 @@
+// Package geom provides the d-dimensional geometric primitives used by the
+// GNN library: points, axis-aligned rectangles (MBRs) and the family of
+// distance metrics (dist, mindist, maxdist) that drive every pruning
+// heuristic in the paper.
+//
+// All distance functions are allocation-free so they can sit on the hot path
+// of R-tree traversals. Distances are Euclidean (L2), matching the paper;
+// squared variants are provided where only comparisons are needed.
+package geom
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is a point in d-dimensional space. The paper evaluates d=2 but all
+// algorithms are dimension-agnostic, so Point is a slice.
+type Point []float64
+
+// Dim returns the dimensionality of p.
+func (p Point) Dim() int { return len(p) }
+
+// Clone returns a deep copy of p.
+func (p Point) Clone() Point {
+	q := make(Point, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports whether p and q have identical coordinates.
+func (p Point) Equal(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the point as "(x, y, ...)".
+func (p Point) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range p {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%g", v)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Dist returns the Euclidean distance |pq|.
+func Dist(p, q Point) float64 {
+	return math.Sqrt(DistSq(p, q))
+}
+
+// DistSq returns the squared Euclidean distance between p and q. It is
+// cheaper than Dist and sufficient when only comparisons are needed.
+func DistSq(p, q Point) float64 {
+	var s float64
+	for i := range p {
+		d := p[i] - q[i]
+		s += d * d
+	}
+	return s
+}
+
+// SumDist returns Σ_i |p qi|, the aggregate (SUM) distance between p and the
+// query group qs. This is the dist(p,Q) of the paper.
+func SumDist(p Point, qs []Point) float64 {
+	var s float64
+	for _, q := range qs {
+		s += Dist(p, q)
+	}
+	return s
+}
+
+// MaxDistToGroup returns max_i |p qi| (used by the MAX-aggregate extension).
+func MaxDistToGroup(p Point, qs []Point) float64 {
+	var m float64
+	for _, q := range qs {
+		if d := Dist(p, q); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// MinDistToGroup returns min_i |p qi| (used by the MIN-aggregate extension).
+func MinDistToGroup(p Point, qs []Point) float64 {
+	m := math.Inf(1)
+	for _, q := range qs {
+		if d := Dist(p, q); d < m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Rect is an axis-aligned rectangle (minimum bounding rectangle). Lo holds
+// the minimum coordinate on every axis, Hi the maximum. A Rect with
+// Lo[i] == Hi[i] on every axis degenerates to a point and remains valid.
+type Rect struct {
+	Lo, Hi Point
+}
+
+// NewRect builds a rectangle from two corner points, normalising the
+// coordinate order so that Lo ≤ Hi holds on every axis.
+func NewRect(a, b Point) Rect {
+	lo := make(Point, len(a))
+	hi := make(Point, len(a))
+	for i := range a {
+		lo[i] = math.Min(a[i], b[i])
+		hi[i] = math.Max(a[i], b[i])
+	}
+	return Rect{Lo: lo, Hi: hi}
+}
+
+// RectFromPoint returns the degenerate rectangle containing exactly p.
+func RectFromPoint(p Point) Rect {
+	return Rect{Lo: p.Clone(), Hi: p.Clone()}
+}
+
+// BoundingRect returns the MBR of a non-empty point set.
+// It panics when pts is empty: an MBR of nothing is undefined.
+func BoundingRect(pts []Point) Rect {
+	if len(pts) == 0 {
+		panic("geom: BoundingRect of empty point set")
+	}
+	r := RectFromPoint(pts[0])
+	for _, p := range pts[1:] {
+		r = r.ExpandPoint(p)
+	}
+	return r
+}
+
+// Dim returns the dimensionality of r.
+func (r Rect) Dim() int { return len(r.Lo) }
+
+// Clone returns a deep copy of r.
+func (r Rect) Clone() Rect {
+	return Rect{Lo: r.Lo.Clone(), Hi: r.Hi.Clone()}
+}
+
+// Equal reports whether the two rectangles have identical corners.
+func (r Rect) Equal(s Rect) bool {
+	return r.Lo.Equal(s.Lo) && r.Hi.Equal(s.Hi)
+}
+
+// String renders the rectangle as "[lo - hi]".
+func (r Rect) String() string {
+	return fmt.Sprintf("[%v - %v]", r.Lo, r.Hi)
+}
+
+// Valid reports whether Lo ≤ Hi holds on every axis and both corners share
+// the rectangle's dimensionality.
+func (r Rect) Valid() bool {
+	if len(r.Lo) != len(r.Hi) || len(r.Lo) == 0 {
+		return false
+	}
+	for i := range r.Lo {
+		if r.Lo[i] > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Center returns the rectangle's geometric centre.
+func (r Rect) Center() Point {
+	c := make(Point, len(r.Lo))
+	for i := range r.Lo {
+		c[i] = (r.Lo[i] + r.Hi[i]) / 2
+	}
+	return c
+}
+
+// Area returns the d-dimensional volume of r (area in 2D).
+func (r Rect) Area() float64 {
+	a := 1.0
+	for i := range r.Lo {
+		a *= r.Hi[i] - r.Lo[i]
+	}
+	return a
+}
+
+// Margin returns the sum of the edge lengths of r (the R*-tree split
+// goodness metric; perimeter/2 in 2D).
+func (r Rect) Margin() float64 {
+	var m float64
+	for i := range r.Lo {
+		m += r.Hi[i] - r.Lo[i]
+	}
+	return m
+}
+
+// ContainsPoint reports whether p lies inside r (boundaries inclusive).
+func (r Rect) ContainsPoint(p Point) bool {
+	for i := range p {
+		if p[i] < r.Lo[i] || p[i] > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsRect reports whether s lies entirely inside r.
+func (r Rect) ContainsRect(s Rect) bool {
+	for i := range r.Lo {
+		if s.Lo[i] < r.Lo[i] || s.Hi[i] > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether r and s share at least one point.
+func (r Rect) Intersects(s Rect) bool {
+	for i := range r.Lo {
+		if r.Hi[i] < s.Lo[i] || s.Hi[i] < r.Lo[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersection returns the common region of r and s and whether it exists.
+func (r Rect) Intersection(s Rect) (Rect, bool) {
+	if !r.Intersects(s) {
+		return Rect{}, false
+	}
+	lo := make(Point, len(r.Lo))
+	hi := make(Point, len(r.Lo))
+	for i := range r.Lo {
+		lo[i] = math.Max(r.Lo[i], s.Lo[i])
+		hi[i] = math.Min(r.Hi[i], s.Hi[i])
+	}
+	return Rect{Lo: lo, Hi: hi}, true
+}
+
+// OverlapArea returns the volume of the intersection of r and s, or 0.
+func (r Rect) OverlapArea(s Rect) float64 {
+	a := 1.0
+	for i := range r.Lo {
+		lo := math.Max(r.Lo[i], s.Lo[i])
+		hi := math.Min(r.Hi[i], s.Hi[i])
+		if hi <= lo {
+			return 0
+		}
+		a *= hi - lo
+	}
+	return a
+}
+
+// Union returns the MBR of r and s.
+func (r Rect) Union(s Rect) Rect {
+	lo := make(Point, len(r.Lo))
+	hi := make(Point, len(r.Lo))
+	for i := range r.Lo {
+		lo[i] = math.Min(r.Lo[i], s.Lo[i])
+		hi[i] = math.Max(r.Hi[i], s.Hi[i])
+	}
+	return Rect{Lo: lo, Hi: hi}
+}
+
+// ExpandPoint returns the MBR of r and p.
+func (r Rect) ExpandPoint(p Point) Rect {
+	lo := r.Lo.Clone()
+	hi := r.Hi.Clone()
+	for i := range p {
+		if p[i] < lo[i] {
+			lo[i] = p[i]
+		}
+		if p[i] > hi[i] {
+			hi[i] = p[i]
+		}
+	}
+	return Rect{Lo: lo, Hi: hi}
+}
+
+// Enlargement returns the increase in area needed for r to absorb s.
+func (r Rect) Enlargement(s Rect) float64 {
+	return r.Union(s).Area() - r.Area()
+}
+
+// MinDistPointRect returns mindist(p, r): the smallest possible distance
+// between p and any point inside r. Zero when p lies in r. This is the
+// classic R-tree pruning bound of [RKV95] and the mindist(p, M) of
+// heuristic 2 applied to leaf entries.
+func MinDistPointRect(p Point, r Rect) float64 {
+	return math.Sqrt(MinDistSqPointRect(p, r))
+}
+
+// MinDistSqPointRect is the squared version of MinDistPointRect.
+func MinDistSqPointRect(p Point, r Rect) float64 {
+	var s float64
+	for i := range p {
+		var d float64
+		switch {
+		case p[i] < r.Lo[i]:
+			d = r.Lo[i] - p[i]
+		case p[i] > r.Hi[i]:
+			d = p[i] - r.Hi[i]
+		}
+		s += d * d
+	}
+	return s
+}
+
+// MaxDistPointRect returns the largest distance between p and any point of
+// r, i.e. the distance from p to the farthest corner.
+func MaxDistPointRect(p Point, r Rect) float64 {
+	var s float64
+	for i := range p {
+		d := math.Max(math.Abs(p[i]-r.Lo[i]), math.Abs(p[i]-r.Hi[i]))
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// MinDistRectRect returns mindist(r, s): the smallest possible distance
+// between any point of r and any point of s; zero when they intersect.
+// Used by heuristics 2 and 5 (node MBR vs query-group MBR) and by the
+// closest-pair algorithm of [HS98].
+func MinDistRectRect(r, s Rect) float64 {
+	return math.Sqrt(MinDistSqRectRect(r, s))
+}
+
+// MinDistSqRectRect is the squared version of MinDistRectRect.
+func MinDistSqRectRect(r, s Rect) float64 {
+	var sum float64
+	for i := range r.Lo {
+		var d float64
+		switch {
+		case s.Hi[i] < r.Lo[i]:
+			d = r.Lo[i] - s.Hi[i]
+		case r.Hi[i] < s.Lo[i]:
+			d = s.Lo[i] - r.Hi[i]
+		}
+		sum += d * d
+	}
+	return sum
+}
+
+// MaxDistRectRect returns an upper bound on the distance between any point
+// of r and any point of s (distance between the farthest corner pair).
+func MaxDistRectRect(r, s Rect) float64 {
+	var sum float64
+	for i := range r.Lo {
+		d := math.Max(s.Hi[i]-r.Lo[i], r.Hi[i]-s.Lo[i])
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// SumMinDistRectToGroup returns Σ_i mindist(r, qi), the heuristic-3 lower
+// bound on dist(p,Q) for any point p inside r.
+func SumMinDistRectToGroup(r Rect, qs []Point) float64 {
+	var s float64
+	for _, q := range qs {
+		s += MinDistPointRect(q, r)
+	}
+	return s
+}

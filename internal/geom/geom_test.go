@@ -1,0 +1,382 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func pt(xs ...float64) Point { return Point(xs) }
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestDist(t *testing.T) {
+	tests := []struct {
+		p, q Point
+		want float64
+	}{
+		{pt(0, 0), pt(3, 4), 5},
+		{pt(1, 1), pt(1, 1), 0},
+		{pt(-1, -1), pt(2, 3), 5},
+		{pt(0, 0, 0), pt(1, 2, 2), 3},
+		{pt(7), pt(4), 3},
+	}
+	for _, tc := range tests {
+		if got := Dist(tc.p, tc.q); !almostEqual(got, tc.want) {
+			t.Errorf("Dist(%v,%v) = %v, want %v", tc.p, tc.q, got, tc.want)
+		}
+		if got := DistSq(tc.p, tc.q); !almostEqual(got, tc.want*tc.want) {
+			t.Errorf("DistSq(%v,%v) = %v, want %v", tc.p, tc.q, got, tc.want*tc.want)
+		}
+	}
+}
+
+func TestSumDist(t *testing.T) {
+	qs := []Point{pt(0, 0), pt(6, 0)}
+	if got := SumDist(pt(3, 4), qs); !almostEqual(got, 10) {
+		t.Errorf("SumDist = %v, want 10", got)
+	}
+	if got := SumDist(pt(3, 0), qs); !almostEqual(got, 6) {
+		t.Errorf("SumDist on segment = %v, want 6", got)
+	}
+	if got := SumDist(pt(1, 1), nil); got != 0 {
+		t.Errorf("SumDist with empty group = %v, want 0", got)
+	}
+}
+
+func TestGroupAggregates(t *testing.T) {
+	qs := []Point{pt(0, 0), pt(10, 0), pt(0, 10)}
+	p := pt(0, 0)
+	if got := MinDistToGroup(p, qs); got != 0 {
+		t.Errorf("MinDistToGroup = %v, want 0", got)
+	}
+	if got := MaxDistToGroup(p, qs); !almostEqual(got, 10) {
+		t.Errorf("MaxDistToGroup = %v, want 10", got)
+	}
+	if got := MinDistToGroup(p, nil); !math.IsInf(got, 1) {
+		t.Errorf("MinDistToGroup(empty) = %v, want +Inf", got)
+	}
+	if got := MaxDistToGroup(p, nil); got != 0 {
+		t.Errorf("MaxDistToGroup(empty) = %v, want 0", got)
+	}
+}
+
+func TestPointEqualClone(t *testing.T) {
+	p := pt(1, 2)
+	q := p.Clone()
+	if !p.Equal(q) {
+		t.Fatal("clone not equal")
+	}
+	q[0] = 9
+	if p.Equal(q) {
+		t.Fatal("clone aliases original")
+	}
+	if p.Equal(pt(1, 2, 3)) {
+		t.Fatal("points of different dim reported equal")
+	}
+	if p.String() != "(1, 2)" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestNewRectNormalises(t *testing.T) {
+	r := NewRect(pt(5, 1), pt(2, 7))
+	want := Rect{Lo: pt(2, 1), Hi: pt(5, 7)}
+	if !r.Equal(want) {
+		t.Fatalf("NewRect = %v, want %v", r, want)
+	}
+	if !r.Valid() {
+		t.Fatal("normalised rect invalid")
+	}
+}
+
+func TestRectValid(t *testing.T) {
+	if (Rect{Lo: pt(0, 0), Hi: pt(-1, 1)}).Valid() {
+		t.Error("inverted rect reported valid")
+	}
+	if (Rect{Lo: pt(0), Hi: pt(1, 2)}).Valid() {
+		t.Error("mixed-dim rect reported valid")
+	}
+	if (Rect{}).Valid() {
+		t.Error("zero rect reported valid")
+	}
+	if !RectFromPoint(pt(3, 3)).Valid() {
+		t.Error("degenerate point rect reported invalid")
+	}
+}
+
+func TestBoundingRect(t *testing.T) {
+	pts := []Point{pt(1, 5), pt(-2, 3), pt(4, 0)}
+	r := BoundingRect(pts)
+	want := Rect{Lo: pt(-2, 0), Hi: pt(4, 5)}
+	if !r.Equal(want) {
+		t.Fatalf("BoundingRect = %v, want %v", r, want)
+	}
+	for _, p := range pts {
+		if !r.ContainsPoint(p) {
+			t.Errorf("BoundingRect does not contain %v", p)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("BoundingRect(empty) did not panic")
+		}
+	}()
+	BoundingRect(nil)
+}
+
+func TestAreaMarginCenter(t *testing.T) {
+	r := NewRect(pt(0, 0), pt(4, 2))
+	if got := r.Area(); got != 8 {
+		t.Errorf("Area = %v, want 8", got)
+	}
+	if got := r.Margin(); got != 6 {
+		t.Errorf("Margin = %v, want 6", got)
+	}
+	if c := r.Center(); !c.Equal(pt(2, 1)) {
+		t.Errorf("Center = %v, want (2,1)", c)
+	}
+}
+
+func TestContainsIntersects(t *testing.T) {
+	r := NewRect(pt(0, 0), pt(10, 10))
+	s := NewRect(pt(2, 2), pt(5, 5))
+	disjoint := NewRect(pt(11, 11), pt(12, 12))
+	touching := NewRect(pt(10, 0), pt(12, 2))
+
+	if !r.ContainsRect(s) || r.ContainsRect(disjoint) {
+		t.Error("ContainsRect wrong")
+	}
+	if !r.Intersects(s) || !s.Intersects(r) {
+		t.Error("contained rects must intersect")
+	}
+	if r.Intersects(disjoint) {
+		t.Error("disjoint rects intersect")
+	}
+	if !r.Intersects(touching) {
+		t.Error("edge-touching rects must intersect (closed rects)")
+	}
+	if !r.ContainsPoint(pt(10, 10)) {
+		t.Error("boundary point not contained")
+	}
+	if r.ContainsPoint(pt(10.001, 10)) {
+		t.Error("outside point contained")
+	}
+}
+
+func TestIntersectionUnion(t *testing.T) {
+	r := NewRect(pt(0, 0), pt(4, 4))
+	s := NewRect(pt(2, 2), pt(6, 6))
+	got, ok := r.Intersection(s)
+	if !ok || !got.Equal(NewRect(pt(2, 2), pt(4, 4))) {
+		t.Errorf("Intersection = %v ok=%v", got, ok)
+	}
+	if _, ok := r.Intersection(NewRect(pt(5, 5), pt(6, 6))); ok {
+		t.Error("disjoint intersection reported ok")
+	}
+	if got := r.OverlapArea(s); got != 4 {
+		t.Errorf("OverlapArea = %v, want 4", got)
+	}
+	if got := r.OverlapArea(NewRect(pt(4, 4), pt(5, 5))); got != 0 {
+		t.Errorf("touching OverlapArea = %v, want 0", got)
+	}
+	u := r.Union(s)
+	if !u.Equal(NewRect(pt(0, 0), pt(6, 6))) {
+		t.Errorf("Union = %v", u)
+	}
+	if e := r.Enlargement(s); e != 36-16 {
+		t.Errorf("Enlargement = %v, want 20", e)
+	}
+}
+
+func TestExpandPoint(t *testing.T) {
+	r := RectFromPoint(pt(1, 1))
+	r = r.ExpandPoint(pt(3, 0))
+	if !r.Equal(NewRect(pt(1, 0), pt(3, 1))) {
+		t.Errorf("ExpandPoint = %v", r)
+	}
+	// Expanding with an interior point must not change the rect.
+	r2 := r.ExpandPoint(pt(2, 0.5))
+	if !r2.Equal(r) {
+		t.Errorf("interior ExpandPoint changed rect: %v", r2)
+	}
+}
+
+func TestMinDistPointRect(t *testing.T) {
+	r := NewRect(pt(0, 0), pt(10, 10))
+	tests := []struct {
+		p    Point
+		want float64
+	}{
+		{pt(5, 5), 0},      // inside
+		{pt(0, 0), 0},      // corner
+		{pt(-3, 5), 3},     // left face
+		{pt(5, 14), 4},     // top face
+		{pt(13, 14), 5},    // corner 3-4-5
+		{pt(-3, -4), 5},    // opposite corner
+		{pt(10, 10.5), .5}, // just above top-right
+	}
+	for _, tc := range tests {
+		if got := MinDistPointRect(tc.p, r); !almostEqual(got, tc.want) {
+			t.Errorf("MinDistPointRect(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestMaxDistPointRect(t *testing.T) {
+	r := NewRect(pt(0, 0), pt(10, 10))
+	if got := MaxDistPointRect(pt(0, 0), r); !almostEqual(got, math.Sqrt(200)) {
+		t.Errorf("MaxDistPointRect corner = %v", got)
+	}
+	if got := MaxDistPointRect(pt(5, 5), r); !almostEqual(got, math.Sqrt(50)) {
+		t.Errorf("MaxDistPointRect centre = %v", got)
+	}
+}
+
+func TestMinDistRectRect(t *testing.T) {
+	r := NewRect(pt(0, 0), pt(2, 2))
+	tests := []struct {
+		s    Rect
+		want float64
+	}{
+		{NewRect(pt(1, 1), pt(3, 3)), 0}, // overlap
+		{NewRect(pt(2, 2), pt(3, 3)), 0}, // touch at corner
+		{NewRect(pt(5, 0), pt(6, 2)), 3}, // right gap
+		{NewRect(pt(5, 6), pt(7, 8)), 5}, // diagonal 3-4-5
+		{NewRect(pt(-4, -3), pt(-3, -2)), math.Sqrt(13)},
+	}
+	for _, tc := range tests {
+		if got := MinDistRectRect(r, tc.s); !almostEqual(got, tc.want) {
+			t.Errorf("MinDistRectRect(%v) = %v, want %v", tc.s, got, tc.want)
+		}
+		if got := MinDistRectRect(tc.s, r); !almostEqual(got, tc.want) {
+			t.Errorf("MinDistRectRect not symmetric for %v", tc.s)
+		}
+	}
+}
+
+func TestSumMinDistRectToGroup(t *testing.T) {
+	r := NewRect(pt(0, 0), pt(2, 2))
+	qs := []Point{pt(5, 0), pt(-3, 0), pt(1, 1)}
+	// 3 + 3 + 0
+	if got := SumMinDistRectToGroup(r, qs); !almostEqual(got, 6) {
+		t.Errorf("SumMinDistRectToGroup = %v, want 6", got)
+	}
+}
+
+// --- property-based tests ---
+
+type quickPoint struct{ X, Y float64 }
+
+func (q quickPoint) point() Point { return pt(clamp(q.X), clamp(q.Y)) }
+
+// clamp keeps quick-generated coordinates in a sane range so squares do not
+// overflow to +Inf.
+func clamp(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 1e6)
+}
+
+func TestQuickTriangleInequality(t *testing.T) {
+	f := func(a, b, c quickPoint) bool {
+		p, q, r := a.point(), b.point(), c.point()
+		return Dist(p, r) <= Dist(p, q)+Dist(q, r)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDistSymmetryAndIdentity(t *testing.T) {
+	f := func(a, b quickPoint) bool {
+		p, q := a.point(), b.point()
+		return almostEqual(Dist(p, q), Dist(q, p)) && Dist(p, p) == 0 && Dist(p, q) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMinDistLowerBound(t *testing.T) {
+	// mindist(q, r) must lower-bound the distance from q to every point
+	// inside r — the soundness requirement behind every pruning heuristic.
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		r := NewRect(randPoint(rng), randPoint(rng))
+		q := randPoint(rng)
+		in := pointInside(rng, r)
+		if MinDistPointRect(q, r) > Dist(q, in)+1e-9 {
+			t.Fatalf("mindist %v > dist %v for q=%v r=%v in=%v",
+				MinDistPointRect(q, r), Dist(q, in), q, r, in)
+		}
+		if MaxDistPointRect(q, r) < Dist(q, in)-1e-9 {
+			t.Fatalf("maxdist below actual distance")
+		}
+	}
+}
+
+func TestQuickMinDistRectRectLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		r := NewRect(randPoint(rng), randPoint(rng))
+		s := NewRect(randPoint(rng), randPoint(rng))
+		pr := pointInside(rng, r)
+		ps := pointInside(rng, s)
+		if MinDistRectRect(r, s) > Dist(pr, ps)+1e-9 {
+			t.Fatalf("rect-rect mindist exceeds a realisable distance")
+		}
+		if MaxDistRectRect(r, s) < Dist(pr, ps)-1e-9 {
+			t.Fatalf("rect-rect maxdist below a realisable distance")
+		}
+	}
+}
+
+func TestQuickUnionContains(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		r := NewRect(randPoint(rng), randPoint(rng))
+		s := NewRect(randPoint(rng), randPoint(rng))
+		u := r.Union(s)
+		if !u.ContainsRect(r) || !u.ContainsRect(s) {
+			t.Fatalf("union %v does not contain operands %v %v", u, r, s)
+		}
+		if u.Area() < r.Area()-1e-9 || u.Area() < s.Area()-1e-9 {
+			t.Fatalf("union smaller than operand")
+		}
+		if r.Enlargement(s) < -1e-9 {
+			t.Fatalf("negative enlargement")
+		}
+	}
+}
+
+func randPoint(rng *rand.Rand) Point {
+	return pt(rng.Float64()*200-100, rng.Float64()*200-100)
+}
+
+func pointInside(rng *rand.Rand, r Rect) Point {
+	p := make(Point, len(r.Lo))
+	for i := range p {
+		p[i] = r.Lo[i] + rng.Float64()*(r.Hi[i]-r.Lo[i])
+	}
+	return p
+}
+
+func BenchmarkDist(b *testing.B) {
+	p, q := pt(1, 2), pt(3, 4)
+	for i := 0; i < b.N; i++ {
+		_ = Dist(p, q)
+	}
+}
+
+func BenchmarkMinDistPointRect(b *testing.B) {
+	p := pt(-3, 5)
+	r := NewRect(pt(0, 0), pt(10, 10))
+	for i := 0; i < b.N; i++ {
+		_ = MinDistPointRect(p, r)
+	}
+}

@@ -1,0 +1,182 @@
+package hilbert
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeOrder1(t *testing.T) {
+	// The order-1 curve visits (0,0) (0,1) (1,1) (1,0).
+	want := map[[2]uint32]uint64{
+		{0, 0}: 0, {0, 1}: 1, {1, 1}: 2, {1, 0}: 3,
+	}
+	for cell, d := range want {
+		if got := Encode(1, cell[0], cell[1]); got != d {
+			t.Errorf("Encode(1,%d,%d) = %d, want %d", cell[0], cell[1], got, d)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, order := range []uint{1, 2, 3, 5, 8} {
+		n := uint32(1) << order
+		seen := make(map[uint64]bool, n*n)
+		for x := uint32(0); x < n; x++ {
+			for y := uint32(0); y < n; y++ {
+				d := Encode(order, x, y)
+				if d >= uint64(n)*uint64(n) {
+					t.Fatalf("order %d: value %d out of range", order, d)
+				}
+				if seen[d] {
+					t.Fatalf("order %d: duplicate value %d", order, d)
+				}
+				seen[d] = true
+				gx, gy := Decode(order, d)
+				if gx != x || gy != y {
+					t.Fatalf("order %d: Decode(Encode(%d,%d)) = (%d,%d)", order, x, y, gx, gy)
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeClampsOutOfRange(t *testing.T) {
+	if got, want := Encode(2, 100, 100), Encode(2, 3, 3); got != want {
+		t.Errorf("clamped Encode = %d, want %d", got, want)
+	}
+}
+
+func TestCurveContinuity(t *testing.T) {
+	// Consecutive curve positions must map to adjacent grid cells
+	// (Manhattan distance exactly 1) — the locality property MQM relies on.
+	const order = 6
+	n := uint64(1) << order
+	px, py := Decode(order, 0)
+	for d := uint64(1); d < n*n; d++ {
+		x, y := Decode(order, d)
+		dx := math.Abs(float64(x) - float64(px))
+		dy := math.Abs(float64(y) - float64(py))
+		if dx+dy != 1 {
+			t.Fatalf("discontinuity at d=%d: (%d,%d) -> (%d,%d)", d, px, py, x, y)
+		}
+		px, py = x, y
+	}
+}
+
+func TestQuickRoundTripLargeOrder(t *testing.T) {
+	f := func(x, y uint32) bool {
+		const order = 16
+		x %= 1 << order
+		y %= 1 << order
+		gx, gy := Decode(order, Encode(order, x, y))
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapperValue(t *testing.T) {
+	m := NewMapper(8, 0, 0, 100, 100)
+	// Corners of the box map to distinct grid corners.
+	vals := map[uint64]bool{}
+	for _, c := range [][2]float64{{0, 0}, {0, 100}, {100, 0}, {100, 100}} {
+		vals[m.Value(c[0], c[1])] = true
+	}
+	if len(vals) != 4 {
+		t.Errorf("corner collisions: %v", vals)
+	}
+	// Below-range coordinates clamp to cell 0 rather than wrapping.
+	if got, want := m.Value(-50, -50), m.Value(0, 0); got != want {
+		t.Errorf("negative clamp = %d, want %d", got, want)
+	}
+}
+
+func TestMapperDegenerateExtent(t *testing.T) {
+	m := NewMapper(8, 5, 5, 5, 5) // all data at one point
+	if got := m.Value(5, 5); got != Encode(8, 0, 0) {
+		t.Errorf("degenerate mapper Value = %d", got)
+	}
+}
+
+func TestSortByValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	type p struct{ x, y float64 }
+	pts := make([]p, 500)
+	for i := range pts {
+		pts[i] = p{rng.Float64() * 1000, rng.Float64() * 1000}
+	}
+	m := NewMapper(DefaultOrder, 0, 0, 1000, 1000)
+	SortByValue(len(pts), m,
+		func(i int) (float64, float64) { return pts[i].x, pts[i].y },
+		func(i, j int) { pts[i], pts[j] = pts[j], pts[i] })
+
+	keys := make([]uint64, len(pts))
+	for i, q := range pts {
+		keys[i] = m.Value(q.x, q.y)
+	}
+	if !sort.SliceIsSorted(keys, func(a, b int) bool { return keys[a] < keys[b] }) {
+		t.Fatal("SortByValue did not order by Hilbert value")
+	}
+}
+
+func TestSortByValuePreservesMultiset(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 200)
+	sum := 0.0
+	for i := range xs {
+		xs[i] = math.Trunc(rng.Float64() * 100)
+		sum += xs[i]
+	}
+	m := NewMapper(DefaultOrder, 0, 0, 100, 100)
+	SortByValue(len(xs), m,
+		func(i int) (float64, float64) { return xs[i], xs[i] },
+		func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum2 := 0.0
+	for _, v := range xs {
+		sum2 += v
+	}
+	if sum != sum2 {
+		t.Fatalf("elements lost during sort: %v vs %v", sum, sum2)
+	}
+}
+
+func TestHilbertLocalityBeatsRandom(t *testing.T) {
+	// Average distance between consecutive Hilbert-sorted points must be far
+	// below that of a random order — the reason MQM sorts Q (§3.1).
+	rng := rand.New(rand.NewSource(11))
+	n := 2000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i], ys[i] = rng.Float64()*1000, rng.Float64()*1000
+	}
+	hop := func() float64 {
+		var s float64
+		for i := 1; i < n; i++ {
+			s += math.Hypot(xs[i]-xs[i-1], ys[i]-ys[i-1])
+		}
+		return s / float64(n-1)
+	}
+	randomHop := hop()
+	m := NewMapper(DefaultOrder, 0, 0, 1000, 1000)
+	SortByValue(n, m,
+		func(i int) (float64, float64) { return xs[i], ys[i] },
+		func(i, j int) {
+			xs[i], xs[j] = xs[j], xs[i]
+			ys[i], ys[j] = ys[j], ys[i]
+		})
+	sortedHop := hop()
+	if sortedHop > randomHop/3 {
+		t.Fatalf("Hilbert sort hop %.1f not ≪ random hop %.1f", sortedHop, randomHop)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Encode(16, uint32(i)&0xffff, uint32(i>>8)&0xffff)
+	}
+}

@@ -1,0 +1,267 @@
+// Package pagestore simulates the disk subsystem of the paper's testbed.
+//
+// The paper measures algorithms in node accesses (NA) on R*-trees with
+// 1 KB pages (50 entries per node) and notes that MQM "benefits from the
+// existence of an LRU buffer". This package provides exactly those two
+// mechanisms, decoupled from the tree itself:
+//
+//   - AccessCounter tallies logical accesses and, when an LRU buffer is
+//     attached, splits them into buffer hits and physical reads (the NA a
+//     disk system would actually pay).
+//   - LRU is a classic least-recently-used page buffer over abstract page
+//     identifiers.
+//   - PointFile models a flat disk file of points (the non-indexed,
+//     disk-resident query set Q of §4), read block-by-block with page-read
+//     accounting, as consumed by F-MQM and F-MBM.
+package pagestore
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageID identifies a page (an R-tree node or a slot of a flat file).
+type PageID int64
+
+// DefaultPageCapacity is the paper's 50 entries per 1 KB page.
+const DefaultPageCapacity = 50
+
+// AccessCounter tracks the I/O cost of a traversal. The zero value counts
+// logical accesses only; attach a buffer with SetBuffer to model caching.
+// Not safe for concurrent use — each query runs single-threaded, as in the
+// paper.
+type AccessCounter struct {
+	logical  int64
+	physical int64
+	hits     int64
+	buffer   *LRU
+}
+
+// SetBuffer attaches (or detaches, with nil) an LRU buffer. Counts are not
+// reset; call Reset for a fresh measurement.
+func (c *AccessCounter) SetBuffer(b *LRU) { c.buffer = b }
+
+// Access records one access to the page. It returns true when the access
+// was served by the buffer (a hit), false when it cost a physical read.
+// Without a buffer every access is physical.
+func (c *AccessCounter) Access(id PageID) bool {
+	c.logical++
+	if c.buffer != nil && c.buffer.Access(id) {
+		c.hits++
+		return true
+	}
+	c.physical++
+	return false
+}
+
+// Logical returns the number of logical page accesses.
+func (c *AccessCounter) Logical() int64 { return c.logical }
+
+// Physical returns the number of physical reads (buffer misses). This is
+// the paper's NA metric when a buffer is attached.
+func (c *AccessCounter) Physical() int64 { return c.physical }
+
+// Hits returns the number of buffer hits.
+func (c *AccessCounter) Hits() int64 { return c.hits }
+
+// Reset zeroes all counters, leaving any attached buffer's contents intact.
+func (c *AccessCounter) Reset() { c.logical, c.physical, c.hits = 0, 0, 0 }
+
+// ResetAll zeroes the counters and drops the buffer contents, modelling a
+// cold cache.
+func (c *AccessCounter) ResetAll() {
+	c.Reset()
+	if c.buffer != nil {
+		c.buffer.Clear()
+	}
+}
+
+// Add merges the counts of other into c (used to aggregate per-query costs
+// into workload totals).
+func (c *AccessCounter) Add(other *AccessCounter) {
+	c.logical += other.logical
+	c.physical += other.physical
+	c.hits += other.hits
+}
+
+// LRU is a least-recently-used buffer of page IDs with fixed capacity.
+// The zero value is unusable; construct with NewLRU.
+type LRU struct {
+	capacity int
+	nodes    map[PageID]*lruNode
+	head     *lruNode // most recently used
+	tail     *lruNode // least recently used
+}
+
+type lruNode struct {
+	id         PageID
+	prev, next *lruNode
+}
+
+// NewLRU returns a buffer holding at most capacity pages. It panics when
+// capacity < 1: a zero-capacity buffer is expressed by not attaching one.
+func NewLRU(capacity int) *LRU {
+	if capacity < 1 {
+		panic("pagestore: LRU capacity must be >= 1")
+	}
+	return &LRU{capacity: capacity, nodes: make(map[PageID]*lruNode, capacity)}
+}
+
+// Capacity returns the buffer's page capacity.
+func (l *LRU) Capacity() int { return l.capacity }
+
+// Len returns the number of buffered pages.
+func (l *LRU) Len() int { return len(l.nodes) }
+
+// Contains reports whether the page is buffered, without touching recency.
+func (l *LRU) Contains(id PageID) bool {
+	_, ok := l.nodes[id]
+	return ok
+}
+
+// Access touches the page: returns true if it was already buffered (hit),
+// otherwise inserts it, evicting the least-recently-used page if full.
+func (l *LRU) Access(id PageID) bool {
+	if n, ok := l.nodes[id]; ok {
+		l.moveToFront(n)
+		return true
+	}
+	n := &lruNode{id: id}
+	l.nodes[id] = n
+	l.pushFront(n)
+	if len(l.nodes) > l.capacity {
+		evict := l.tail
+		l.unlink(evict)
+		delete(l.nodes, evict.id)
+	}
+	return false
+}
+
+// Clear empties the buffer.
+func (l *LRU) Clear() {
+	l.nodes = make(map[PageID]*lruNode, l.capacity)
+	l.head, l.tail = nil, nil
+}
+
+func (l *LRU) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = l.head
+	if l.head != nil {
+		l.head.prev = n
+	}
+	l.head = n
+	if l.tail == nil {
+		l.tail = n
+	}
+}
+
+func (l *LRU) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (l *LRU) moveToFront(n *lruNode) {
+	if l.head == n {
+		return
+	}
+	l.unlink(n)
+	l.pushFront(n)
+}
+
+// ErrOutOfRange reports a block index beyond the end of a PointFile.
+var ErrOutOfRange = errors.New("pagestore: block index out of range")
+
+// PointFile models the flat, non-indexed query file of §4: a sequence of
+// 2-D points packed into pages of PointsPerPage entries. Reading a block
+// charges one physical read per page through the file's AccessCounter.
+type PointFile struct {
+	points        [][2]float64
+	pointsPerPage int
+	blockPoints   int // points per in-memory block (10,000 in §5.2)
+	counter       *AccessCounter
+	basePage      PageID
+}
+
+// NewPointFile wraps points as a disk file. pointsPerPage is the page
+// capacity (the paper's 50); blockPoints is the number of points loaded per
+// memory block (the paper's 10,000). basePage offsets the file's page IDs
+// so several files can share one buffer without collisions.
+func NewPointFile(points [][2]float64, pointsPerPage, blockPoints int, counter *AccessCounter, basePage PageID) (*PointFile, error) {
+	if pointsPerPage < 1 {
+		return nil, fmt.Errorf("pagestore: pointsPerPage %d < 1", pointsPerPage)
+	}
+	if blockPoints < 1 {
+		return nil, fmt.Errorf("pagestore: blockPoints %d < 1", blockPoints)
+	}
+	if counter == nil {
+		counter = &AccessCounter{}
+	}
+	return &PointFile{
+		points:        points,
+		pointsPerPage: pointsPerPage,
+		blockPoints:   blockPoints,
+		counter:       counter,
+		basePage:      basePage,
+	}, nil
+}
+
+// Len returns the number of points in the file.
+func (f *PointFile) Len() int { return len(f.points) }
+
+// NumBlocks returns the number of memory blocks the file splits into.
+func (f *PointFile) NumBlocks() int {
+	if len(f.points) == 0 {
+		return 0
+	}
+	return (len(f.points) + f.blockPoints - 1) / f.blockPoints
+}
+
+// BlockLen returns the number of points in block i.
+func (f *PointFile) BlockLen(i int) (int, error) {
+	if i < 0 || i >= f.NumBlocks() {
+		return 0, fmt.Errorf("%w: block %d of %d", ErrOutOfRange, i, f.NumBlocks())
+	}
+	lo := i * f.blockPoints
+	hi := lo + f.blockPoints
+	if hi > len(f.points) {
+		hi = len(f.points)
+	}
+	return hi - lo, nil
+}
+
+// ReadBlock loads block i into memory, charging one access per page the
+// block spans. The returned slice aliases the file's storage and must be
+// treated as read-only.
+func (f *PointFile) ReadBlock(i int) ([][2]float64, error) {
+	if i < 0 || i >= f.NumBlocks() {
+		return nil, fmt.Errorf("%w: block %d of %d", ErrOutOfRange, i, f.NumBlocks())
+	}
+	lo := i * f.blockPoints
+	hi := lo + f.blockPoints
+	if hi > len(f.points) {
+		hi = len(f.points)
+	}
+	firstPage := lo / f.pointsPerPage
+	lastPage := (hi - 1) / f.pointsPerPage
+	for p := firstPage; p <= lastPage; p++ {
+		f.counter.Access(f.basePage + PageID(p))
+	}
+	return f.points[lo:hi], nil
+}
+
+// Counter exposes the file's access counter.
+func (f *PointFile) Counter() *AccessCounter { return f.counter }
+
+// Pages returns the total number of pages the file occupies.
+func (f *PointFile) Pages() int {
+	return (len(f.points) + f.pointsPerPage - 1) / f.pointsPerPage
+}

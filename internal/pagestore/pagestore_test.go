@@ -1,0 +1,230 @@
+package pagestore
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestAccessCounterNoBuffer(t *testing.T) {
+	var c AccessCounter
+	for i := 0; i < 5; i++ {
+		if hit := c.Access(PageID(i % 2)); hit {
+			t.Fatal("hit without buffer")
+		}
+	}
+	if c.Logical() != 5 || c.Physical() != 5 || c.Hits() != 0 {
+		t.Fatalf("counts = %d/%d/%d", c.Logical(), c.Physical(), c.Hits())
+	}
+	c.Reset()
+	if c.Logical() != 0 || c.Physical() != 0 {
+		t.Fatal("Reset did not zero")
+	}
+}
+
+func TestAccessCounterWithBuffer(t *testing.T) {
+	var c AccessCounter
+	c.SetBuffer(NewLRU(2))
+	c.Access(1) // miss
+	c.Access(1) // hit
+	c.Access(2) // miss
+	c.Access(1) // hit
+	c.Access(3) // miss, evicts 2 (LRU)
+	c.Access(2) // miss again
+	if c.Logical() != 6 || c.Physical() != 4 || c.Hits() != 2 {
+		t.Fatalf("counts = %d/%d/%d, want 6/4/2", c.Logical(), c.Physical(), c.Hits())
+	}
+}
+
+func TestAccessCounterAdd(t *testing.T) {
+	var a, b AccessCounter
+	a.Access(1)
+	b.Access(2)
+	b.Access(3)
+	a.Add(&b)
+	if a.Logical() != 3 || a.Physical() != 3 {
+		t.Fatalf("Add result = %d/%d", a.Logical(), a.Physical())
+	}
+}
+
+func TestResetAllClearsBuffer(t *testing.T) {
+	var c AccessCounter
+	c.SetBuffer(NewLRU(4))
+	c.Access(1)
+	c.ResetAll()
+	if hit := c.Access(1); hit {
+		t.Fatal("buffer survived ResetAll")
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	l := NewLRU(3)
+	for _, id := range []PageID{1, 2, 3} {
+		if l.Access(id) {
+			t.Fatalf("unexpected hit for %d", id)
+		}
+	}
+	l.Access(1)      // 1 becomes MRU; order now 1,3,2
+	if l.Access(4) { // evicts 2
+		t.Fatal("4 should miss")
+	}
+	if l.Contains(2) {
+		t.Fatal("2 should have been evicted")
+	}
+	for _, id := range []PageID{1, 3, 4} {
+		if !l.Contains(id) {
+			t.Fatalf("%d should be buffered", id)
+		}
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestLRUSingleSlot(t *testing.T) {
+	l := NewLRU(1)
+	if l.Access(1) {
+		t.Fatal("first access hit")
+	}
+	if !l.Access(1) {
+		t.Fatal("repeat access missed")
+	}
+	l.Access(2)
+	if l.Contains(1) {
+		t.Fatal("capacity-1 buffer kept two pages")
+	}
+	if l.Capacity() != 1 {
+		t.Fatal("Capacity wrong")
+	}
+}
+
+func TestLRUClear(t *testing.T) {
+	l := NewLRU(2)
+	l.Access(1)
+	l.Access(2)
+	l.Clear()
+	if l.Len() != 0 || l.Contains(1) {
+		t.Fatal("Clear left entries")
+	}
+	if l.Access(1) {
+		t.Fatal("hit after Clear")
+	}
+}
+
+func TestLRUPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 0 did not panic")
+		}
+	}()
+	NewLRU(0)
+}
+
+func TestLRUStress(t *testing.T) {
+	// Differential test against a straightforward slice-based model.
+	l := NewLRU(8)
+	var model []PageID
+	rng := rand.New(rand.NewSource(5))
+	find := func(id PageID) int {
+		for i, v := range model {
+			if v == id {
+				return i
+			}
+		}
+		return -1
+	}
+	for i := 0; i < 5000; i++ {
+		id := PageID(rng.Intn(20))
+		wantHit := find(id) >= 0
+		if got := l.Access(id); got != wantHit {
+			t.Fatalf("step %d: Access(%d) = %v, want %v", i, id, got, wantHit)
+		}
+		if j := find(id); j >= 0 {
+			model = append(model[:j], model[j+1:]...)
+		}
+		model = append([]PageID{id}, model...)
+		if len(model) > 8 {
+			model = model[:8]
+		}
+		if l.Len() != len(model) {
+			t.Fatalf("step %d: Len %d vs model %d", i, l.Len(), len(model))
+		}
+	}
+}
+
+func mkPoints(n int) [][2]float64 {
+	pts := make([][2]float64, n)
+	for i := range pts {
+		pts[i] = [2]float64{float64(i), float64(i)}
+	}
+	return pts
+}
+
+func TestPointFileBlocks(t *testing.T) {
+	var c AccessCounter
+	f, err := NewPointFile(mkPoints(25), 10, 7, &c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 25 || f.NumBlocks() != 4 || f.Pages() != 3 {
+		t.Fatalf("Len/NumBlocks/Pages = %d/%d/%d", f.Len(), f.NumBlocks(), f.Pages())
+	}
+	for i, want := range []int{7, 7, 7, 4} {
+		n, err := f.BlockLen(i)
+		if err != nil || n != want {
+			t.Fatalf("BlockLen(%d) = %d, %v", i, n, err)
+		}
+		blk, err := f.ReadBlock(i)
+		if err != nil || len(blk) != want {
+			t.Fatalf("ReadBlock(%d) len = %d, %v", i, len(blk), err)
+		}
+	}
+	// Block 0 spans page 0 (pts 0-6): 1 page. Block 1 spans pages 0-1: 2.
+	// Block 2 (pts 14-20) spans pages 1-2: 2. Block 3 (21-24) page 2: 1.
+	if c.Logical() != 6 {
+		t.Fatalf("page reads = %d, want 6", c.Logical())
+	}
+}
+
+func TestPointFileOutOfRange(t *testing.T) {
+	f, _ := NewPointFile(mkPoints(5), 10, 5, nil, 0)
+	if _, err := f.ReadBlock(1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("ReadBlock(1) err = %v", err)
+	}
+	if _, err := f.ReadBlock(-1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("ReadBlock(-1) err = %v", err)
+	}
+	if _, err := f.BlockLen(99); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("BlockLen(99) err = %v", err)
+	}
+}
+
+func TestPointFileValidation(t *testing.T) {
+	if _, err := NewPointFile(nil, 0, 5, nil, 0); err == nil {
+		t.Fatal("pointsPerPage 0 accepted")
+	}
+	if _, err := NewPointFile(nil, 5, 0, nil, 0); err == nil {
+		t.Fatal("blockPoints 0 accepted")
+	}
+	f, err := NewPointFile(nil, 5, 5, nil, 0)
+	if err != nil || f.NumBlocks() != 0 || f.Pages() != 0 {
+		t.Fatal("empty file mishandled")
+	}
+}
+
+func TestPointFileSharedBuffer(t *testing.T) {
+	// Two files sharing a counter+buffer must not collide on page IDs.
+	var c AccessCounter
+	c.SetBuffer(NewLRU(100))
+	f1, _ := NewPointFile(mkPoints(10), 10, 10, &c, 0)
+	f2, _ := NewPointFile(mkPoints(10), 10, 10, &c, 1000)
+	f1.ReadBlock(0)
+	f2.ReadBlock(0)
+	if c.Hits() != 0 {
+		t.Fatal("distinct files shared a page ID")
+	}
+	f1.ReadBlock(0)
+	if c.Hits() != 1 {
+		t.Fatal("re-read not served from buffer")
+	}
+}

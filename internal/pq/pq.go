@@ -1,0 +1,213 @@
+// Package pq provides small generic binary min-heaps keyed by float64
+// priorities. They back every best-first traversal in the library: the
+// incremental NN search of [HS99], the incremental closest-pair search of
+// [HS98] and the round-robin scheduling inside MQM.
+//
+// The zero value of Heap is ready to use.
+package pq
+
+// Item pairs a payload with its priority.
+type Item[T any] struct {
+	Value    T
+	Priority float64
+}
+
+// Heap is a binary min-heap ordered by Item.Priority. Ties are broken
+// arbitrarily. Not safe for concurrent use.
+type Heap[T any] struct {
+	items []Item[T]
+}
+
+// NewHeap returns an empty heap with capacity hint n.
+func NewHeap[T any](n int) *Heap[T] {
+	return &Heap[T]{items: make([]Item[T], 0, n)}
+}
+
+// Len returns the number of queued items.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Empty reports whether the heap has no items.
+func (h *Heap[T]) Empty() bool { return len(h.items) == 0 }
+
+// Push inserts value with the given priority.
+func (h *Heap[T]) Push(value T, priority float64) {
+	h.items = append(h.items, Item[T]{Value: value, Priority: priority})
+	h.up(len(h.items) - 1)
+}
+
+// Peek returns the minimum item without removing it. ok is false when the
+// heap is empty.
+func (h *Heap[T]) Peek() (item Item[T], ok bool) {
+	if len(h.items) == 0 {
+		return Item[T]{}, false
+	}
+	return h.items[0], true
+}
+
+// MinPriority returns the priority of the minimum item, or +Inf semantics
+// are left to the caller: ok is false when empty.
+func (h *Heap[T]) MinPriority() (float64, bool) {
+	if len(h.items) == 0 {
+		return 0, false
+	}
+	return h.items[0].Priority, true
+}
+
+// Pop removes and returns the minimum item. ok is false when the heap is
+// empty.
+func (h *Heap[T]) Pop() (item Item[T], ok bool) {
+	if len(h.items) == 0 {
+		return Item[T]{}, false
+	}
+	min := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items[last] = Item[T]{} // release payload for GC
+	h.items = h.items[:last]
+	if len(h.items) > 0 {
+		h.down(0)
+	}
+	return min, true
+}
+
+// Clear removes all items, retaining capacity.
+func (h *Heap[T]) Clear() {
+	for i := range h.items {
+		h.items[i] = Item[T]{}
+	}
+	h.items = h.items[:0]
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].Priority <= h.items[i].Priority {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.items[l].Priority < h.items[smallest].Priority {
+			smallest = l
+		}
+		if r < n && h.items[r].Priority < h.items[smallest].Priority {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}
+
+// BoundedMax keeps the k smallest priorities seen so far. It is a max-heap
+// of fixed capacity: pushing a (value, priority) pair evicts the current
+// maximum when full and the newcomer is smaller. It implements the
+// "best_NN list of k pairs sorted on dist(p,Q)" of the paper's k-GNN
+// extensions: Kth() is the paper's best_dist.
+type BoundedMax[T any] struct {
+	k     int
+	items []Item[T]
+}
+
+// NewBoundedMax returns a bounded heap that retains the k smallest entries.
+// It panics when k < 1: a result set of size zero is meaningless.
+func NewBoundedMax[T any](k int) *BoundedMax[T] {
+	if k < 1 {
+		panic("pq: BoundedMax requires k >= 1")
+	}
+	return &BoundedMax[T]{k: k, items: make([]Item[T], 0, k)}
+}
+
+// Len returns the number of retained entries (≤ k).
+func (b *BoundedMax[T]) Len() int { return len(b.items) }
+
+// Full reports whether k entries are retained.
+func (b *BoundedMax[T]) Full() bool { return len(b.items) == b.k }
+
+// Kth returns the current k-th smallest priority — the pruning bound
+// best_dist. Until the heap is full it returns +Inf semantics via ok=false.
+func (b *BoundedMax[T]) Kth() (float64, bool) {
+	if len(b.items) < b.k {
+		return 0, false
+	}
+	return b.items[0].Priority, true
+}
+
+// Push offers an entry; it is retained only while it ranks among the k
+// smallest. Returns true when the entry was kept.
+func (b *BoundedMax[T]) Push(value T, priority float64) bool {
+	if len(b.items) < b.k {
+		b.items = append(b.items, Item[T]{Value: value, Priority: priority})
+		b.up(len(b.items) - 1)
+		return true
+	}
+	if priority >= b.items[0].Priority {
+		return false
+	}
+	b.items[0] = Item[T]{Value: value, Priority: priority}
+	b.down(0)
+	return true
+}
+
+// Sorted returns the retained entries in ascending priority order.
+func (b *BoundedMax[T]) Sorted() []Item[T] {
+	out := make([]Item[T], len(b.items))
+	copy(out, b.items)
+	// heapsort-style extraction on the copy (max-heap pops largest first)
+	tmp := &BoundedMax[T]{k: b.k, items: out}
+	res := make([]Item[T], len(out))
+	for i := len(out) - 1; i >= 0; i-- {
+		res[i] = tmp.popMax()
+	}
+	return res
+}
+
+func (b *BoundedMax[T]) popMax() Item[T] {
+	max := b.items[0]
+	last := len(b.items) - 1
+	b.items[0] = b.items[last]
+	b.items = b.items[:last]
+	if len(b.items) > 0 {
+		b.down(0)
+	}
+	return max
+}
+
+func (b *BoundedMax[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if b.items[parent].Priority >= b.items[i].Priority {
+			break
+		}
+		b.items[parent], b.items[i] = b.items[i], b.items[parent]
+		i = parent
+	}
+}
+
+func (b *BoundedMax[T]) down(i int) {
+	n := len(b.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && b.items[l].Priority > b.items[largest].Priority {
+			largest = l
+		}
+		if r < n && b.items[r].Priority > b.items[largest].Priority {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		b.items[i], b.items[largest] = b.items[largest], b.items[i]
+		i = largest
+	}
+}

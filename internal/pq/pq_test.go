@@ -1,0 +1,204 @@
+package pq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapBasic(t *testing.T) {
+	h := NewHeap[string](4)
+	if !h.Empty() || h.Len() != 0 {
+		t.Fatal("new heap not empty")
+	}
+	if _, ok := h.Pop(); ok {
+		t.Fatal("Pop on empty heap returned ok")
+	}
+	if _, ok := h.Peek(); ok {
+		t.Fatal("Peek on empty heap returned ok")
+	}
+	h.Push("b", 2)
+	h.Push("a", 1)
+	h.Push("c", 3)
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	if p, ok := h.MinPriority(); !ok || p != 1 {
+		t.Fatalf("MinPriority = %v %v", p, ok)
+	}
+	if it, ok := h.Peek(); !ok || it.Value != "a" {
+		t.Fatalf("Peek = %+v", it)
+	}
+	want := []string{"a", "b", "c"}
+	for _, w := range want {
+		it, ok := h.Pop()
+		if !ok || it.Value != w {
+			t.Fatalf("Pop = %+v, want %s", it, w)
+		}
+	}
+	if !h.Empty() {
+		t.Fatal("heap not empty after draining")
+	}
+}
+
+func TestHeapClear(t *testing.T) {
+	h := NewHeap[int](0)
+	for i := 0; i < 10; i++ {
+		h.Push(i, float64(i))
+	}
+	h.Clear()
+	if !h.Empty() {
+		t.Fatal("Clear left items")
+	}
+	h.Push(5, 5)
+	if it, _ := h.Pop(); it.Value != 5 {
+		t.Fatal("heap unusable after Clear")
+	}
+}
+
+func TestHeapDuplicatePriorities(t *testing.T) {
+	h := NewHeap[int](0)
+	for i := 0; i < 100; i++ {
+		h.Push(i, 7)
+	}
+	seen := map[int]bool{}
+	for !h.Empty() {
+		it, _ := h.Pop()
+		if it.Priority != 7 {
+			t.Fatalf("priority changed: %v", it.Priority)
+		}
+		if seen[it.Value] {
+			t.Fatalf("duplicate value %d", it.Value)
+		}
+		seen[it.Value] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("lost items: %d", len(seen))
+	}
+}
+
+func TestQuickHeapSortsAnyInput(t *testing.T) {
+	f := func(priorities []float64) bool {
+		// Sanitise: replace NaN (unorderable) with 0.
+		for i, p := range priorities {
+			if p != p {
+				priorities[i] = 0
+			}
+		}
+		h := NewHeap[int](len(priorities))
+		for i, p := range priorities {
+			h.Push(i, p)
+		}
+		prev := 0.0
+		first := true
+		count := 0
+		for !h.Empty() {
+			it, _ := h.Pop()
+			if !first && it.Priority < prev {
+				return false
+			}
+			prev, first = it.Priority, false
+			count++
+		}
+		return count == len(priorities)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundedMaxKeepsKSmallest(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(10)
+		n := rng.Intn(200)
+		b := NewBoundedMax[int](k)
+		all := make([]float64, n)
+		for i := range all {
+			all[i] = rng.Float64() * 100
+			b.Push(i, all[i])
+		}
+		sorted := append([]float64(nil), all...)
+		sort.Float64s(sorted)
+
+		got := b.Sorted()
+		wantLen := k
+		if n < k {
+			wantLen = n
+		}
+		if len(got) != wantLen {
+			t.Fatalf("retained %d, want %d", len(got), wantLen)
+		}
+		for i, it := range got {
+			if it.Priority != sorted[i] {
+				t.Fatalf("rank %d: got %v want %v", i, it.Priority, sorted[i])
+			}
+		}
+		if kth, ok := b.Kth(); ok {
+			if kth != sorted[k-1] {
+				t.Fatalf("Kth = %v, want %v", kth, sorted[k-1])
+			}
+		} else if n >= k {
+			t.Fatal("Kth not ok on full heap")
+		}
+	}
+}
+
+func TestBoundedMaxRejectsWorse(t *testing.T) {
+	b := NewBoundedMax[string](2)
+	if b.Full() {
+		t.Fatal("empty heap full")
+	}
+	if !b.Push("a", 5) || !b.Push("b", 3) {
+		t.Fatal("initial pushes rejected")
+	}
+	if !b.Full() {
+		t.Fatal("heap should be full")
+	}
+	if b.Push("c", 9) {
+		t.Fatal("worse entry accepted")
+	}
+	if !b.Push("d", 1) {
+		t.Fatal("better entry rejected")
+	}
+	got := b.Sorted()
+	if got[0].Value != "d" || got[1].Value != "b" {
+		t.Fatalf("Sorted = %+v", got)
+	}
+}
+
+func TestBoundedMaxPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 did not panic")
+		}
+	}()
+	NewBoundedMax[int](0)
+}
+
+func TestBoundedMaxTiesAtKth(t *testing.T) {
+	b := NewBoundedMax[int](2)
+	b.Push(1, 5)
+	b.Push(2, 5)
+	// Equal priority must NOT displace an incumbent (strict improvement only),
+	// matching the paper's "smaller distance" update rule.
+	if b.Push(3, 5) {
+		t.Fatal("tie displaced incumbent")
+	}
+	kth, ok := b.Kth()
+	if !ok || kth != 5 {
+		t.Fatalf("Kth = %v %v", kth, ok)
+	}
+}
+
+func BenchmarkHeapPushPop(b *testing.B) {
+	h := NewHeap[int](b.N)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		h.Push(i, rng.Float64())
+	}
+	for i := 0; i < b.N; i++ {
+		h.Pop()
+	}
+}

@@ -1,0 +1,142 @@
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gnn/internal/geom"
+	"gnn/internal/hilbert"
+)
+
+// BulkLoadSTR builds a tree over the given points with the Sort-Tile-
+// Recursive algorithm: points are tiled into vertical slabs of √(n/M)
+// tiles, each slab sorted on the second axis, and leaves packed to
+// capacity. Internal levels are packed the same way over child centres.
+// ids[i] identifies pts[i]; pass nil to use the point index.
+func BulkLoadSTR(cfg Config, pts []geom.Point, ids []int64) (*Tree, error) {
+	t, pts2, ids2, err := prepareBulk(cfg, pts, ids)
+	if err != nil || t.size == 0 {
+		return t, err
+	}
+	entries := leafEntries(pts2, ids2)
+
+	// STR tiling on the first two axes (points beyond 2-D are tiled on the
+	// first two dimensions, which preserves correctness — tiling is purely
+	// a quality heuristic).
+	M := t.cfg.MaxEntries
+	nLeaves := (len(entries) + M - 1) / M
+	slabs := int(math.Ceil(math.Sqrt(float64(nLeaves))))
+	perSlab := slabs * M
+
+	sort.SliceStable(entries, func(a, b int) bool {
+		return entries[a].Point[0] < entries[b].Point[0]
+	})
+	for lo := 0; lo < len(entries); lo += perSlab {
+		hi := lo + perSlab
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		slab := entries[lo:hi]
+		if t.cfg.Dim >= 2 {
+			sort.SliceStable(slab, func(a, b int) bool {
+				return slab[a].Point[1] < slab[b].Point[1]
+			})
+		}
+	}
+	t.packLevels(entries)
+	return t, nil
+}
+
+// BulkLoadHilbert builds a tree by packing points in Hilbert order — the
+// classic Hilbert-packed R-tree. Only the first two dimensions contribute
+// to the ordering.
+func BulkLoadHilbert(cfg Config, pts []geom.Point, ids []int64) (*Tree, error) {
+	t, pts2, ids2, err := prepareBulk(cfg, pts, ids)
+	if err != nil || t.size == 0 {
+		return t, err
+	}
+	entries := leafEntries(pts2, ids2)
+	r := mbrOf(entries)
+	hiX, hiY := r.Hi[0], r.Lo[0]
+	loX, loY := r.Lo[0], r.Lo[0]
+	if t.cfg.Dim >= 2 {
+		loY, hiY = r.Lo[1], r.Hi[1]
+	}
+	m := hilbert.NewMapper(hilbert.DefaultOrder, loX, loY, hiX, hiY)
+	hilbert.SortByValue(len(entries), m,
+		func(i int) (float64, float64) {
+			y := 0.0
+			if t.cfg.Dim >= 2 {
+				y = entries[i].Point[1]
+			}
+			return entries[i].Point[0], y
+		},
+		func(i, j int) { entries[i], entries[j] = entries[j], entries[i] })
+	t.packLevels(entries)
+	return t, nil
+}
+
+func prepareBulk(cfg Config, pts []geom.Point, ids []int64) (*Tree, []geom.Point, []int64, error) {
+	t, err := New(cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if ids == nil {
+		ids = make([]int64, len(pts))
+		for i := range ids {
+			ids[i] = int64(i)
+		}
+	}
+	if len(ids) != len(pts) {
+		return nil, nil, nil, fmt.Errorf("rtree: %d ids for %d points", len(ids), len(pts))
+	}
+	for i, p := range pts {
+		if len(p) != t.cfg.Dim {
+			return nil, nil, nil, fmt.Errorf("rtree: point %d has dimension %d, tree dimension %d",
+				i, len(p), t.cfg.Dim)
+		}
+	}
+	t.size = len(pts)
+	return t, pts, ids, nil
+}
+
+func leafEntries(pts []geom.Point, ids []int64) []Entry {
+	entries := make([]Entry, len(pts))
+	for i, p := range pts {
+		entries[i] = Entry{Rect: geom.RectFromPoint(p), Point: p.Clone(), ID: ids[i]}
+	}
+	return entries
+}
+
+// packLevels packs the ordered entries into leaves, then packs each level
+// bottom-up until a single root remains. The final node of each level is
+// kept at or above MinEntries by borrowing from its predecessor, so packed
+// trees satisfy the same fill invariants as incrementally built ones.
+func (t *Tree) packLevels(entries []Entry) {
+	M, m := t.cfg.MaxEntries, t.cfg.MinEntries
+	level := 0
+	for len(entries) > M {
+		nodes := make([]Entry, 0, (len(entries)+M-1)/M)
+		for lo := 0; lo < len(entries); {
+			hi := lo + M
+			if rem := len(entries) - hi; rem > 0 && rem < m {
+				// Shrink this node so the final one reaches MinEntries.
+				hi = len(entries) - m
+			}
+			if hi > len(entries) {
+				hi = len(entries)
+			}
+			n := t.newNode(level)
+			n.entries = append(n.entries, entries[lo:hi]...)
+			nodes = append(nodes, Entry{Rect: mbrOf(n.entries), child: n})
+			lo = hi
+		}
+		entries = nodes
+		level++
+	}
+	root := t.newNode(level)
+	root.entries = append(root.entries, entries...)
+	t.root = root
+	t.height = level + 1
+}

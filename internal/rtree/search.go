@@ -1,0 +1,182 @@
+package rtree
+
+import (
+	"sort"
+
+	"gnn/internal/geom"
+	"gnn/internal/pq"
+)
+
+// Neighbor is a data point returned by a proximity query.
+type Neighbor struct {
+	Point geom.Point
+	ID    int64
+	Dist  float64
+}
+
+// Search invokes fn for every indexed point inside r (boundaries
+// inclusive). Traversal stops early when fn returns false. Visited nodes
+// are charged to the tree's counter.
+func (t *Tree) Search(r geom.Rect, fn func(p geom.Point, id int64) bool) {
+	if t.size == 0 {
+		return
+	}
+	t.searchNode(t.Root(), r, fn)
+}
+
+func (t *Tree) searchNode(nd Node, r geom.Rect, fn func(geom.Point, int64) bool) bool {
+	for _, e := range nd.Entries() {
+		if !e.Rect.Intersects(r) {
+			continue
+		}
+		if e.IsLeafEntry() {
+			if r.ContainsPoint(e.Point) && !fn(e.Point, e.ID) {
+				return false
+			}
+		} else if !t.searchNode(t.Child(e), r, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// All invokes fn for every indexed point without charging node accesses
+// (a bookkeeping scan, not a simulated disk traversal).
+func (t *Tree) All(fn func(p geom.Point, id int64) bool) {
+	if t.size == 0 {
+		return
+	}
+	t.allNode(t.root, fn)
+}
+
+func (t *Tree) allNode(n *node, fn func(geom.Point, int64) bool) bool {
+	for _, e := range n.entries {
+		if e.child == nil {
+			if !fn(e.Point, e.ID) {
+				return false
+			}
+		} else if !t.allNode(e.child, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// NearestDF returns the k nearest neighbors of q using the depth-first
+// branch-and-bound algorithm of [RKV95]: entries of each node are visited
+// in ascending mindist order and subtrees farther than the current k-th
+// best are pruned. Results are sorted by ascending distance.
+func (t *Tree) NearestDF(q geom.Point, k int) []Neighbor {
+	if t.size == 0 || k < 1 {
+		return nil
+	}
+	best := pq.NewBoundedMax[Neighbor](k)
+	t.nearestDF(t.Root(), q, best)
+	return neighborsFrom(best)
+}
+
+func (t *Tree) nearestDF(nd Node, q geom.Point, best *pq.BoundedMax[Neighbor]) {
+	entries := nd.Entries()
+	type cand struct {
+		e Entry
+		d float64
+	}
+	cands := make([]cand, 0, len(entries))
+	for _, e := range entries {
+		var d float64
+		if e.IsLeafEntry() {
+			d = geom.Dist(q, e.Point)
+		} else {
+			d = geom.MinDistPointRect(q, e.Rect)
+		}
+		cands = append(cands, cand{e, d})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+	for _, c := range cands {
+		if bd, ok := best.Kth(); ok && c.d >= bd {
+			return // every remaining candidate is at least this far
+		}
+		if c.e.IsLeafEntry() {
+			best.Push(Neighbor{Point: c.e.Point, ID: c.e.ID, Dist: c.d}, c.d)
+		} else {
+			t.nearestDF(t.Child(c.e), q, best)
+		}
+	}
+}
+
+// NearestBF returns the k nearest neighbors of q using the I/O-optimal
+// best-first algorithm of [HS99].
+func (t *Tree) NearestBF(q geom.Point, k int) []Neighbor {
+	if t.size == 0 || k < 1 {
+		return nil
+	}
+	it := t.NewNNIterator(q)
+	out := make([]Neighbor, 0, k)
+	for len(out) < k {
+		nb, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, nb)
+	}
+	return out
+}
+
+func neighborsFrom(best *pq.BoundedMax[Neighbor]) []Neighbor {
+	items := best.Sorted()
+	out := make([]Neighbor, len(items))
+	for i, it := range items {
+		out[i] = it.Value
+	}
+	return out
+}
+
+// NNIterator reports the indexed points in ascending distance from a query
+// point, one at a time — the incremental behaviour MQM depends on (§2,
+// [HS99]). Each call to Next may visit further tree nodes, charged to the
+// tree's counter.
+type NNIterator struct {
+	t    *Tree
+	q    geom.Point
+	heap *pq.Heap[Entry]
+}
+
+// NewNNIterator starts an incremental nearest-neighbor scan around q.
+func (t *Tree) NewNNIterator(q geom.Point) *NNIterator {
+	it := &NNIterator{t: t, q: q, heap: pq.NewHeap[Entry](64)}
+	if t.size > 0 {
+		it.pushNode(t.Root())
+	}
+	return it
+}
+
+func (it *NNIterator) pushNode(nd Node) {
+	for _, e := range nd.Entries() {
+		if e.IsLeafEntry() {
+			it.heap.Push(e, geom.Dist(it.q, e.Point))
+		} else {
+			it.heap.Push(e, geom.MinDistPointRect(it.q, e.Rect))
+		}
+	}
+}
+
+// Next returns the next nearest point; ok is false when the data set is
+// exhausted.
+func (it *NNIterator) Next() (Neighbor, bool) {
+	for {
+		item, ok := it.heap.Pop()
+		if !ok {
+			return Neighbor{}, false
+		}
+		if item.Value.IsLeafEntry() {
+			return Neighbor{Point: item.Value.Point, ID: item.Value.ID, Dist: item.Priority}, true
+		}
+		it.pushNode(it.t.Child(item.Value))
+	}
+}
+
+// PeekDist returns the lower bound on the distance of the next neighbor
+// without advancing; ok is false when exhausted.
+func (it *NNIterator) PeekDist() (float64, bool) {
+	return it.heap.MinPriority()
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFigureAddGetRender(t *testing.T) {
+	f := NewFigure("Fig X: cost vs n", "n", []string{"4", "16", "64"})
+	f.Add("MQM", "4", Measurement{NodeAccesses: 120, CPU: 3 * time.Millisecond, Queries: 100})
+	f.Add("MQM", "16", Measurement{NodeAccesses: 47000, CPU: 40 * time.Millisecond, Queries: 100})
+	f.Add("MBM", "4", Measurement{NodeAccesses: 35, CPU: time.Millisecond, Queries: 100})
+	f.Add("GCP", "64", Measurement{DNF: true})
+
+	if got := f.SeriesNames(); len(got) != 3 || got[0] != "MQM" || got[2] != "GCP" {
+		t.Fatalf("SeriesNames = %v", got)
+	}
+	m, ok := f.Get("MQM", "16")
+	if !ok || m.NodeAccesses != 47000 {
+		t.Fatalf("Get = %+v %v", m, ok)
+	}
+	if _, ok := f.Get("MQM", "999"); ok {
+		t.Fatal("Get returned missing cell")
+	}
+	if _, ok := f.Get("nope", "4"); ok {
+		t.Fatal("Get returned missing series")
+	}
+
+	var buf bytes.Buffer
+	if err := f.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig X", "node accesses", "CPU time", "MQM", "47.0k", "DNF", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	cases := map[float64]string{
+		12.34:   "12.3",
+		9999:    "9999.0",
+		10000:   "10.0k",
+		250000:  "250.0k",
+		3200000: "3.20M",
+	}
+	for in, want := range cases {
+		if got := formatCount(in); got != want {
+			t.Errorf("formatCount(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := map[time.Duration]string{
+		50 * time.Microsecond:   "0.000050",
+		30 * time.Millisecond:   "0.0300",
+		2500 * time.Millisecond: "2.50",
+	}
+	for in, want := range cases {
+		if got := formatSeconds(in); got != want {
+			t.Errorf("formatSeconds(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 4, 8})
+	if s.Count != 4 || s.Mean != 3.75 || s.Min != 1 || s.Max != 8 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if math.Abs(s.GeoMean-math.Sqrt(math.Sqrt(64))) > 1e-12 {
+		t.Fatalf("GeoMean = %v", s.GeoMean)
+	}
+	if z := Summarize(nil); z.Count != 0 {
+		t.Fatal("empty Summarize non-zero")
+	}
+	// Non-positive values excluded from geo-mean only.
+	s2 := Summarize([]float64{0, 4})
+	if s2.GeoMean != 4 || s2.Min != 0 {
+		t.Fatalf("Summarize with zero = %+v", s2)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Fatalf("P50 = %v", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Fatalf("P100 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Percentile mutated input")
+	}
+}

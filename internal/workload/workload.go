@@ -1,0 +1,121 @@
+// Package workload generates the query workloads of the paper's evaluation
+// (§5): batches of GNN queries whose n points are distributed uniformly in
+// an MBR of prescribed area M (a percentage of the data workspace), placed
+// randomly inside the workspace. For the disk-resident experiments it also
+// builds the co-centred scaled query sets and the controlled-overlap
+// placements of §5.2.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gnn/internal/geom"
+)
+
+// DefaultQueries is the paper's workload size: 100 queries per data point.
+const DefaultQueries = 100
+
+// Query is one GNN query: a group of query points.
+type Query struct {
+	Points []geom.Point
+	// MBR is the rectangle the points were drawn in.
+	MBR geom.Rect
+}
+
+// Spec describes a §5.1 workload.
+type Spec struct {
+	// N is the number of query points per query (the paper's n).
+	N int
+	// AreaFraction is the area of the query MBR as a fraction of the
+	// workspace area (the paper's M; e.g. 0.08 for 8%).
+	AreaFraction float64
+	// Queries is the number of queries in the workload (default 100).
+	Queries int
+	// Workspace is the data workspace the query MBRs are placed in.
+	Workspace geom.Rect
+	// Seed makes the workload reproducible.
+	Seed int64
+}
+
+// Generate builds the workload. Every query has exactly N points uniform
+// in a square MBR of the requested area, whose position is uniform within
+// the workspace (the MBR always fits inside it).
+func Generate(s Spec) ([]Query, error) {
+	if s.N < 1 {
+		return nil, fmt.Errorf("workload: n %d < 1", s.N)
+	}
+	if s.AreaFraction <= 0 || s.AreaFraction > 1 {
+		return nil, fmt.Errorf("workload: area fraction %v not in (0,1]", s.AreaFraction)
+	}
+	if s.Queries == 0 {
+		s.Queries = DefaultQueries
+	}
+	if s.Queries < 1 {
+		return nil, fmt.Errorf("workload: %d queries", s.Queries)
+	}
+	if !s.Workspace.Valid() || s.Workspace.Dim() != 2 {
+		return nil, fmt.Errorf("workload: invalid workspace %v", s.Workspace)
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	wsW := s.Workspace.Hi[0] - s.Workspace.Lo[0]
+	wsH := s.Workspace.Hi[1] - s.Workspace.Lo[1]
+	side := math.Sqrt(s.AreaFraction * wsW * wsH)
+	if side > wsW || side > wsH {
+		return nil, fmt.Errorf("workload: square MBR of area %v%% does not fit the workspace",
+			s.AreaFraction*100)
+	}
+	out := make([]Query, s.Queries)
+	for i := range out {
+		ox := s.Workspace.Lo[0] + rng.Float64()*(wsW-side)
+		oy := s.Workspace.Lo[1] + rng.Float64()*(wsH-side)
+		mbr := geom.NewRect(geom.Point{ox, oy}, geom.Point{ox + side, oy + side})
+		pts := make([]geom.Point, s.N)
+		for j := range pts {
+			pts[j] = geom.Point{ox + rng.Float64()*side, oy + rng.Float64()*side}
+		}
+		out[i] = Query{Points: pts, MBR: mbr}
+	}
+	return out, nil
+}
+
+// CenteredRect returns a square of the given area fraction sharing the
+// workspace's centroid — the placement of the query dataset in the §5.2
+// "co-centred, varying M" experiments (Figs 5.4, 5.5).
+func CenteredRect(workspace geom.Rect, areaFraction float64) (geom.Rect, error) {
+	if areaFraction <= 0 || areaFraction > 1 {
+		return geom.Rect{}, fmt.Errorf("workload: area fraction %v not in (0,1]", areaFraction)
+	}
+	w := workspace.Hi[0] - workspace.Lo[0]
+	h := workspace.Hi[1] - workspace.Lo[1]
+	side := math.Sqrt(areaFraction * w * h)
+	c := workspace.Center()
+	half := side / 2
+	return geom.NewRect(
+		geom.Point{c[0] - half, c[1] - half},
+		geom.Point{c[0] + half, c[1] + half}), nil
+}
+
+// OverlapRect returns a rectangle of the same size as the workspace whose
+// intersection with it covers the requested fraction of its area — the
+// §5.2 overlap experiments (Figs 5.6, 5.7). overlap=1 is the workspace
+// itself; overlap=0 places the query workspace corner-to-corner with it.
+// Intermediate values shift the copy diagonally on both axes, exactly as
+// the paper describes ("starting from the 100% case and shifting the query
+// dataset on both axes").
+func OverlapRect(workspace geom.Rect, overlap float64) (geom.Rect, error) {
+	if overlap < 0 || overlap > 1 {
+		return geom.Rect{}, fmt.Errorf("workload: overlap %v not in [0,1]", overlap)
+	}
+	w := workspace.Hi[0] - workspace.Lo[0]
+	h := workspace.Hi[1] - workspace.Lo[1]
+	// Shifting by s on both axes leaves an intersection of
+	// (w-s)(h-s) = overlap*w*h. For a square workspace (w == h):
+	// (1 - s/w)² = overlap  ⇒  s = w(1-√overlap).
+	f := 1 - math.Sqrt(overlap)
+	dx, dy := w*f, h*f
+	return geom.NewRect(
+		geom.Point{workspace.Lo[0] + dx, workspace.Lo[1] + dy},
+		geom.Point{workspace.Hi[0] + dx, workspace.Hi[1] + dy}), nil
+}

@@ -1,0 +1,195 @@
+package gnn
+
+import (
+	"errors"
+	"fmt"
+
+	"gnn/internal/core"
+	"gnn/internal/geom"
+)
+
+// Algorithm selects the GNN processing method for memory-resident query
+// groups.
+type Algorithm int
+
+const (
+	// AlgoAuto picks MBM, the paper's overall winner (§5.1).
+	AlgoAuto Algorithm = iota
+	// AlgoMQM is the multiple query method (§3.1).
+	AlgoMQM
+	// AlgoSPM is the single point method (§3.2).
+	AlgoSPM
+	// AlgoMBM is the minimum bounding method (§3.3).
+	AlgoMBM
+	// AlgoBruteForce scans all points; exact but index-oblivious.
+	AlgoBruteForce
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoAuto:
+		return "auto"
+	case AlgoMQM:
+		return "MQM"
+	case AlgoSPM:
+		return "SPM"
+	case AlgoMBM:
+		return "MBM"
+	case AlgoBruteForce:
+		return "brute-force"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Aggregate selects the distance-combination function dist(p,Q).
+type Aggregate = core.Aggregate
+
+// Aggregates. SumDist is the paper's semantics; MaxDist/MinDist are the
+// future-work extension, supported by MQM and MBM.
+const (
+	SumDist = core.Sum
+	MaxDist = core.Max
+	MinDist = core.Min
+)
+
+// QueryOption customises a GroupNN call.
+type QueryOption func(*queryConfig)
+
+type queryConfig struct {
+	k          int
+	algo       Algorithm
+	aggregate  Aggregate
+	depthFirst bool
+	weights    []float64
+	region     *geom.Rect
+}
+
+// WithK requests the k best group neighbors (default 1).
+func WithK(k int) QueryOption { return func(c *queryConfig) { c.k = k } }
+
+// WithAlgorithm forces a specific processing method.
+func WithAlgorithm(a Algorithm) QueryOption { return func(c *queryConfig) { c.algo = a } }
+
+// WithAggregate selects SUM (default), MAX or MIN distance aggregation.
+func WithAggregate(a Aggregate) QueryOption { return func(c *queryConfig) { c.aggregate = a } }
+
+// WithDepthFirst switches SPM/MBM to depth-first traversal (best-first is
+// the default, as in the paper's experiments).
+func WithDepthFirst() QueryOption { return func(c *queryConfig) { c.depthFirst = true } }
+
+// WithWeights assigns a positive weight per query point, making the
+// aggregate Σᵢ wᵢ·|p qᵢ| (or the weighted max/min). The slice must match
+// the query group's length. Supported by MQM, SPM, MBM and brute force.
+func WithWeights(w []float64) QueryOption { return func(c *queryConfig) { c.weights = w } }
+
+// WithRegion restricts results to data points inside the axis-aligned
+// rectangle [lo, hi] — constrained GNN search. Supported by MQM, SPM, MBM
+// and brute force; MBM additionally prunes non-intersecting subtrees.
+func WithRegion(lo, hi Point) QueryOption {
+	return func(c *queryConfig) {
+		r := geom.NewRect(geom.Point(lo), geom.Point(hi))
+		c.region = &r
+	}
+}
+
+func buildConfig(opts []QueryOption) queryConfig {
+	c := queryConfig{k: 1}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+func (c queryConfig) coreOptions() core.Options {
+	o := core.Options{K: c.k, Aggregate: c.aggregate, Weights: c.weights, Region: c.region}
+	if c.depthFirst {
+		o.Traversal = core.DepthFirst
+	}
+	return o
+}
+
+// GroupNN answers a GNN query for a memory-resident query group: the k
+// indexed points with the smallest aggregate distance to query, in
+// ascending order.
+func (ix *Index) GroupNN(query []Point, opts ...QueryOption) ([]Result, error) {
+	c := buildConfig(opts)
+	qs := make([]geom.Point, len(query))
+	for i, q := range query {
+		qs[i] = geom.Point(q)
+	}
+	var (
+		gs  []core.GroupNeighbor
+		err error
+	)
+	switch c.algo {
+	case AlgoMQM:
+		gs, err = core.MQM(ix.tree, qs, c.coreOptions())
+	case AlgoSPM:
+		gs, err = core.SPM(ix.tree, qs, c.coreOptions())
+	case AlgoBruteForce:
+		gs, err = core.BruteForce(ix.tree, qs, c.coreOptions())
+	case AlgoAuto, AlgoMBM:
+		gs, err = core.MBM(ix.tree, qs, c.coreOptions())
+	default:
+		return nil, fmt.Errorf("gnn: unknown algorithm %v", c.algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return toResults(gs), nil
+}
+
+// Iterator reports group nearest neighbors one at a time in ascending
+// aggregate distance, so callers need not fix k in advance (incremental
+// MBM).
+type Iterator struct {
+	it *core.GNNIterator
+}
+
+// GroupNNIterator starts an incremental GNN scan.
+func (ix *Index) GroupNNIterator(query []Point, opts ...QueryOption) (*Iterator, error) {
+	c := buildConfig(opts)
+	qs := make([]geom.Point, len(query))
+	for i, q := range query {
+		qs[i] = geom.Point(q)
+	}
+	it, err := core.NewGNNIterator(ix.tree, qs, c.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &Iterator{it: it}, nil
+}
+
+// Next returns the next group nearest neighbor; ok is false when the data
+// set is exhausted.
+func (it *Iterator) Next() (Result, bool) {
+	g, ok := it.it.Next()
+	if !ok {
+		return Result{}, false
+	}
+	return Result{Point: Point(g.Point), ID: g.ID, Dist: g.Dist}, true
+}
+
+// Errors surfaced by queries (wrapping the core package's sentinels so
+// callers can errors.Is them without importing internals).
+var (
+	// ErrEmptyQuery reports an empty query group.
+	ErrEmptyQuery = core.ErrEmptyQuery
+	// ErrBadK reports a non-positive k.
+	ErrBadK = core.ErrBadK
+	// ErrUnsupportedAggregate reports an aggregate the chosen algorithm
+	// cannot process (SPM and the disk algorithms are SUM-only).
+	ErrUnsupportedAggregate = core.ErrUnsupportedAggregate
+	// ErrBudgetExceeded reports that GCP hit its pair budget.
+	ErrBudgetExceeded = core.ErrBudgetExceeded
+)
+
+// Ensure the aliases stay wired to the same sentinel values.
+var _ = func() bool {
+	if !errors.Is(ErrEmptyQuery, core.ErrEmptyQuery) {
+		panic("sentinel mismatch")
+	}
+	return true
+}()
