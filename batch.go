@@ -1,0 +1,70 @@
+package gnn
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gnn/internal/pagestore"
+)
+
+// BatchResult is the outcome of one query of a GroupNNBatch call.
+type BatchResult struct {
+	// Results are the query's group nearest neighbors, ascending by
+	// aggregate distance.
+	Results []Result
+	// Cost is the query's own I/O cost.
+	Cost Cost
+	// Err is the query's error, if any. Queries fail independently: one
+	// malformed group does not abort the batch.
+	Err error
+}
+
+// GroupNNBatch answers many GNN queries concurrently against the shared
+// index, using a worker pool of WithParallelism(n) goroutines (default
+// GOMAXPROCS). Options apply to every query. The result slice is parallel
+// to queries; each entry carries its own results, per-query cost and
+// error. Because every query runs in its own execution context, the batch
+// may itself run concurrently with other queries or batches.
+func (ix *Index) GroupNNBatch(queries [][]Point, opts ...QueryOption) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	c := buildConfig(opts)
+	workers := c.parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	answer := func(i int) {
+		var tk pagestore.CostTracker
+		out[i].Results, out[i].Err = ix.groupNN(queries[i], c, &tk)
+		out[i].Cost = costOf(tk)
+	}
+	if workers == 1 {
+		for i := range queries {
+			answer(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				answer(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,67 @@
+// Throughput benchmark of the parallel batch query engine: the same
+// workload answered by GroupNNBatch under worker counts 1/2/4/NumCPU.
+// Reports qps (queries per second) so scaling across PRs is trackable;
+// `go run ./cmd/gnnbench -parallel N` produces the JSON snapshot
+// (BENCH_parallel.json) from the same sweep.
+package gnn_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"gnn"
+	"gnn/internal/dataset"
+	"gnn/internal/workload"
+)
+
+func BenchmarkGroupNNParallel(b *testing.B) {
+	d, err := env().Dataset("TS")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := make([]gnn.Point, len(d.Points))
+	for i, p := range d.Points {
+		pts[i] = gnn.Point(p)
+	}
+	ix, err := gnn.BuildIndex(pts, nil, gnn.IndexConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := workload.Generate(workload.Spec{
+		N: 64, AreaFraction: 0.08, Queries: 64,
+		Workspace: dataset.Workspace(), Seed: 11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([][]gnn.Point, len(qs))
+	for i, q := range qs {
+		group := make([]gnn.Point, len(q.Points))
+		for j, p := range q.Points {
+			group[j] = gnn.Point(p)
+		}
+		queries[i] = group
+	}
+
+	workers := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		workers = append(workers, n)
+	}
+	for _, w := range workers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := ix.GroupNNBatch(queries, gnn.WithK(8), gnn.WithParallelism(w))
+				for _, r := range out {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			b.StopTimer()
+			total := float64(b.N) * float64(len(queries))
+			b.ReportMetric(total/b.Elapsed().Seconds(), "qps")
+		})
+	}
+}

@@ -90,11 +90,11 @@ func benchMemoryCell(b *testing.B, ds string, a benchAlgo, n int, m float64, k i
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, q := range queries {
-			t.Counter().ResetAll()
+			t.Accountant().ResetAll()
 			if _, err := a.run(t, q.Points, opt); err != nil {
 				b.Fatal(err)
 			}
-			physical += t.Counter().Logical()
+			physical += t.Accountant().Logical()
 		}
 	}
 	b.StopTimer()
@@ -178,15 +178,14 @@ func benchDiskCell(b *testing.B, dataP, dataQ string, area float64, overlapMode 
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		counter := &pagestore.AccessCounter{}
-		counter.SetBuffer(pagestore.NewLRU(512))
-		tp.Counter().ResetAll()
+		acct := pagestore.NewAccountant(512)
+		tp.Accountant().ResetAll()
 		b.StartTimer()
 		switch algo {
 		case "GCP":
 			tq, err := rtree.BulkLoadSTR(rtree.Config{
 				MaxEntries: rtree.DefaultMaxEntries,
-				Counter:    counter,
+				Accountant: acct,
 				FirstPage:  1 << 40,
 			}, qpts, nil)
 			if err != nil {
@@ -198,7 +197,7 @@ func benchDiskCell(b *testing.B, dataP, dataQ string, area float64, overlapMode 
 				b.Fatal(err)
 			}
 		case "F-MQM", "F-MBM":
-			qf, err := core.NewQueryFile(qpts, blockPts, counter, 1<<41)
+			qf, err := core.NewQueryFile(qpts, blockPts, acct, 1<<41)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -213,7 +212,7 @@ func benchDiskCell(b *testing.B, dataP, dataQ string, area float64, overlapMode 
 			}
 		}
 		b.StopTimer()
-		totalNA += tp.Counter().Logical() + counter.Logical()
+		totalNA += tp.Accountant().Logical() + acct.Logical()
 		b.StartTimer()
 	}
 	b.StopTimer()
@@ -303,18 +302,15 @@ func BenchmarkAblationBuffer(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			counter := &pagestore.AccessCounter{}
-			if pages > 0 {
-				counter.SetBuffer(pagestore.NewLRU(pages))
-			}
+			acct := pagestore.NewAccountant(pages)
 			t, err := rtree.BulkLoadSTR(rtree.Config{
-				MaxEntries: rtree.DefaultMaxEntries, Counter: counter,
+				MaxEntries: rtree.DefaultMaxEntries, Accountant: acct,
 			}, d.Points, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
 			queries := benchQueries(b, 64, 0.08)
-			counter.Reset()
+			acct.Reset()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for _, q := range queries {
@@ -325,7 +321,7 @@ func BenchmarkAblationBuffer(b *testing.B) {
 			}
 			b.StopTimer()
 			totalQueries := int64(b.N) * int64(len(queries))
-			b.ReportMetric(float64(counter.Physical())/float64(totalQueries), "na/query")
+			b.ReportMetric(float64(acct.Physical())/float64(totalQueries), "na/query")
 		})
 	}
 }

@@ -10,31 +10,47 @@
 //	gnnbench -fig 5.1              # one figure at paper scale
 //	gnnbench -all -scale 0.1       # everything, 10% of the data
 //	gnnbench -list                 # available experiment IDs
+//	gnnbench -parallel 8           # batch-engine throughput, 8 workers
 //
 // Paper-scale runs (default scale 1.0) rebuild PP (24,493 points) and TS
 // (194,971 points) and may take minutes for the disk-resident figures; use
 // -scale 0.1 for a quick pass that preserves every qualitative shape.
+//
+// The -parallel N mode measures the concurrent batch query engine instead
+// of reproducing a figure: it sweeps worker counts 1/2/4/NumCPU (plus N)
+// over a fixed workload, reports queries/sec per worker count, and with
+// -parallel-out writes the sweep as a JSON snapshot for tracking scaling
+// across revisions.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
 	"strings"
+	"time"
 
+	"gnn"
+	"gnn/internal/dataset"
 	"gnn/internal/experiments"
+	"gnn/internal/workload"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "experiment ID to run (e.g. 5.1, 5.4, A1)")
-		all     = flag.Bool("all", false, "run every experiment")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		scale   = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = paper size)")
-		queries = flag.Int("queries", 100, "queries per workload (memory-resident figures)")
-		seed    = flag.Int64("seed", 1, "generator seed")
-		buffer  = flag.Int("buffer", 512, "LRU buffer pages per tree/file (0 = none)")
-		budget  = flag.Int64("gcp-budget", 20_000_000, "GCP pair budget before a cell is DNF")
+		fig      = flag.String("fig", "", "experiment ID to run (e.g. 5.1, 5.4, A1)")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		scale    = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = paper size)")
+		queries  = flag.Int("queries", 100, "queries per workload (memory-resident figures)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		buffer   = flag.Int("buffer", 512, "LRU buffer pages per tree/file (0 = none)")
+		budget   = flag.Int64("gcp-budget", 20_000_000, "GCP pair budget before a cell is DNF")
+		parallel = flag.Int("parallel", 0, "throughput mode: sweep batch workers up to N (0 = off)")
+		pout     = flag.String("parallel-out", "", "write the -parallel sweep as JSON to this file")
 	)
 	flag.Parse()
 
@@ -42,8 +58,15 @@ func main() {
 		fmt.Println("experiments:", strings.Join(experiments.IDs(), " "))
 		return
 	}
+	if *parallel > 0 {
+		if err := runParallel(*parallel, *scale, *queries, *seed, *pout); err != nil {
+			fmt.Fprintln(os.Stderr, "gnnbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if !*all && *fig == "" {
-		fmt.Fprintln(os.Stderr, "usage: gnnbench -fig <id> | -all | -list")
+		fmt.Fprintln(os.Stderr, "usage: gnnbench -fig <id> | -all | -list | -parallel N")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -66,4 +89,113 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gnnbench:", err)
 		os.Exit(1)
 	}
+}
+
+// parallelSnapshot is the JSON schema of the -parallel-out file.
+type parallelSnapshot struct {
+	Dataset    string          `json:"dataset"`
+	Scale      float64         `json:"scale"`
+	Queries    int             `json:"queries"`
+	GroupSize  int             `json:"group_size"`
+	K          int             `json:"k"`
+	NumCPU     int             `json:"num_cpu"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Results    []parallelPoint `json:"results"`
+}
+
+type parallelPoint struct {
+	Workers    int     `json:"workers"`
+	QueriesSec float64 `json:"queries_per_sec"`
+	Seconds    float64 `json:"seconds"`
+	Speedup    float64 `json:"speedup_vs_1"`
+}
+
+// runParallel measures the batch engine's throughput: worker counts
+// 1/2/4/NumCPU (plus the requested maximum) answering the same workload of
+// GNN queries (n = 64, M = 8%, k = 8 — the paper's defaults) over TS.
+func runParallel(maxWorkers int, scale float64, numQueries int, seed int64, outPath string) error {
+	d := dataset.GenerateTS(seed)
+	if scale < 1 {
+		n := int(float64(len(d.Points)) * scale)
+		if n < 1 {
+			n = 1
+		}
+		d = &dataset.Dataset{Name: d.Name, Points: d.Points[:n]}
+	}
+	pts := make([]gnn.Point, len(d.Points))
+	for i, p := range d.Points {
+		pts[i] = gnn.Point(p)
+	}
+	ix, err := gnn.BuildIndex(pts, nil, gnn.IndexConfig{})
+	if err != nil {
+		return err
+	}
+	const groupSize, k = 64, 8
+	qs, err := workload.Generate(workload.Spec{
+		N: groupSize, AreaFraction: 0.08, Queries: numQueries,
+		Workspace: dataset.Workspace(), Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	batch := make([][]gnn.Point, len(qs))
+	for i, q := range qs {
+		group := make([]gnn.Point, len(q.Points))
+		for j, p := range q.Points {
+			group[j] = gnn.Point(p)
+		}
+		batch[i] = group
+	}
+
+	sweep := map[int]bool{1: true, 2: true, 4: true, runtime.NumCPU(): true, maxWorkers: true}
+	workers := make([]int, 0, len(sweep))
+	for w := range sweep {
+		if w <= maxWorkers {
+			workers = append(workers, w)
+		}
+	}
+	sort.Ints(workers)
+
+	snap := parallelSnapshot{
+		Dataset: d.Name, Scale: scale, Queries: len(batch),
+		GroupSize: groupSize, K: k,
+		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	fmt.Printf("# batch query engine throughput — %s (%d points), %d queries of n=%d, k=%d\n\n",
+		d.Name, len(pts), len(batch), groupSize, k)
+	fmt.Printf("%-8s  %12s  %10s  %8s\n", "workers", "queries/sec", "seconds", "speedup")
+	var base float64
+	for _, w := range workers {
+		// One warm-up pass, then the measured pass.
+		ix.GroupNNBatch(batch, gnn.WithK(k), gnn.WithParallelism(w))
+		start := time.Now()
+		out := ix.GroupNNBatch(batch, gnn.WithK(k), gnn.WithParallelism(w))
+		elapsed := time.Since(start)
+		for _, r := range out {
+			if r.Err != nil {
+				return r.Err
+			}
+		}
+		qps := float64(len(batch)) / elapsed.Seconds()
+		if base == 0 {
+			base = qps
+		}
+		pt := parallelPoint{
+			Workers: w, QueriesSec: qps,
+			Seconds: elapsed.Seconds(), Speedup: qps / base,
+		}
+		snap.Results = append(snap.Results, pt)
+		fmt.Printf("%-8d  %12.1f  %10.3f  %7.2fx\n", w, qps, pt.Seconds, pt.Speedup)
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nsnapshot written to %s\n", outPath)
+	}
+	return nil
 }

@@ -52,27 +52,25 @@ type QuerySetConfig struct {
 
 // QuerySet is a disk-resident, non-indexed query set: Hilbert-sorted,
 // paged, and read block-by-block with I/O accounting — the input of F-MQM
-// and F-MBM. Build one with NewQuerySet.
+// and F-MBM. Build one with NewQuerySet. A QuerySet is immutable after
+// construction, so concurrent queries may share it.
 type QuerySet struct {
-	qf      *core.QueryFile
-	counter *pagestore.AccessCounter
+	qf   *core.QueryFile
+	acct *pagestore.Accountant
 }
 
 // NewQuerySet prepares a disk-resident query set from 2-D points.
 func NewQuerySet(points []Point, cfg QuerySetConfig) (*QuerySet, error) {
-	counter := &pagestore.AccessCounter{}
-	if cfg.BufferPages > 0 {
-		counter.SetBuffer(pagestore.NewLRU(cfg.BufferPages))
-	}
+	acct := pagestore.NewAccountant(cfg.BufferPages)
 	pts := make([]geom.Point, len(points))
 	for i, p := range points {
 		pts[i] = geom.Point(p)
 	}
-	qf, err := core.NewQueryFile(pts, cfg.BlockPoints, counter, 0)
+	qf, err := core.NewQueryFile(pts, cfg.BlockPoints, acct, 0)
 	if err != nil {
 		return nil, err
 	}
-	return &QuerySet{qf: qf, counter: counter}, nil
+	return &QuerySet{qf: qf, acct: acct}, nil
 }
 
 // Len returns the number of query points.
@@ -85,26 +83,30 @@ func (qs *QuerySet) Blocks() int { return qs.qf.NumBlocks() }
 func (qs *QuerySet) Pages() int { return qs.qf.Pages() }
 
 // Cost reports the page reads charged to the query set since ResetCost.
-func (qs *QuerySet) Cost() Cost {
-	return Cost{
-		NodeAccesses:    qs.counter.Physical(),
-		LogicalAccesses: qs.counter.Logical(),
-		BufferHits:      qs.counter.Hits(),
-	}
-}
+func (qs *QuerySet) Cost() Cost { return costOf(qs.acct.Totals()) }
 
 // ResetCost zeroes the counters, keeping buffer contents warm.
-func (qs *QuerySet) ResetCost() { qs.counter.Reset() }
+func (qs *QuerySet) ResetCost() { qs.acct.Reset() }
 
 // GroupNNFromSet answers a GNN query whose query set resides on disk,
 // using F-MQM or F-MBM. Accepted options: WithK, WithDepthFirst (F-MBM
 // only) and WithDiskAlgorithm via the DiskQueryOption wrappers below.
+// Safe for unlimited concurrent callers sharing the index and the set.
 func (ix *Index) GroupNNFromSet(qs *QuerySet, algo DiskAlgorithm, opts ...QueryOption) ([]Result, error) {
+	res, _, err := ix.GroupNNFromSetWithCost(qs, algo, opts...)
+	return res, err
+}
+
+// GroupNNFromSetWithCost is GroupNNFromSet returning this query's own
+// combined I/O cost (R-tree node accesses plus Q page reads).
+func (ix *Index) GroupNNFromSetWithCost(qs *QuerySet, algo DiskAlgorithm, opts ...QueryOption) ([]Result, Cost, error) {
 	c := buildConfig(opts)
 	if c.aggregate != SumDist {
-		return nil, ErrUnsupportedAggregate
+		return nil, Cost{}, ErrUnsupportedAggregate
 	}
 	dopt := core.DiskOptions{Options: c.coreOptions()}
+	var tk pagestore.CostTracker
+	dopt.Cost = &tk
 	if algo == DiskAuto {
 		if qs.Blocks() <= autoBlockThreshold {
 			algo = DiskFMQM
@@ -122,12 +124,12 @@ func (ix *Index) GroupNNFromSet(qs *QuerySet, algo DiskAlgorithm, opts ...QueryO
 	case DiskFMBM:
 		rep, err = core.FMBM(ix.tree, qs.qf, dopt)
 	default:
-		return nil, fmt.Errorf("gnn: unknown disk algorithm %v", algo)
+		return nil, Cost{}, fmt.Errorf("gnn: unknown disk algorithm %v", algo)
 	}
 	if err != nil {
-		return nil, err
+		return nil, Cost{}, err
 	}
-	return toResults(rep.Neighbors), nil
+	return toResults(rep.Neighbors), costOf(rep.Cost), nil
 }
 
 // GroupNNClosestPairs answers a GNN query whose query set is itself
@@ -136,16 +138,26 @@ func (ix *Index) GroupNNFromSet(qs *QuerySet, algo DiskAlgorithm, opts ...QueryO
 // exceeding it returns ErrBudgetExceeded, mirroring the paper's
 // non-terminating GCP configurations.
 func (ix *Index) GroupNNClosestPairs(queryIndex *Index, pairBudget int64, opts ...QueryOption) ([]Result, error) {
+	res, _, err := ix.GroupNNClosestPairsWithCost(queryIndex, pairBudget, opts...)
+	return res, err
+}
+
+// GroupNNClosestPairsWithCost is GroupNNClosestPairs returning this
+// query's own combined node accesses over both indexes.
+func (ix *Index) GroupNNClosestPairsWithCost(queryIndex *Index, pairBudget int64, opts ...QueryOption) ([]Result, Cost, error) {
 	c := buildConfig(opts)
 	if c.aggregate != SumDist {
-		return nil, ErrUnsupportedAggregate
+		return nil, Cost{}, ErrUnsupportedAggregate
 	}
-	rep, err := core.GCP(ix.tree, queryIndex.tree, core.GCPOptions{
+	gopt := core.GCPOptions{
 		Options:    c.coreOptions(),
 		PairBudget: pairBudget,
-	})
-	if err != nil {
-		return nil, err
 	}
-	return toResults(rep.Neighbors), nil
+	var tk pagestore.CostTracker
+	gopt.Cost = &tk
+	rep, err := core.GCP(ix.tree, queryIndex.tree, gopt)
+	if err != nil {
+		return nil, Cost{}, err
+	}
+	return toResults(rep.Neighbors), costOf(rep.Cost), nil
 }

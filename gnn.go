@@ -14,6 +14,15 @@
 // library reproduces the paper's cost model: every traversal counts
 // simulated node accesses, optionally through an LRU buffer.
 //
+// Concurrency: every query runs in its own execution context, so all read
+// operations — GroupNN and its variants, NearestNeighbors, iterators,
+// GroupNNBatch, GroupNNFromSet — are safe for unlimited concurrent callers
+// against one shared Index. Per-query costs (GroupNNWithCost) and the
+// index-wide aggregate (Index.Cost) stay exact under concurrency: the
+// per-query costs of any set of queries sum to the aggregate they accrued.
+// Insert and Delete mutate the tree and require external synchronisation
+// with no concurrent readers.
+//
 // Quick start:
 //
 //	ix, _ := gnn.BuildIndex(places, nil)
@@ -56,26 +65,28 @@ type IndexConfig struct {
 }
 
 // Index is an R*-tree over the data set P. Build one with NewIndex (empty,
-// then Insert) or BuildIndex (bulk load). Not safe for concurrent use.
+// then Insert) or BuildIndex (bulk load). All read operations are safe for
+// unlimited concurrent callers; Insert and Delete require external
+// synchronisation with no concurrent readers.
 type Index struct {
-	tree    *rtree.Tree
-	counter *pagestore.AccessCounter
+	tree *rtree.Tree
+	acct *pagestore.Accountant
 }
 
 // NewIndex returns an empty index.
 func NewIndex(cfg IndexConfig) (*Index, error) {
-	counter, rcfg := indexConfig(cfg)
+	acct, rcfg := indexConfig(cfg)
 	t, err := rtree.New(rcfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Index{tree: t, counter: counter}, nil
+	return &Index{tree: t, acct: acct}, nil
 }
 
 // BuildIndex bulk-loads an index from points using sort-tile-recursive
 // packing. ids[i] identifies points[i]; pass nil to use the slice index.
 func BuildIndex(points []Point, ids []int64, cfg IndexConfig) (*Index, error) {
-	counter, rcfg := indexConfig(cfg)
+	acct, rcfg := indexConfig(cfg)
 	pts := make([]geom.Point, len(points))
 	for i, p := range points {
 		pts[i] = geom.Point(p)
@@ -84,18 +95,15 @@ func BuildIndex(points []Point, ids []int64, cfg IndexConfig) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{tree: t, counter: counter}, nil
+	return &Index{tree: t, acct: acct}, nil
 }
 
-func indexConfig(cfg IndexConfig) (*pagestore.AccessCounter, rtree.Config) {
-	counter := &pagestore.AccessCounter{}
-	if cfg.BufferPages > 0 {
-		counter.SetBuffer(pagestore.NewLRU(cfg.BufferPages))
-	}
-	return counter, rtree.Config{
+func indexConfig(cfg IndexConfig) (*pagestore.Accountant, rtree.Config) {
+	acct := pagestore.NewAccountant(cfg.BufferPages)
+	return acct, rtree.Config{
 		Dim:        cfg.Dim,
 		MaxEntries: cfg.NodeCapacity,
-		Counter:    counter,
+		Accountant: acct,
 	}
 }
 
@@ -126,7 +134,10 @@ func (ix *Index) Bounds() (lo, hi Point, ok bool) {
 	return Point(r.Lo), Point(r.Hi), true
 }
 
-// Cost reports the I/O charged to the index since the last ResetCost.
+// Cost reports simulated I/O: either one query's cost (the WithCost query
+// variants) or the index-wide aggregate since the last ResetCost
+// (Index.Cost). Per-query costs always sum exactly to the aggregate they
+// accrued, even under concurrency.
 type Cost struct {
 	// NodeAccesses is the paper's NA metric: physical node reads (buffer
 	// misses when a buffer is attached, all logical accesses otherwise).
@@ -137,20 +148,29 @@ type Cost struct {
 	BufferHits int64
 }
 
-// Cost returns the accumulated access counts.
-func (ix *Index) Cost() Cost {
+func costOf(tk pagestore.CostTracker) Cost {
 	return Cost{
-		NodeAccesses:    ix.counter.Physical(),
-		LogicalAccesses: ix.counter.Logical(),
-		BufferHits:      ix.counter.Hits(),
+		NodeAccesses:    tk.Physical,
+		LogicalAccesses: tk.Logical,
+		BufferHits:      tk.Hits,
 	}
 }
 
+// Add merges another cost into c (to aggregate per-query costs).
+func (c *Cost) Add(o Cost) {
+	c.NodeAccesses += o.NodeAccesses
+	c.LogicalAccesses += o.LogicalAccesses
+	c.BufferHits += o.BufferHits
+}
+
+// Cost returns the access counts accumulated across all queries.
+func (ix *Index) Cost() Cost { return costOf(ix.acct.Totals()) }
+
 // ResetCost zeroes the counters, keeping any buffer contents warm.
-func (ix *Index) ResetCost() { ix.counter.Reset() }
+func (ix *Index) ResetCost() { ix.acct.Reset() }
 
 // ResetCostCold zeroes the counters and drops the buffer contents.
-func (ix *Index) ResetCostCold() { ix.counter.ResetAll() }
+func (ix *Index) ResetCostCold() { ix.acct.ResetAll() }
 
 // CheckInvariants validates the underlying R*-tree structure (exposed for
 // tests and diagnostics).
@@ -160,18 +180,26 @@ func (ix *Index) CheckInvariants() error { return ix.tree.CheckInvariants() }
 // points to q) with the best-first algorithm of [HS99] — the n = 1 special
 // case of a GNN query, exposed because it is independently useful.
 func (ix *Index) NearestNeighbors(q Point, k int) ([]Result, error) {
+	res, _, err := ix.NearestNeighborsWithCost(q, k)
+	return res, err
+}
+
+// NearestNeighborsWithCost is NearestNeighbors returning the query's own
+// I/O cost alongside the results.
+func (ix *Index) NearestNeighborsWithCost(q Point, k int) ([]Result, Cost, error) {
 	if len(q) != ix.Dim() {
-		return nil, fmt.Errorf("gnn: query dimension %d, index dimension %d", len(q), ix.Dim())
+		return nil, Cost{}, fmt.Errorf("gnn: query dimension %d, index dimension %d", len(q), ix.Dim())
 	}
 	if k < 1 {
-		return nil, core.ErrBadK
+		return nil, Cost{}, core.ErrBadK
 	}
-	nbs := ix.tree.NearestBF(geom.Point(q), k)
+	var tk pagestore.CostTracker
+	nbs := ix.tree.Reader(&tk).NearestBF(geom.Point(q), k)
 	out := make([]Result, len(nbs))
 	for i, nb := range nbs {
 		out[i] = Result{Point: Point(nb.Point), ID: nb.ID, Dist: nb.Dist}
 	}
-	return out, nil
+	return out, costOf(tk), nil
 }
 
 func toResults(gs []core.GroupNeighbor) []Result {

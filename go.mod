@@ -1,0 +1,3 @@
+module gnn
+
+go 1.24

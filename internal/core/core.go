@@ -30,6 +30,7 @@ import (
 	"math"
 
 	"gnn/internal/geom"
+	"gnn/internal/pagestore"
 	"gnn/internal/rtree"
 )
 
@@ -120,6 +121,12 @@ type Options struct {
 	// Trace, when non-nil, accumulates per-heuristic pruning diagnostics
 	// (currently populated by MBM and its iterator).
 	Trace *Trace
+	// Cost, when non-nil, accumulates this query's I/O cost in place: node
+	// accesses of every tree the algorithm traverses, plus the page reads
+	// of a disk-resident query set. Give each query its own tracker; the
+	// index-wide aggregate accrues either way, so per-query costs always
+	// sum to the aggregate. A nil Cost charges the aggregate only.
+	Cost *pagestore.CostTracker
 }
 
 func (o Options) withDefaults() Options {

@@ -225,16 +225,16 @@ func TestHeuristic3NeverWorseNA(t *testing.T) {
 	var naFull, naH2 int64
 	for trial := 0; trial < 20; trial++ {
 		qs := randPts(rng, 32, 250)
-		tr.Counter().Reset()
+		tr.Accountant().Reset()
 		if _, err := MBM(tr, qs, Options{}); err != nil {
 			t.Fatal(err)
 		}
-		naFull += tr.Counter().Physical()
-		tr.Counter().Reset()
+		naFull += tr.Accountant().Physical()
+		tr.Accountant().Reset()
 		if _, err := MBM(tr, qs, Options{DisableHeuristic3: true}); err != nil {
 			t.Fatal(err)
 		}
-		naH2 += tr.Counter().Physical()
+		naH2 += tr.Accountant().Physical()
 	}
 	if naFull > naH2 {
 		t.Fatalf("full MBM NA %d > H2-only NA %d", naFull, naH2)
@@ -385,16 +385,16 @@ func TestMBMOutperformsMQMOnNodeAccesses(t *testing.T) {
 	var naMQM, naMBM int64
 	for trial := 0; trial < 10; trial++ {
 		qs := randPts(rng, 64, 250)
-		tr.Counter().Reset()
+		tr.Accountant().Reset()
 		if _, err := MQM(tr, qs, Options{K: 4}); err != nil {
 			t.Fatal(err)
 		}
-		naMQM += tr.Counter().Physical()
-		tr.Counter().Reset()
+		naMQM += tr.Accountant().Physical()
+		tr.Accountant().Reset()
 		if _, err := MBM(tr, qs, Options{K: 4}); err != nil {
 			t.Fatal(err)
 		}
-		naMBM += tr.Counter().Physical()
+		naMBM += tr.Accountant().Physical()
 	}
 	if naMBM*2 > naMQM {
 		t.Fatalf("MBM NA %d not clearly below MQM NA %d", naMBM, naMQM)

@@ -32,7 +32,7 @@ func TestQueryFileBasics(t *testing.T) {
 	}
 	total := 0
 	for i := 0; i < qf.NumBlocks(); i++ {
-		blk, err := qf.ReadBlock(i)
+		blk, err := qf.ReadBlock(i, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -50,7 +50,7 @@ func TestQueryFileBasics(t *testing.T) {
 	if total != 95 {
 		t.Fatalf("blocks cover %d points", total)
 	}
-	if qf.Counter().Logical() == 0 {
+	if qf.Accountant().Logical() == 0 {
 		t.Fatal("block reads not charged")
 	}
 	// Hilbert blocking should produce spatially compact blocks: total MBR
@@ -81,7 +81,7 @@ func TestQueryFileAllPoints(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	pts := randPts(rng, 120, 500)
 	qf, _ := NewQueryFile(pts, 50, nil, 0)
-	all, err := qf.AllPoints()
+	all, err := qf.AllPoints(nil)
 	if err != nil || len(all) != 120 {
 		t.Fatalf("AllPoints: %v, %d", err, len(all))
 	}
@@ -287,17 +287,23 @@ func TestDiskAlgorithmsChargeQueryIO(t *testing.T) {
 	pts := clusteredPts(rng, 1000, 1000)
 	qs := randPts(rng, 300, 500)
 	tr := buildTreeIDs(t, pts)
-	var qc pagestore.AccessCounter
-	qf, _ := NewQueryFile(qs, 50, &qc, 0)
-	tr.Counter().Reset()
-	if _, err := FMBM(tr, qf, DiskOptions{}); err != nil {
+	qc := pagestore.NewAccountant(0)
+	qf, _ := NewQueryFile(qs, 50, qc, 0)
+	tr.Accountant().Reset()
+	rep, err := FMBM(tr, qf, DiskOptions{})
+	if err != nil {
 		t.Fatal(err)
 	}
 	if qc.Physical() == 0 {
 		t.Fatal("F-MBM paid no Q page reads")
 	}
-	if tr.Counter().Physical() == 0 {
+	if tr.Accountant().Physical() == 0 {
 		t.Fatal("F-MBM paid no R-tree accesses")
+	}
+	// The report's per-query cost must equal the combined aggregates.
+	if rep.Cost.Logical != tr.Accountant().Logical()+qc.Logical() {
+		t.Fatalf("per-query cost %d != tree %d + Q %d",
+			rep.Cost.Logical, tr.Accountant().Logical(), qc.Logical())
 	}
 }
 
@@ -308,11 +314,12 @@ func TestFMBMBufferReducesQReads(t *testing.T) {
 	tr := buildTreeIDs(t, pts)
 
 	run := func(buffered bool) int64 {
-		var qc pagestore.AccessCounter
+		pages := 0
 		if buffered {
-			qc.SetBuffer(pagestore.NewLRU(100))
+			pages = 100
 		}
-		qf, _ := NewQueryFile(qs, 50, &qc, 0)
+		qc := pagestore.NewAccountant(pages)
+		qf, _ := NewQueryFile(qs, 50, qc, 0)
 		if _, err := FMBM(tr, qf, DiskOptions{}); err != nil {
 			t.Fatal(err)
 		}

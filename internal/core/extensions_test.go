@@ -195,16 +195,16 @@ func TestConstrainedRegionPrunesMBM(t *testing.T) {
 	qs := randPts(rng, 8, 1000) // spread-out group: expensive unconstrained
 	region := geom.NewRect(geom.Point{480, 480}, geom.Point{520, 520})
 
-	tr.Counter().Reset()
+	tr.Accountant().Reset()
 	if _, err := MBM(tr, qs, Options{}); err != nil {
 		t.Fatal(err)
 	}
-	unconstrained := tr.Counter().Physical()
-	tr.Counter().Reset()
+	unconstrained := tr.Accountant().Physical()
+	tr.Accountant().Reset()
 	if _, err := MBM(tr, qs, Options{Region: &region}); err != nil {
 		t.Fatal(err)
 	}
-	constrained := tr.Counter().Physical()
+	constrained := tr.Accountant().Physical()
 	if constrained > unconstrained {
 		t.Fatalf("region increased NA: %d vs %d", constrained, unconstrained)
 	}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"gnn/internal/geom"
+	"gnn/internal/pagestore"
 	"gnn/internal/pq"
 	"gnn/internal/rtree"
 )
@@ -36,10 +37,13 @@ func FMBM(t *rtree.Tree, qf *QueryFile, opt DiskOptions) (*DiskReport, error) {
 	if opt.Weights != nil || opt.Region != nil {
 		return nil, ErrUnsupportedOption
 	}
-	f := &fmbmRun{t: t, qf: qf, opt: opt, best: newKBest(opt.K), report: &DiskReport{}}
+	if opt.Cost == nil {
+		opt.Cost = &pagestore.CostTracker{}
+	}
+	f := &fmbmRun{rd: t.Reader(opt.Cost), qf: qf, opt: opt, best: newKBest(opt.K), report: &DiskReport{}}
 	if t.Len() > 0 {
 		if opt.Traversal == DepthFirst {
-			root := t.Root()
+			root := f.rd.Root()
 			rootRect, _ := t.Bounds()
 			if err := f.df(root, rootRect); err != nil {
 				return nil, err
@@ -49,11 +53,12 @@ func FMBM(t *rtree.Tree, qf *QueryFile, opt DiskOptions) (*DiskReport, error) {
 		}
 	}
 	f.report.Neighbors = f.best.results()
+	f.report.Cost = *opt.Cost
 	return f.report, nil
 }
 
 type fmbmRun struct {
-	t      *rtree.Tree
+	rd     rtree.Reader
 	qf     *QueryFile
 	opt    DiskOptions
 	best   *kbest
@@ -72,9 +77,9 @@ func (f *fmbmRun) weightedMindist(r geom.Rect) float64 {
 // bf traverses internal entries best-first by weighted mindist; leaves are
 // processed wholesale when popped.
 func (f *fmbmRun) bf() error {
-	root := f.t.Root()
+	root := f.rd.Root()
 	if root.IsLeaf() {
-		rootRect, _ := f.t.Bounds()
+		rootRect, _ := f.rd.Tree().Bounds()
 		return f.processLeaf(root, rootRect)
 	}
 	heap := pq.NewHeap[rtree.Entry](64)
@@ -89,7 +94,7 @@ func (f *fmbmRun) bf() error {
 		if item.Priority >= f.best.bound() {
 			return nil // heuristic 5 ends the search: all keys are larger
 		}
-		nd := f.t.Child(item.Value)
+		nd := f.rd.Child(item.Value)
 		if nd.IsLeaf() {
 			if err := f.processLeaf(nd, item.Value.Rect); err != nil {
 				return err
@@ -121,7 +126,7 @@ func (f *fmbmRun) df(nd rtree.Node, ndRect geom.Rect) error {
 		if c.w >= f.best.bound() {
 			return nil // heuristic 5; list is sorted, so stop
 		}
-		if err := f.df(f.t.Child(c.e), c.e.Rect); err != nil {
+		if err := f.df(f.rd.Child(c.e), c.e.Rect); err != nil {
 			return err
 		}
 	}
@@ -180,7 +185,7 @@ func (f *fmbmRun) processLeaf(nd rtree.Node, ndRect geom.Rect) error {
 		if len(survivors) == 0 {
 			break
 		}
-		blk, err := f.qf.ReadBlock(order[s])
+		blk, err := f.qf.ReadBlock(order[s], f.opt.Cost)
 		if err != nil {
 			return err
 		}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"gnn/internal/geom"
+	"gnn/internal/pagestore"
 	"gnn/internal/rtree"
 )
 
@@ -13,12 +14,16 @@ type DiskOptions struct {
 }
 
 // DiskReport carries the result and cost diagnostics of a disk-resident
-// run. I/O counts live in the tree's and query file's counters.
+// run.
 type DiskReport struct {
 	Neighbors []GroupNeighbor
 	// Rounds is the number of group phases executed (F-MQM) or leaf nodes
 	// processed (F-MBM).
 	Rounds int
+	// Cost is this query's combined I/O: R-tree node accesses plus Q page
+	// reads. The same counts also accrue on the tree's and query file's
+	// shared accountants.
+	Cost pagestore.CostTracker
 }
 
 // fmqmCand is a pending F-MQM candidate: a group-local nearest neighbor
@@ -56,6 +61,9 @@ func FMQM(t *rtree.Tree, qf *QueryFile, opt DiskOptions) (*DiskReport, error) {
 	if opt.Weights != nil || opt.Region != nil {
 		return nil, ErrUnsupportedOption
 	}
+	if opt.Cost == nil {
+		opt.Cost = &pagestore.CostTracker{}
+	}
 	m := qf.NumBlocks()
 	iters := make([]*GNNIterator, m)
 	exhausted := make([]bool, m)
@@ -88,7 +96,7 @@ func FMQM(t *rtree.Tree, qf *QueryFile, opt DiskOptions) (*DiskReport, error) {
 		if !needUpdate && (!drawing || exhausted[j]) {
 			continue
 		}
-		pts, err := qf.ReadBlock(j) // one block read per phase
+		pts, err := qf.ReadBlock(j, opt.Cost) // one block read per phase
 		if err != nil {
 			return nil, err
 		}
@@ -113,6 +121,8 @@ func FMQM(t *rtree.Tree, qf *QueryFile, opt DiskOptions) (*DiskReport, error) {
 		// 2) Draw the next local NN of group j.
 		if drawing && !exhausted[j] {
 			if iters[j] == nil {
+				// opt.Options carries the per-query tracker, so the
+				// per-block GNN streams charge it too.
 				it, err := NewGNNIterator(t, pts, opt.Options)
 				if err != nil {
 					return nil, err
@@ -142,5 +152,6 @@ func FMQM(t *rtree.Tree, qf *QueryFile, opt DiskOptions) (*DiskReport, error) {
 		}
 	}
 	report.Neighbors = best.results()
+	report.Cost = *opt.Cost
 	return report, nil
 }

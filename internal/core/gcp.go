@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"gnn/internal/pagestore"
 	"gnn/internal/rtree"
 )
 
@@ -26,6 +27,8 @@ type GCPReport struct {
 	// HeapMax is the high-water mark of the closest-pair heap (the
 	// paper's "large heap requirements").
 	HeapMax int
+	// Cost is this query's combined node accesses over both trees.
+	Cost pagestore.CostTracker
 }
 
 // gcpCand is a qualifying-list record: the running state of a data point
@@ -69,7 +72,12 @@ func GCP(tp, tq *rtree.Tree, opt GCPOptions) (*GCPReport, error) {
 	if tq.Len() == 0 {
 		return nil, ErrEmptyQuery
 	}
-	it, err := rtree.NewClosestPairIterator(tp, tq)
+	if opt.Cost == nil {
+		opt.Cost = &pagestore.CostTracker{}
+	}
+	// Both trees charge the same per-query tracker, so the report's cost is
+	// the combined NA over P and Q.
+	it, err := rtree.NewClosestPairIteratorReaders(tp.Reader(opt.Cost), tq.Reader(opt.Cost))
 	if err != nil {
 		return nil, err
 	}
@@ -89,6 +97,7 @@ func GCP(tp, tq *rtree.Tree, opt GCPOptions) (*GCPReport, error) {
 		}
 		report.PairsConsumed++
 		if opt.PairBudget > 0 && report.PairsConsumed > opt.PairBudget {
+			report.Cost = *opt.Cost
 			return report, ErrBudgetExceeded
 		}
 		d := pair.Dist
@@ -144,5 +153,6 @@ func GCP(tp, tq *rtree.Tree, opt GCPOptions) (*GCPReport, error) {
 		}
 	}
 	report.Neighbors = best.results()
+	report.Cost = *opt.Cost
 	return report, nil
 }

@@ -35,7 +35,8 @@ func MBM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 		}
 		best := newKBest(opt.K)
 		qmbr := geom.BoundingRect(qs)
-		mbmDF(t, t.Root(), qs, qmbr, w, opt, best)
+		rd := t.Reader(opt.Cost)
+		mbmDF(rd, rd.Root(), qs, qmbr, w, opt, best)
 		return best.results(), nil
 	}
 	it, err := NewGNNIterator(t, qs, opt)
@@ -56,7 +57,7 @@ func MBM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 // mbmDF is the depth-first MBM of Figure 3.7: entries sorted by mindist to
 // the query MBR; heuristic 2 ends the scan of the sorted list (monotone in
 // the sort key), heuristic 3 skips individual surviving nodes.
-func mbmDF(t *rtree.Tree, nd rtree.Node, qs []geom.Point, qmbr geom.Rect, w *weightCtx, opt Options, best *kbest) {
+func mbmDF(rd rtree.Reader, nd rtree.Node, qs []geom.Point, qmbr geom.Rect, w *weightCtx, opt Options, best *kbest) {
 	entries := nd.Entries()
 	n := len(qs)
 	type cand struct {
@@ -105,7 +106,7 @@ func mbmDF(t *rtree.Tree, nd rtree.Node, qs []geom.Point, qmbr geom.Rect, w *wei
 			continue // heuristic 3: skip just this node
 		}
 		opt.Trace.add(func(tr *Trace) { tr.NodesVisited++ })
-		mbmDF(t, t.Child(c.e), qs, qmbr, w, opt, best)
+		mbmDF(rd, rd.Child(c.e), qs, qmbr, w, opt, best)
 	}
 }
 
@@ -126,7 +127,7 @@ func mbmDF(t *rtree.Tree, nd rtree.Node, qs []geom.Point, qmbr geom.Rect, w *wei
 // it, results emerge in exact ascending order while far nodes and points
 // never pay the n-distance computation.
 type GNNIterator struct {
-	t    *rtree.Tree
+	rd   rtree.Reader
 	qs   []geom.Point
 	qmbr geom.Rect
 	opt  Options
@@ -159,7 +160,7 @@ func NewGNNIterator(t *rtree.Tree, qs []geom.Point, opt Options) (*GNNIterator, 
 		return nil, err
 	}
 	it := &GNNIterator{
-		t:    t,
+		rd:   t.Reader(opt.Cost),
 		qs:   qs,
 		qmbr: geom.BoundingRect(qs),
 		opt:  opt,
@@ -167,7 +168,7 @@ func NewGNNIterator(t *rtree.Tree, qs []geom.Point, opt Options) (*GNNIterator, 
 		heap: pq.NewHeap[gnnItem](64),
 	}
 	if t.Len() > 0 {
-		it.pushNode(t.Root())
+		it.pushNode(it.rd.Root())
 	}
 	return it, nil
 }
@@ -219,10 +220,10 @@ func (it *GNNIterator) Next() (GroupNeighbor, bool) {
 				}
 			}
 			it.opt.Trace.add(func(tr *Trace) { tr.NodesVisited++ })
-			it.pushNode(it.t.Child(item.Value.e))
+			it.pushNode(it.rd.Child(item.Value.e))
 		case nodeTight:
 			it.opt.Trace.add(func(tr *Trace) { tr.NodesVisited++ })
-			it.pushNode(it.t.Child(item.Value.e))
+			it.pushNode(it.rd.Child(item.Value.e))
 		}
 	}
 }

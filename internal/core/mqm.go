@@ -32,9 +32,10 @@ func MQM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 	qs, w = sortByHilbertWeighted(qs, w)
 	n := len(qs)
 
+	rd := t.Reader(opt.Cost)
 	iters := make([]*rtree.NNIterator, n)
 	for i, q := range qs {
-		iters[i] = t.NewNNIterator(q)
+		iters[i] = rd.NewNNIterator(q)
 	}
 	thresholds := make([]float64, n)
 	best := newKBest(opt.K)

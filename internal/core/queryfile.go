@@ -17,20 +17,22 @@ const DefaultBlockPoints = 10000
 // block MBRs M_i and cardinalities n_i are retained in memory (they are
 // by-products of the sorting pass, whose cost the paper excludes).
 //
-// Reading a block charges one physical page read per page it spans through
-// the supplied counter, optionally via an LRU buffer.
+// Reading a block charges one physical page read per page it spans to the
+// file's shared Accountant (optionally via an LRU buffer) and to the
+// caller's per-query tracker. A QueryFile is immutable after construction,
+// so concurrent queries may read it freely.
 type QueryFile struct {
 	file   *pagestore.PointFile
-	blocks [][]geom.Point // cached decoded blocks (charging happens in file)
+	blocks [][]geom.Point // decoded blocks (charging happens in file)
 	mbrs   []geom.Rect
 	ns     []int
 	total  int
 }
 
 // NewQueryFile builds a QueryFile from 2-D query points. blockPoints
-// defaults to DefaultBlockPoints when zero; counter may be nil (private
-// counting); basePage offsets the file's page IDs for shared buffers.
-func NewQueryFile(pts []geom.Point, blockPoints int, counter *pagestore.AccessCounter, basePage pagestore.PageID) (*QueryFile, error) {
+// defaults to DefaultBlockPoints when zero; acct may be nil (private
+// accounting); basePage offsets the file's page IDs for shared buffers.
+func NewQueryFile(pts []geom.Point, blockPoints int, acct *pagestore.Accountant, basePage pagestore.PageID) (*QueryFile, error) {
 	if len(pts) == 0 {
 		return nil, ErrEmptyQuery
 	}
@@ -47,7 +49,7 @@ func NewQueryFile(pts []geom.Point, blockPoints int, counter *pagestore.AccessCo
 	for i, p := range sorted {
 		pairs[i] = [2]float64{p[0], p[1]}
 	}
-	file, err := pagestore.NewPointFile(pairs, pagestore.DefaultPageCapacity, blockPoints, counter, basePage)
+	file, err := pagestore.NewPointFile(pairs, pagestore.DefaultPageCapacity, blockPoints, acct, basePage)
 	if err != nil {
 		return nil, err
 	}
@@ -62,6 +64,7 @@ func NewQueryFile(pts []geom.Point, blockPoints int, counter *pagestore.AccessCo
 		if hi > len(sorted) {
 			hi = len(sorted)
 		}
+		qf.blocks[i] = sorted[lo:hi]
 		qf.mbrs[i] = geom.BoundingRect(sorted[lo:hi])
 		qf.ns[i] = hi - lo
 	}
@@ -80,35 +83,29 @@ func (qf *QueryFile) BlockLen(i int) int { return qf.ns[i] }
 // MBR returns M_i without touching the disk.
 func (qf *QueryFile) MBR(i int) geom.Rect { return qf.mbrs[i] }
 
-// ReadBlock loads block i, charging its page reads, and returns its points.
-// The returned slice is cached and must be treated as read-only.
-func (qf *QueryFile) ReadBlock(i int) ([]geom.Point, error) {
-	pairs, err := qf.file.ReadBlock(i) // charges the I/O
-	if err != nil {
+// ReadBlock loads block i, charging its page reads to the file's
+// accountant and the caller's tracker (nil for aggregate-only), and
+// returns its points. The returned slice is shared and must be treated as
+// read-only.
+func (qf *QueryFile) ReadBlock(i int, tk *pagestore.CostTracker) ([]geom.Point, error) {
+	if _, err := qf.file.ReadBlock(i, tk); err != nil { // charges the I/O
 		return nil, err
-	}
-	if qf.blocks[i] == nil {
-		pts := make([]geom.Point, len(pairs))
-		for j, pr := range pairs {
-			pts[j] = geom.Point{pr[0], pr[1]}
-		}
-		qf.blocks[i] = pts
 	}
 	return qf.blocks[i], nil
 }
 
-// Counter exposes the file's access counter (page reads of Q).
-func (qf *QueryFile) Counter() *pagestore.AccessCounter { return qf.file.Counter() }
+// Accountant exposes the file's shared accountant (page reads of Q).
+func (qf *QueryFile) Accountant() *pagestore.Accountant { return qf.file.Accountant() }
 
 // Pages returns the number of pages Q occupies.
 func (qf *QueryFile) Pages() int { return qf.file.Pages() }
 
-// AllPoints reads every block (charging the I/O) and returns the full
-// query group; used by validation baselines.
-func (qf *QueryFile) AllPoints() ([]geom.Point, error) {
+// AllPoints reads every block (charging the I/O to tk and the aggregate)
+// and returns the full query group; used by validation baselines.
+func (qf *QueryFile) AllPoints(tk *pagestore.CostTracker) ([]geom.Point, error) {
 	out := make([]geom.Point, 0, qf.total)
 	for i := 0; i < qf.NumBlocks(); i++ {
-		blk, err := qf.ReadBlock(i)
+		blk, err := qf.ReadBlock(i, tk)
 		if err != nil {
 			return nil, err
 		}

@@ -48,9 +48,9 @@ func SPM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 	}
 	best := newKBest(opt.K)
 	if t.Len() > 0 {
-		run := spmRun{t: t, qs: qs, q: q, dq: dq, n: n, w: w, region: opt.Region, best: best}
+		run := spmRun{rd: t.Reader(opt.Cost), qs: qs, q: q, dq: dq, n: n, w: w, region: opt.Region, best: best}
 		if opt.Traversal == DepthFirst {
-			run.df(t.Root())
+			run.df(run.rd.Root())
 		} else {
 			run.bf()
 		}
@@ -60,7 +60,7 @@ func SPM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 
 // spmRun carries the per-query state of an SPM traversal.
 type spmRun struct {
-	t      *rtree.Tree
+	rd     rtree.Reader
 	qs     []geom.Point
 	q      geom.Point // centroid
 	dq     float64    // dist_w(q, Q)
@@ -131,7 +131,7 @@ func (r *spmRun) df(nd rtree.Node) {
 		if c.e.IsLeafEntry() {
 			r.offer(c.e)
 		} else if regionIntersects(r.region, c.e.Rect) {
-			r.df(r.t.Child(c.e))
+			r.df(r.rd.Child(c.e))
 		}
 	}
 }
@@ -150,7 +150,7 @@ func (r *spmRun) bf() {
 			}
 		}
 	}
-	push(r.t.Root())
+	push(r.rd.Root())
 	for {
 		item, ok := heap.Pop()
 		if !ok {
@@ -162,7 +162,7 @@ func (r *spmRun) bf() {
 		if item.Value.IsLeafEntry() {
 			r.offer(item.Value)
 		} else {
-			push(r.t.Child(item.Value))
+			push(r.rd.Child(item.Value))
 		}
 	}
 }

@@ -112,8 +112,8 @@ func (e *Env) measureGCP(tp *rtree.Tree, qpts []geom.Point, opt core.Options) (s
 	if err != nil {
 		return stats.Measurement{}, err
 	}
-	tp.Counter().ResetAll()
-	tq.Counter().ResetAll()
+	tp.Accountant().ResetAll()
+	tq.Accountant().ResetAll()
 	start := time.Now()
 	rep, err := core.GCP(tp, tq, core.GCPOptions{Options: opt, PairBudget: e.cfg.GCPPairBudget})
 	elapsed := time.Since(start)
@@ -127,7 +127,7 @@ func (e *Env) measureGCP(tp *rtree.Tree, qpts []geom.Point, opt core.Options) (s
 		return stats.Measurement{}, fmt.Errorf("experiments: GCP returned no results")
 	}
 	return stats.Measurement{
-		NodeAccesses: float64(tp.Counter().Logical() + tq.Counter().Logical()),
+		NodeAccesses: float64(tp.Accountant().Logical() + tq.Accountant().Logical()),
 		CPU:          elapsed,
 		Queries:      1,
 	}, nil
@@ -136,15 +136,12 @@ func (e *Env) measureGCP(tp *rtree.Tree, qpts []geom.Point, opt core.Options) (s
 // measureFDisk runs F-MQM or F-MBM over a fresh query file, reporting the
 // R-tree NA plus the Q page reads (both behind the configured buffer).
 func (e *Env) measureFDisk(tp *rtree.Tree, qpts []geom.Point, algo string, blockPts int, opt core.Options) (stats.Measurement, error) {
-	counter := &pagestore.AccessCounter{}
-	if e.cfg.BufferPages > 0 {
-		counter.SetBuffer(pagestore.NewLRU(e.cfg.BufferPages))
-	}
-	qf, err := core.NewQueryFile(qpts, blockPts, counter, 1<<41)
+	acct := pagestore.NewAccountant(e.cfg.BufferPages)
+	qf, err := core.NewQueryFile(qpts, blockPts, acct, 1<<41)
 	if err != nil {
 		return stats.Measurement{}, err
 	}
-	tp.Counter().ResetAll()
+	tp.Accountant().ResetAll()
 	start := time.Now()
 	var rep *core.DiskReport
 	switch algo {
@@ -163,7 +160,7 @@ func (e *Env) measureFDisk(tp *rtree.Tree, qpts []geom.Point, algo string, block
 		return stats.Measurement{}, fmt.Errorf("experiments: %s returned no results", algo)
 	}
 	return stats.Measurement{
-		NodeAccesses: float64(tp.Counter().Logical() + counter.Logical()),
+		NodeAccesses: float64(tp.Accountant().Logical() + acct.Logical()),
 		CPU:          elapsed,
 		Queries:      1,
 	}, nil

@@ -124,13 +124,9 @@ func (e *Env) Tree(name string) (*rtree.Tree, error) {
 // buildTree bulk-loads a tree over the dataset with the paper's node
 // capacity, attaching an LRU buffer when configured.
 func (e *Env) buildTree(d *dataset.Dataset, firstPage pagestore.PageID) (*rtree.Tree, error) {
-	counter := &pagestore.AccessCounter{}
-	if e.cfg.BufferPages > 0 {
-		counter.SetBuffer(pagestore.NewLRU(e.cfg.BufferPages))
-	}
 	return rtree.BulkLoadSTR(rtree.Config{
 		MaxEntries: rtree.DefaultMaxEntries,
-		Counter:    counter,
+		Accountant: pagestore.NewAccountant(e.cfg.BufferPages),
 		FirstPage:  firstPage,
 	}, d.Points, nil)
 }

@@ -120,14 +120,14 @@ func measureMemoryMetric(t *rtree.Tree, queries []workload.Query, a memAlgorithm
 	var elapsed time.Duration
 	var accesses int64
 	for qi, q := range queries {
-		t.Counter().ResetAll()
+		t.Accountant().ResetAll()
 		start := time.Now()
 		got, err := a.Run(t, q.Points, opt)
 		elapsed += time.Since(start)
 		if usePhysical {
-			accesses += t.Counter().Physical()
+			accesses += t.Accountant().Physical()
 		} else {
-			accesses += t.Counter().Logical()
+			accesses += t.Accountant().Logical()
 		}
 		if err != nil {
 			return stats.Measurement{}, fmt.Errorf("%s: %w", a.Name, err)

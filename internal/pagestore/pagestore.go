@@ -2,12 +2,15 @@
 //
 // The paper measures algorithms in node accesses (NA) on R*-trees with
 // 1 KB pages (50 entries per node) and notes that MQM "benefits from the
-// existence of an LRU buffer". This package provides exactly those two
-// mechanisms, decoupled from the tree itself:
+// existence of an LRU buffer". This package provides those mechanisms,
+// decoupled from the tree itself and safe for concurrent queries:
 //
-//   - AccessCounter tallies logical accesses and, when an LRU buffer is
-//     attached, splits them into buffer hits and physical reads (the NA a
-//     disk system would actually pay).
+//   - CostTracker tallies the accesses of ONE query. It is a plain struct
+//     owned by a single goroutine, so it needs no locking.
+//   - Accountant is the index-wide disk model shared by every concurrent
+//     query: an atomic aggregate of all accesses plus an optional
+//     mutex-guarded LRU buffer that splits them into buffer hits and
+//     physical reads (the NA a disk system would actually pay).
 //   - LRU is a classic least-recently-used page buffer over abstract page
 //     identifiers.
 //   - PointFile models a flat disk file of points (the non-indexed,
@@ -18,6 +21,8 @@ package pagestore
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // PageID identifies a page (an R-tree node or a slot of a flat file).
@@ -26,66 +31,139 @@ type PageID int64
 // DefaultPageCapacity is the paper's 50 entries per 1 KB page.
 const DefaultPageCapacity = 50
 
-// AccessCounter tracks the I/O cost of a traversal. The zero value counts
-// logical accesses only; attach a buffer with SetBuffer to model caching.
-// Not safe for concurrent use — each query runs single-threaded, as in the
-// paper.
-type AccessCounter struct {
-	logical  int64
-	physical int64
-	hits     int64
-	buffer   *LRU
+// CostTracker accumulates the I/O cost of a single query. Each query
+// allocates its own tracker and reads it when done; because a tracker is
+// never shared between goroutines, plain fields suffice and there is no
+// synchronisation cost on the per-access hot path.
+type CostTracker struct {
+	// Logical counts every page visit, before buffering.
+	Logical int64
+	// Physical counts buffer misses — the paper's NA metric when a buffer
+	// is attached, equal to Logical otherwise.
+	Physical int64
+	// Hits counts accesses served by the LRU buffer.
+	Hits int64
 }
 
-// SetBuffer attaches (or detaches, with nil) an LRU buffer. Counts are not
-// reset; call Reset for a fresh measurement.
-func (c *AccessCounter) SetBuffer(b *LRU) { c.buffer = b }
-
-// Access records one access to the page. It returns true when the access
-// was served by the buffer (a hit), false when it cost a physical read.
-// Without a buffer every access is physical.
-func (c *AccessCounter) Access(id PageID) bool {
-	c.logical++
-	if c.buffer != nil && c.buffer.Access(id) {
-		c.hits++
-		return true
-	}
-	c.physical++
-	return false
-}
-
-// Logical returns the number of logical page accesses.
-func (c *AccessCounter) Logical() int64 { return c.logical }
-
-// Physical returns the number of physical reads (buffer misses). This is
-// the paper's NA metric when a buffer is attached.
-func (c *AccessCounter) Physical() int64 { return c.physical }
-
-// Hits returns the number of buffer hits.
-func (c *AccessCounter) Hits() int64 { return c.hits }
-
-// Reset zeroes all counters, leaving any attached buffer's contents intact.
-func (c *AccessCounter) Reset() { c.logical, c.physical, c.hits = 0, 0, 0 }
-
-// ResetAll zeroes the counters and drops the buffer contents, modelling a
-// cold cache.
-func (c *AccessCounter) ResetAll() {
-	c.Reset()
-	if c.buffer != nil {
-		c.buffer.Clear()
+// record tallies one access with the given buffer outcome.
+func (c *CostTracker) record(hit bool) {
+	c.Logical++
+	if hit {
+		c.Hits++
+	} else {
+		c.Physical++
 	}
 }
 
 // Add merges the counts of other into c (used to aggregate per-query costs
 // into workload totals).
-func (c *AccessCounter) Add(other *AccessCounter) {
-	c.logical += other.logical
-	c.physical += other.physical
-	c.hits += other.hits
+func (c *CostTracker) Add(other CostTracker) {
+	c.Logical += other.Logical
+	c.Physical += other.Physical
+	c.Hits += other.Hits
+}
+
+// Reset zeroes the tracker.
+func (c *CostTracker) Reset() { *c = CostTracker{} }
+
+// Accountant models the disk subsystem shared by every query against one
+// index: the aggregate access counts (atomic, so unlimited concurrent
+// queries may charge it) and the optional LRU buffer (behind a small mutex,
+// so warm-buffer semantics survive concurrency). Every access is charged to
+// the aggregate and, when the caller supplies one, to a per-query
+// CostTracker — with the same hit/miss outcome, so per-query costs always
+// sum exactly to the aggregate.
+type Accountant struct {
+	logical  atomic.Int64
+	physical atomic.Int64
+	hits     atomic.Int64
+
+	hasBuffer atomic.Bool // fast path: skip the lock when no buffer is attached
+	mu        sync.Mutex
+	buffer    *LRU
+}
+
+// NewAccountant returns an accountant, with an LRU buffer of bufferPages
+// pages attached when bufferPages > 0.
+func NewAccountant(bufferPages int) *Accountant {
+	a := &Accountant{}
+	if bufferPages > 0 {
+		a.SetBuffer(NewLRU(bufferPages))
+	}
+	return a
+}
+
+// SetBuffer attaches (or detaches, with nil) an LRU buffer. Counts are not
+// reset; call Reset for a fresh measurement.
+func (a *Accountant) SetBuffer(b *LRU) {
+	a.mu.Lock()
+	a.buffer = b
+	a.mu.Unlock()
+	a.hasBuffer.Store(b != nil)
+}
+
+// Access records one access to the page, charging both the aggregate and,
+// when tk is non-nil, the caller's per-query tracker. It returns true when
+// the access was served by the buffer (a hit), false when it cost a
+// physical read. Without a buffer every access is physical.
+func (a *Accountant) Access(id PageID, tk *CostTracker) bool {
+	hit := false
+	if a.hasBuffer.Load() {
+		a.mu.Lock()
+		if a.buffer != nil {
+			hit = a.buffer.Access(id)
+		}
+		a.mu.Unlock()
+	}
+	a.logical.Add(1)
+	if hit {
+		a.hits.Add(1)
+	} else {
+		a.physical.Add(1)
+	}
+	if tk != nil {
+		tk.record(hit)
+	}
+	return hit
+}
+
+// Logical returns the aggregate number of logical page accesses.
+func (a *Accountant) Logical() int64 { return a.logical.Load() }
+
+// Physical returns the aggregate number of physical reads (buffer misses).
+// This is the paper's NA metric when a buffer is attached.
+func (a *Accountant) Physical() int64 { return a.physical.Load() }
+
+// Hits returns the aggregate number of buffer hits.
+func (a *Accountant) Hits() int64 { return a.hits.Load() }
+
+// Totals returns the aggregate counts as a CostTracker snapshot.
+func (a *Accountant) Totals() CostTracker {
+	return CostTracker{Logical: a.Logical(), Physical: a.Physical(), Hits: a.Hits()}
+}
+
+// Reset zeroes the aggregate counters, leaving any attached buffer's
+// contents intact.
+func (a *Accountant) Reset() {
+	a.logical.Store(0)
+	a.physical.Store(0)
+	a.hits.Store(0)
+}
+
+// ResetAll zeroes the aggregate counters and drops the buffer contents,
+// modelling a cold cache.
+func (a *Accountant) ResetAll() {
+	a.Reset()
+	a.mu.Lock()
+	if a.buffer != nil {
+		a.buffer.Clear()
+	}
+	a.mu.Unlock()
 }
 
 // LRU is a least-recently-used buffer of page IDs with fixed capacity.
-// The zero value is unusable; construct with NewLRU.
+// The zero value is unusable; construct with NewLRU. An LRU is not safe for
+// concurrent use on its own — Accountant serialises access to its buffer.
 type LRU struct {
 	capacity int
 	nodes    map[PageID]*lruNode
@@ -182,34 +260,36 @@ var ErrOutOfRange = errors.New("pagestore: block index out of range")
 
 // PointFile models the flat, non-indexed query file of §4: a sequence of
 // 2-D points packed into pages of PointsPerPage entries. Reading a block
-// charges one physical read per page through the file's AccessCounter.
+// charges one physical read per page through the file's Accountant and the
+// reader's per-query tracker. Concurrent reads are safe.
 type PointFile struct {
 	points        [][2]float64
 	pointsPerPage int
 	blockPoints   int // points per in-memory block (10,000 in §5.2)
-	counter       *AccessCounter
+	acct          *Accountant
 	basePage      PageID
 }
 
 // NewPointFile wraps points as a disk file. pointsPerPage is the page
 // capacity (the paper's 50); blockPoints is the number of points loaded per
 // memory block (the paper's 10,000). basePage offsets the file's page IDs
-// so several files can share one buffer without collisions.
-func NewPointFile(points [][2]float64, pointsPerPage, blockPoints int, counter *AccessCounter, basePage PageID) (*PointFile, error) {
+// so several files can share one buffer without collisions. A nil acct gets
+// a private unbuffered accountant.
+func NewPointFile(points [][2]float64, pointsPerPage, blockPoints int, acct *Accountant, basePage PageID) (*PointFile, error) {
 	if pointsPerPage < 1 {
 		return nil, fmt.Errorf("pagestore: pointsPerPage %d < 1", pointsPerPage)
 	}
 	if blockPoints < 1 {
 		return nil, fmt.Errorf("pagestore: blockPoints %d < 1", blockPoints)
 	}
-	if counter == nil {
-		counter = &AccessCounter{}
+	if acct == nil {
+		acct = NewAccountant(0)
 	}
 	return &PointFile{
 		points:        points,
 		pointsPerPage: pointsPerPage,
 		blockPoints:   blockPoints,
-		counter:       counter,
+		acct:          acct,
 		basePage:      basePage,
 	}, nil
 }
@@ -239,9 +319,10 @@ func (f *PointFile) BlockLen(i int) (int, error) {
 }
 
 // ReadBlock loads block i into memory, charging one access per page the
-// block spans. The returned slice aliases the file's storage and must be
-// treated as read-only.
-func (f *PointFile) ReadBlock(i int) ([][2]float64, error) {
+// block spans to the file's accountant and, when tk is non-nil, to the
+// caller's per-query tracker. The returned slice aliases the file's storage
+// and must be treated as read-only.
+func (f *PointFile) ReadBlock(i int, tk *CostTracker) ([][2]float64, error) {
 	if i < 0 || i >= f.NumBlocks() {
 		return nil, fmt.Errorf("%w: block %d of %d", ErrOutOfRange, i, f.NumBlocks())
 	}
@@ -253,13 +334,13 @@ func (f *PointFile) ReadBlock(i int) ([][2]float64, error) {
 	firstPage := lo / f.pointsPerPage
 	lastPage := (hi - 1) / f.pointsPerPage
 	for p := firstPage; p <= lastPage; p++ {
-		f.counter.Access(f.basePage + PageID(p))
+		f.acct.Access(f.basePage+PageID(p), tk)
 	}
 	return f.points[lo:hi], nil
 }
 
-// Counter exposes the file's access counter.
-func (f *PointFile) Counter() *AccessCounter { return f.counter }
+// Accountant exposes the file's shared accountant.
+func (f *PointFile) Accountant() *Accountant { return f.acct }
 
 // Pages returns the total number of pages the file occupies.
 func (f *PointFile) Pages() int {

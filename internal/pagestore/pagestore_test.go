@@ -3,57 +3,110 @@ package pagestore
 import (
 	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 )
 
-func TestAccessCounterNoBuffer(t *testing.T) {
-	var c AccessCounter
+func TestAccountantNoBuffer(t *testing.T) {
+	a := NewAccountant(0)
+	var tk CostTracker
 	for i := 0; i < 5; i++ {
-		if hit := c.Access(PageID(i % 2)); hit {
+		if hit := a.Access(PageID(i%2), &tk); hit {
 			t.Fatal("hit without buffer")
 		}
 	}
-	if c.Logical() != 5 || c.Physical() != 5 || c.Hits() != 0 {
-		t.Fatalf("counts = %d/%d/%d", c.Logical(), c.Physical(), c.Hits())
+	if a.Logical() != 5 || a.Physical() != 5 || a.Hits() != 0 {
+		t.Fatalf("aggregate = %d/%d/%d", a.Logical(), a.Physical(), a.Hits())
 	}
-	c.Reset()
-	if c.Logical() != 0 || c.Physical() != 0 {
+	if tk.Logical != 5 || tk.Physical != 5 || tk.Hits != 0 {
+		t.Fatalf("tracker = %d/%d/%d", tk.Logical, tk.Physical, tk.Hits)
+	}
+	a.Reset()
+	if a.Logical() != 0 || a.Physical() != 0 {
 		t.Fatal("Reset did not zero")
 	}
 }
 
-func TestAccessCounterWithBuffer(t *testing.T) {
-	var c AccessCounter
-	c.SetBuffer(NewLRU(2))
-	c.Access(1) // miss
-	c.Access(1) // hit
-	c.Access(2) // miss
-	c.Access(1) // hit
-	c.Access(3) // miss, evicts 2 (LRU)
-	c.Access(2) // miss again
-	if c.Logical() != 6 || c.Physical() != 4 || c.Hits() != 2 {
-		t.Fatalf("counts = %d/%d/%d, want 6/4/2", c.Logical(), c.Physical(), c.Hits())
+func TestAccountantWithBuffer(t *testing.T) {
+	a := NewAccountant(2)
+	var tk CostTracker
+	a.Access(1, &tk) // miss
+	a.Access(1, &tk) // hit
+	a.Access(2, &tk) // miss
+	a.Access(1, &tk) // hit
+	a.Access(3, &tk) // miss, evicts 2 (LRU)
+	a.Access(2, &tk) // miss again
+	if a.Logical() != 6 || a.Physical() != 4 || a.Hits() != 2 {
+		t.Fatalf("aggregate = %d/%d/%d, want 6/4/2", a.Logical(), a.Physical(), a.Hits())
+	}
+	if tk.Logical != 6 || tk.Physical != 4 || tk.Hits != 2 {
+		t.Fatalf("tracker = %d/%d/%d, want 6/4/2", tk.Logical, tk.Physical, tk.Hits)
 	}
 }
 
-func TestAccessCounterAdd(t *testing.T) {
-	var a, b AccessCounter
-	a.Access(1)
-	b.Access(2)
-	b.Access(3)
-	a.Add(&b)
-	if a.Logical() != 3 || a.Physical() != 3 {
-		t.Fatalf("Add result = %d/%d", a.Logical(), a.Physical())
+func TestAccountantNilTracker(t *testing.T) {
+	a := NewAccountant(0)
+	a.Access(1, nil)
+	if a.Logical() != 1 {
+		t.Fatalf("aggregate logical = %d", a.Logical())
+	}
+}
+
+func TestCostTrackerAddReset(t *testing.T) {
+	var x, y CostTracker
+	x.record(false)
+	y.record(false)
+	y.record(true)
+	x.Add(y)
+	if x.Logical != 3 || x.Physical != 2 || x.Hits != 1 {
+		t.Fatalf("Add result = %d/%d/%d", x.Logical, x.Physical, x.Hits)
+	}
+	x.Reset()
+	if x != (CostTracker{}) {
+		t.Fatal("Reset did not zero")
 	}
 }
 
 func TestResetAllClearsBuffer(t *testing.T) {
-	var c AccessCounter
-	c.SetBuffer(NewLRU(4))
-	c.Access(1)
-	c.ResetAll()
-	if hit := c.Access(1); hit {
+	a := NewAccountant(4)
+	a.Access(1, nil)
+	a.ResetAll()
+	if hit := a.Access(1, nil); hit {
 		t.Fatal("buffer survived ResetAll")
+	}
+}
+
+// TestAccountantConcurrentSums is the core invariant of the per-query
+// refactor: under arbitrary interleaving, every access increments exactly
+// one of hit/miss on BOTH the aggregate and the caller's tracker, so the
+// per-query trackers sum exactly to the aggregate.
+func TestAccountantConcurrentSums(t *testing.T) {
+	for _, bufferPages := range []int{0, 8} {
+		a := NewAccountant(bufferPages)
+		const workers, accesses = 8, 2000
+		trackers := make([]CostTracker, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w)))
+				for i := 0; i < accesses; i++ {
+					a.Access(PageID(rng.Intn(32)), &trackers[w])
+				}
+			}(w)
+		}
+		wg.Wait()
+		var sum CostTracker
+		for i := range trackers {
+			sum.Add(trackers[i])
+		}
+		if sum != a.Totals() {
+			t.Fatalf("buffer=%d: tracker sum %+v != aggregate %+v", bufferPages, sum, a.Totals())
+		}
+		if sum.Logical != workers*accesses || sum.Physical+sum.Hits != sum.Logical {
+			t.Fatalf("buffer=%d: inconsistent sum %+v", bufferPages, sum)
+		}
 	}
 }
 
@@ -161,37 +214,38 @@ func mkPoints(n int) [][2]float64 {
 }
 
 func TestPointFileBlocks(t *testing.T) {
-	var c AccessCounter
-	f, err := NewPointFile(mkPoints(25), 10, 7, &c, 0)
+	a := NewAccountant(0)
+	f, err := NewPointFile(mkPoints(25), 10, 7, a, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if f.Len() != 25 || f.NumBlocks() != 4 || f.Pages() != 3 {
 		t.Fatalf("Len/NumBlocks/Pages = %d/%d/%d", f.Len(), f.NumBlocks(), f.Pages())
 	}
+	var tk CostTracker
 	for i, want := range []int{7, 7, 7, 4} {
 		n, err := f.BlockLen(i)
 		if err != nil || n != want {
 			t.Fatalf("BlockLen(%d) = %d, %v", i, n, err)
 		}
-		blk, err := f.ReadBlock(i)
+		blk, err := f.ReadBlock(i, &tk)
 		if err != nil || len(blk) != want {
 			t.Fatalf("ReadBlock(%d) len = %d, %v", i, len(blk), err)
 		}
 	}
 	// Block 0 spans page 0 (pts 0-6): 1 page. Block 1 spans pages 0-1: 2.
 	// Block 2 (pts 14-20) spans pages 1-2: 2. Block 3 (21-24) page 2: 1.
-	if c.Logical() != 6 {
-		t.Fatalf("page reads = %d, want 6", c.Logical())
+	if a.Logical() != 6 || tk.Logical != 6 {
+		t.Fatalf("page reads = %d aggregate / %d tracker, want 6", a.Logical(), tk.Logical)
 	}
 }
 
 func TestPointFileOutOfRange(t *testing.T) {
 	f, _ := NewPointFile(mkPoints(5), 10, 5, nil, 0)
-	if _, err := f.ReadBlock(1); !errors.Is(err, ErrOutOfRange) {
+	if _, err := f.ReadBlock(1, nil); !errors.Is(err, ErrOutOfRange) {
 		t.Fatalf("ReadBlock(1) err = %v", err)
 	}
-	if _, err := f.ReadBlock(-1); !errors.Is(err, ErrOutOfRange) {
+	if _, err := f.ReadBlock(-1, nil); !errors.Is(err, ErrOutOfRange) {
 		t.Fatalf("ReadBlock(-1) err = %v", err)
 	}
 	if _, err := f.BlockLen(99); !errors.Is(err, ErrOutOfRange) {
@@ -213,18 +267,17 @@ func TestPointFileValidation(t *testing.T) {
 }
 
 func TestPointFileSharedBuffer(t *testing.T) {
-	// Two files sharing a counter+buffer must not collide on page IDs.
-	var c AccessCounter
-	c.SetBuffer(NewLRU(100))
-	f1, _ := NewPointFile(mkPoints(10), 10, 10, &c, 0)
-	f2, _ := NewPointFile(mkPoints(10), 10, 10, &c, 1000)
-	f1.ReadBlock(0)
-	f2.ReadBlock(0)
-	if c.Hits() != 0 {
+	// Two files sharing an accountant+buffer must not collide on page IDs.
+	a := NewAccountant(100)
+	f1, _ := NewPointFile(mkPoints(10), 10, 10, a, 0)
+	f2, _ := NewPointFile(mkPoints(10), 10, 10, a, 1000)
+	f1.ReadBlock(0, nil)
+	f2.ReadBlock(0, nil)
+	if a.Hits() != 0 {
 		t.Fatal("distinct files shared a page ID")
 	}
-	f1.ReadBlock(0)
-	if c.Hits() != 1 {
+	f1.ReadBlock(0, nil)
+	if a.Hits() != 1 {
 		t.Fatal("re-read not served from buffer")
 	}
 }

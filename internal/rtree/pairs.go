@@ -26,9 +26,10 @@ type pairItem struct {
 // The iterator maintains a heap of entry pairs keyed by the mindist of
 // their rectangles: since mindist lower-bounds every concrete pair beneath
 // an entry pair, popping in heap order yields pairs in ascending distance.
-// Node accesses are charged to each tree's own counter.
+// Node accesses are charged to each side's execution context (each tree's
+// shared accountant, plus whatever tracker the contexts carry).
 type PairIterator struct {
-	tp, tq *Tree
+	rp, rq Reader
 	heap   *pq.Heap[pairItem]
 	// HeapMax tracks the high-water mark of the heap, reported because the
 	// paper discusses GCP's "large heap requirements" (§4.1).
@@ -36,15 +37,26 @@ type PairIterator struct {
 }
 
 // NewClosestPairIterator starts an incremental closest-pair scan between
-// two non-empty trees of equal dimensionality.
+// two non-empty trees of equal dimensionality, in fresh aggregate-only
+// execution contexts. Use NewClosestPairIteratorReaders to charge
+// per-query trackers.
 func NewClosestPairIterator(tp, tq *Tree) (*PairIterator, error) {
+	return NewClosestPairIteratorReaders(tp.Reader(nil), tq.Reader(nil))
+}
+
+// NewClosestPairIteratorReaders starts an incremental closest-pair scan
+// between the trees behind two per-query execution contexts. The contexts
+// may share one CostTracker, which then accumulates the combined NA of
+// both trees.
+func NewClosestPairIteratorReaders(rp, rq Reader) (*PairIterator, error) {
+	tp, tq := rp.Tree(), rq.Tree()
 	if tp.Dim() != tq.Dim() {
 		return nil, fmt.Errorf("rtree: dimension mismatch %d vs %d", tp.Dim(), tq.Dim())
 	}
-	it := &PairIterator{tp: tp, tq: tq, heap: pq.NewHeap[pairItem](256)}
+	it := &PairIterator{rp: rp, rq: rq, heap: pq.NewHeap[pairItem](256)}
 	if tp.Len() > 0 && tq.Len() > 0 {
-		rp, rq := tp.Root(), tq.Root()
-		it.pushCross(rp.Entries(), rq.Entries())
+		np, nq := rp.Root(), rq.Root()
+		it.pushCross(np.Entries(), nq.Entries())
 	}
 	return it, nil
 }
@@ -95,13 +107,13 @@ func (it *PairIterator) Next() (Pair, bool) {
 		// smaller than always expanding a fixed side.
 		switch {
 		case ep.IsLeafEntry():
-			it.pushCross([]Entry{ep}, it.tq.Child(eq).Entries())
+			it.pushCross([]Entry{ep}, it.rq.Child(eq).Entries())
 		case eq.IsLeafEntry():
-			it.pushCross(it.tp.Child(ep).Entries(), []Entry{eq})
+			it.pushCross(it.rp.Child(ep).Entries(), []Entry{eq})
 		case ep.Rect.Area() >= eq.Rect.Area():
-			it.pushCross(it.tp.Child(ep).Entries(), []Entry{eq})
+			it.pushCross(it.rp.Child(ep).Entries(), []Entry{eq})
 		default:
-			it.pushCross([]Entry{ep}, it.tq.Child(eq).Entries())
+			it.pushCross([]Entry{ep}, it.rq.Child(eq).Entries())
 		}
 	}
 }

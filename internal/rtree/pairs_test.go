@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"gnn/internal/geom"
+	"gnn/internal/pagestore"
 )
 
 func TestClosestPairIteratorOrder(t *testing.T) {
@@ -113,13 +114,18 @@ func TestClosestPairChargesBothCounters(t *testing.T) {
 	tq := mustTree(t, Config{MaxEntries: 6})
 	insertAll(t, tp, randPoints(rng, 300, 100))
 	insertAll(t, tq, randPoints(rng, 300, 100))
-	tp.Counter().Reset()
-	tq.Counter().Reset()
-	it, _ := NewClosestPairIterator(tp, tq)
+	tp.Accountant().Reset()
+	tq.Accountant().Reset()
+	var tk pagestore.CostTracker
+	it, _ := NewClosestPairIteratorReaders(tp.Reader(&tk), tq.Reader(&tk))
 	for i := 0; i < 50; i++ {
 		it.Next()
 	}
-	if tp.Counter().Physical() == 0 || tq.Counter().Physical() == 0 {
-		t.Fatalf("counters: P=%d Q=%d", tp.Counter().Physical(), tq.Counter().Physical())
+	if tp.Accountant().Physical() == 0 || tq.Accountant().Physical() == 0 {
+		t.Fatalf("accountants: P=%d Q=%d", tp.Accountant().Physical(), tq.Accountant().Physical())
+	}
+	if tk.Physical != tp.Accountant().Physical()+tq.Accountant().Physical() {
+		t.Fatalf("shared tracker %d != P+Q aggregate %d",
+			tk.Physical, tp.Accountant().Physical()+tq.Accountant().Physical())
 	}
 }

@@ -15,16 +15,23 @@ type Neighbor struct {
 }
 
 // Search invokes fn for every indexed point inside r (boundaries
-// inclusive). Traversal stops early when fn returns false. Visited nodes
-// are charged to the tree's counter.
+// inclusive) in a fresh aggregate-only execution context. Use
+// Reader.Search to charge a per-query tracker.
 func (t *Tree) Search(r geom.Rect, fn func(p geom.Point, id int64) bool) {
-	if t.size == 0 {
-		return
-	}
-	t.searchNode(t.Root(), r, fn)
+	t.Reader(nil).Search(r, fn)
 }
 
-func (t *Tree) searchNode(nd Node, r geom.Rect, fn func(geom.Point, int64) bool) bool {
+// Search invokes fn for every indexed point inside r (boundaries
+// inclusive). Traversal stops early when fn returns false. Visited nodes
+// are charged to the reader's context.
+func (rd Reader) Search(r geom.Rect, fn func(p geom.Point, id int64) bool) {
+	if rd.t.size == 0 {
+		return
+	}
+	rd.searchNode(rd.Root(), r, fn)
+}
+
+func (rd Reader) searchNode(nd Node, r geom.Rect, fn func(geom.Point, int64) bool) bool {
 	for _, e := range nd.Entries() {
 		if !e.Rect.Intersects(r) {
 			continue
@@ -33,7 +40,7 @@ func (t *Tree) searchNode(nd Node, r geom.Rect, fn func(geom.Point, int64) bool)
 			if r.ContainsPoint(e.Point) && !fn(e.Point, e.ID) {
 				return false
 			}
-		} else if !t.searchNode(t.Child(e), r, fn) {
+		} else if !rd.searchNode(rd.Child(e), r, fn) {
 			return false
 		}
 	}
@@ -62,20 +69,26 @@ func (t *Tree) allNode(n *node, fn func(geom.Point, int64) bool) bool {
 	return true
 }
 
+// NearestDF answers a depth-first k-NN query in a fresh aggregate-only
+// execution context. Use Reader.NearestDF to charge a per-query tracker.
+func (t *Tree) NearestDF(q geom.Point, k int) []Neighbor {
+	return t.Reader(nil).NearestDF(q, k)
+}
+
 // NearestDF returns the k nearest neighbors of q using the depth-first
 // branch-and-bound algorithm of [RKV95]: entries of each node are visited
 // in ascending mindist order and subtrees farther than the current k-th
 // best are pruned. Results are sorted by ascending distance.
-func (t *Tree) NearestDF(q geom.Point, k int) []Neighbor {
-	if t.size == 0 || k < 1 {
+func (rd Reader) NearestDF(q geom.Point, k int) []Neighbor {
+	if rd.t.size == 0 || k < 1 {
 		return nil
 	}
 	best := pq.NewBoundedMax[Neighbor](k)
-	t.nearestDF(t.Root(), q, best)
+	rd.nearestDF(rd.Root(), q, best)
 	return neighborsFrom(best)
 }
 
-func (t *Tree) nearestDF(nd Node, q geom.Point, best *pq.BoundedMax[Neighbor]) {
+func (rd Reader) nearestDF(nd Node, q geom.Point, best *pq.BoundedMax[Neighbor]) {
 	entries := nd.Entries()
 	type cand struct {
 		e Entry
@@ -99,18 +112,24 @@ func (t *Tree) nearestDF(nd Node, q geom.Point, best *pq.BoundedMax[Neighbor]) {
 		if c.e.IsLeafEntry() {
 			best.Push(Neighbor{Point: c.e.Point, ID: c.e.ID, Dist: c.d}, c.d)
 		} else {
-			t.nearestDF(t.Child(c.e), q, best)
+			rd.nearestDF(rd.Child(c.e), q, best)
 		}
 	}
 }
 
+// NearestBF answers a best-first k-NN query in a fresh aggregate-only
+// execution context. Use Reader.NearestBF to charge a per-query tracker.
+func (t *Tree) NearestBF(q geom.Point, k int) []Neighbor {
+	return t.Reader(nil).NearestBF(q, k)
+}
+
 // NearestBF returns the k nearest neighbors of q using the I/O-optimal
 // best-first algorithm of [HS99].
-func (t *Tree) NearestBF(q geom.Point, k int) []Neighbor {
-	if t.size == 0 || k < 1 {
+func (rd Reader) NearestBF(q geom.Point, k int) []Neighbor {
+	if rd.t.size == 0 || k < 1 {
 		return nil
 	}
-	it := t.NewNNIterator(q)
+	it := rd.NewNNIterator(q)
 	out := make([]Neighbor, 0, k)
 	for len(out) < k {
 		nb, ok := it.Next()
@@ -134,18 +153,24 @@ func neighborsFrom(best *pq.BoundedMax[Neighbor]) []Neighbor {
 // NNIterator reports the indexed points in ascending distance from a query
 // point, one at a time — the incremental behaviour MQM depends on (§2,
 // [HS99]). Each call to Next may visit further tree nodes, charged to the
-// tree's counter.
+// iterator's execution context.
 type NNIterator struct {
-	t    *Tree
+	rd   Reader
 	q    geom.Point
 	heap *pq.Heap[Entry]
 }
 
-// NewNNIterator starts an incremental nearest-neighbor scan around q.
+// NewNNIterator starts an incremental nearest-neighbor scan around q in a
+// fresh aggregate-only execution context.
 func (t *Tree) NewNNIterator(q geom.Point) *NNIterator {
-	it := &NNIterator{t: t, q: q, heap: pq.NewHeap[Entry](64)}
-	if t.size > 0 {
-		it.pushNode(t.Root())
+	return t.Reader(nil).NewNNIterator(q)
+}
+
+// NewNNIterator starts an incremental nearest-neighbor scan around q.
+func (rd Reader) NewNNIterator(q geom.Point) *NNIterator {
+	it := &NNIterator{rd: rd, q: q, heap: pq.NewHeap[Entry](64)}
+	if rd.t.size > 0 {
+		it.pushNode(rd.Root())
 	}
 	return it
 }
@@ -171,7 +196,7 @@ func (it *NNIterator) Next() (Neighbor, bool) {
 		if item.Value.IsLeafEntry() {
 			return Neighbor{Point: item.Value.Point, ID: item.Value.ID, Dist: item.Priority}, true
 		}
-		it.pushNode(it.t.Child(item.Value))
+		it.pushNode(it.rd.Child(item.Value))
 	}
 }
 

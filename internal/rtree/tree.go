@@ -4,13 +4,15 @@
 // [HS99] and incremental closest pairs over two trees [HS98, CMTV00].
 //
 // The tree is memory-resident but page-structured: every node carries a
-// page identifier and all query traversals are routed through the owning
-// tree's pagestore.AccessCounter, reproducing the paper's node-access (NA)
-// metric, optionally through an LRU buffer.
+// page identifier and all query traversals are routed through a per-query
+// Reader execution context, which charges each node access to the query's
+// own pagestore.CostTracker and to the tree's shared pagestore.Accountant —
+// reproducing the paper's node-access (NA) metric, optionally through an
+// LRU buffer, while keeping unlimited concurrent read traversals safe.
 //
 // Query algorithms outside this package (SPM, MBM, F-MBM in internal/core)
-// drive their own traversals through the exported Root/Child accessors, so
-// their node accesses are accounted identically.
+// drive their own traversals through the exported Reader.Root/Reader.Child
+// accessors, so their node accesses are accounted identically.
 package rtree
 
 import (
@@ -79,9 +81,10 @@ type Config struct {
 	// (default 0.3). Set negative to disable forced reinsertion entirely
 	// (plain R-tree overflow handling).
 	ReinsertFraction float64
-	// Counter receives one access per node visited by query traversals.
-	// When nil a private counter is allocated.
-	Counter *pagestore.AccessCounter
+	// Accountant receives one access per node visited by query traversals,
+	// shared by all concurrent readers of the tree. When nil a private
+	// unbuffered accountant is allocated.
+	Accountant *pagestore.Accountant
 	// FirstPage offsets the page IDs assigned to nodes so several trees
 	// can share one LRU buffer without collisions.
 	FirstPage pagestore.PageID
@@ -116,15 +119,17 @@ func (c Config) withDefaults() (Config, error) {
 	if c.ReinsertFraction >= 0.5 {
 		return c, fmt.Errorf("rtree: ReinsertFraction %v must be < 0.5", c.ReinsertFraction)
 	}
-	if c.Counter == nil {
-		c.Counter = &pagestore.AccessCounter{}
+	if c.Accountant == nil {
+		c.Accountant = pagestore.NewAccountant(0)
 	}
 	return c, nil
 }
 
-// Tree is an R*-tree over d-dimensional points. Not safe for concurrent
-// mutation; concurrent read-only queries are safe only if they use separate
-// counters, so the paper's single-threaded usage is the supported mode.
+// Tree is an R*-tree over d-dimensional points. Read-only queries (all
+// traversals in this package and the drivers built on Reader) are safe for
+// unlimited concurrent callers: each query charges its own CostTracker and
+// the shared Accountant handles contention. Insert and Delete mutate the
+// structure and require external synchronisation, with no readers active.
 type Tree struct {
 	cfg      Config
 	root     *node
@@ -161,8 +166,8 @@ func (t *Tree) Height() int { return t.height }
 // Dim returns the tree's dimensionality.
 func (t *Tree) Dim() int { return t.cfg.Dim }
 
-// Counter returns the access counter charged by query traversals.
-func (t *Tree) Counter() *pagestore.AccessCounter { return t.cfg.Counter }
+// Accountant returns the shared accountant charged by all traversals.
+func (t *Tree) Accountant() *pagestore.Accountant { return t.cfg.Accountant }
 
 // Pages returns the number of node pages allocated so far.
 func (t *Tree) Pages() int64 { return int64(t.nextPage - t.cfg.FirstPage) }
@@ -175,19 +180,40 @@ func (t *Tree) Bounds() (geom.Rect, bool) {
 	return t.nodeMBR(t.root), true
 }
 
+// Reader is a per-query execution context: a read-only view of the tree
+// whose node accesses are charged to one query's CostTracker (may be nil:
+// aggregate-only accounting) as well as the tree's shared Accountant.
+// Create one Reader per query; a Reader itself is a cheap value but must
+// not be shared between goroutines, because the tracker it carries is
+// unsynchronised by design.
+type Reader struct {
+	t  *Tree
+	tk *pagestore.CostTracker
+}
+
+// Reader returns an execution context charging tk (nil for aggregate-only
+// accounting).
+func (t *Tree) Reader(tk *pagestore.CostTracker) Reader { return Reader{t: t, tk: tk} }
+
+// Tree returns the underlying tree.
+func (r Reader) Tree() *Tree { return r.t }
+
+// Cost returns the reader's per-query tracker (nil when aggregate-only).
+func (r Reader) Cost() *pagestore.CostTracker { return r.tk }
+
 // Root returns the root node, charging one node access.
-func (t *Tree) Root() Node {
-	t.cfg.Counter.Access(t.root.page)
-	return Node{t.root}
+func (r Reader) Root() Node {
+	r.t.cfg.Accountant.Access(r.t.root.page, r.tk)
+	return Node{r.t.root}
 }
 
 // Child resolves a routing entry to its child node, charging one access.
 // It panics on leaf entries: following a data entry is a logic error.
-func (t *Tree) Child(e Entry) Node {
+func (r Reader) Child(e Entry) Node {
 	if e.child == nil {
 		panic("rtree: Child called on a leaf entry")
 	}
-	t.cfg.Counter.Access(e.child.page)
+	r.t.cfg.Accountant.Access(e.child.page, r.tk)
 	return Node{e.child}
 }
 

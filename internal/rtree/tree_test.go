@@ -270,9 +270,9 @@ func TestBFOptimalVsDF(t *testing.T) {
 	// BF must access no more nodes than DF (it is I/O optimal, §2).
 	rng := rand.New(rand.NewSource(7))
 	pts := randPoints(rng, 5000, 1000)
-	var cDF, cBF pagestore.AccessCounter
-	trDF := mustTree(t, Config{MaxEntries: 20, Counter: &cDF})
-	trBF := mustTree(t, Config{MaxEntries: 20, Counter: &cBF})
+	cDF, cBF := pagestore.NewAccountant(0), pagestore.NewAccountant(0)
+	trDF := mustTree(t, Config{MaxEntries: 20, Accountant: cDF})
+	trBF := mustTree(t, Config{MaxEntries: 20, Accountant: cBF})
 	insertAll(t, trDF, pts)
 	insertAll(t, trBF, pts)
 	var naDF, naBF int64
@@ -387,13 +387,17 @@ func TestMixedInsertDelete(t *testing.T) {
 
 func TestNodeAccessCounting(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
-	var c pagestore.AccessCounter
-	tr := mustTree(t, Config{MaxEntries: 8, Counter: &c})
+	c := pagestore.NewAccountant(0)
+	tr := mustTree(t, Config{MaxEntries: 8, Accountant: c})
 	insertAll(t, tr, randPoints(rng, 500, 100))
 	c.Reset()
-	tr.NearestBF(geom.Point{50, 50}, 1)
+	var tk pagestore.CostTracker
+	tr.Reader(&tk).NearestBF(geom.Point{50, 50}, 1)
 	if c.Physical() < int64(tr.Height()) {
 		t.Fatalf("NN accessed %d nodes, below tree height %d", c.Physical(), tr.Height())
+	}
+	if tk.Physical != c.Physical() {
+		t.Fatalf("per-query tracker %d != aggregate %d", tk.Physical, c.Physical())
 	}
 	got := c.Physical()
 	c.Reset()
@@ -405,9 +409,8 @@ func TestNodeAccessCounting(t *testing.T) {
 
 func TestLRUBufferReducesPhysicalAccesses(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
-	var c pagestore.AccessCounter
-	c.SetBuffer(pagestore.NewLRU(1000))
-	tr := mustTree(t, Config{MaxEntries: 8, Counter: &c})
+	c := pagestore.NewAccountant(1000)
+	tr := mustTree(t, Config{MaxEntries: 8, Accountant: c})
 	insertAll(t, tr, randPoints(rng, 500, 100))
 	c.ResetAll()
 	tr.NearestBF(geom.Point{50, 50}, 1)
@@ -430,7 +433,8 @@ func TestChildPanicsOnLeafEntry(t *testing.T) {
 			t.Fatal("Child on leaf entry did not panic")
 		}
 	}()
-	tr.Child(tr.Root().Entries()[0])
+	rd := tr.Reader(nil)
+	rd.Child(rd.Root().Entries()[0])
 }
 
 func TestStats(t *testing.T) {

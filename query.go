@@ -6,6 +6,7 @@ import (
 
 	"gnn/internal/core"
 	"gnn/internal/geom"
+	"gnn/internal/pagestore"
 )
 
 // Algorithm selects the GNN processing method for memory-resident query
@@ -58,12 +59,13 @@ const (
 type QueryOption func(*queryConfig)
 
 type queryConfig struct {
-	k          int
-	algo       Algorithm
-	aggregate  Aggregate
-	depthFirst bool
-	weights    []float64
-	region     *geom.Rect
+	k           int
+	algo        Algorithm
+	aggregate   Aggregate
+	depthFirst  bool
+	weights     []float64
+	region      *geom.Rect
+	parallelism int
 }
 
 // WithK requests the k best group neighbors (default 1).
@@ -94,6 +96,10 @@ func WithRegion(lo, hi Point) QueryOption {
 	}
 }
 
+// WithParallelism sets the worker count of GroupNNBatch (default
+// GOMAXPROCS). It has no effect on single queries.
+func WithParallelism(n int) QueryOption { return func(c *queryConfig) { c.parallelism = n } }
+
 func buildConfig(opts []QueryOption) queryConfig {
 	c := queryConfig{k: 1}
 	for _, o := range opts {
@@ -112,26 +118,43 @@ func (c queryConfig) coreOptions() core.Options {
 
 // GroupNN answers a GNN query for a memory-resident query group: the k
 // indexed points with the smallest aggregate distance to query, in
-// ascending order.
+// ascending order. Safe for unlimited concurrent callers.
 func (ix *Index) GroupNN(query []Point, opts ...QueryOption) ([]Result, error) {
+	res, _, err := ix.GroupNNWithCost(query, opts...)
+	return res, err
+}
+
+// GroupNNWithCost is GroupNN returning this query's own I/O cost alongside
+// the results. The index-wide aggregate (Index.Cost) accrues the same
+// counts, so per-query costs of any set of queries sum to the aggregate.
+func (ix *Index) GroupNNWithCost(query []Point, opts ...QueryOption) ([]Result, Cost, error) {
 	c := buildConfig(opts)
+	var tk pagestore.CostTracker
+	res, err := ix.groupNN(query, c, &tk)
+	return res, costOf(tk), err
+}
+
+// groupNN dispatches one memory-resident query charging tk.
+func (ix *Index) groupNN(query []Point, c queryConfig, tk *pagestore.CostTracker) ([]Result, error) {
 	qs := make([]geom.Point, len(query))
 	for i, q := range query {
 		qs[i] = geom.Point(q)
 	}
+	opt := c.coreOptions()
+	opt.Cost = tk
 	var (
 		gs  []core.GroupNeighbor
 		err error
 	)
 	switch c.algo {
 	case AlgoMQM:
-		gs, err = core.MQM(ix.tree, qs, c.coreOptions())
+		gs, err = core.MQM(ix.tree, qs, opt)
 	case AlgoSPM:
-		gs, err = core.SPM(ix.tree, qs, c.coreOptions())
+		gs, err = core.SPM(ix.tree, qs, opt)
 	case AlgoBruteForce:
-		gs, err = core.BruteForce(ix.tree, qs, c.coreOptions())
+		gs, err = core.BruteForce(ix.tree, qs, opt)
 	case AlgoAuto, AlgoMBM:
-		gs, err = core.MBM(ix.tree, qs, c.coreOptions())
+		gs, err = core.MBM(ix.tree, qs, opt)
 	default:
 		return nil, fmt.Errorf("gnn: unknown algorithm %v", c.algo)
 	}
@@ -143,9 +166,11 @@ func (ix *Index) GroupNN(query []Point, opts ...QueryOption) ([]Result, error) {
 
 // Iterator reports group nearest neighbors one at a time in ascending
 // aggregate distance, so callers need not fix k in advance (incremental
-// MBM).
+// MBM). An Iterator is a single query's execution context: use it from one
+// goroutine, but any number of iterators may run concurrently.
 type Iterator struct {
 	it *core.GNNIterator
+	tk pagestore.CostTracker
 }
 
 // GroupNNIterator starts an incremental GNN scan.
@@ -155,11 +180,15 @@ func (ix *Index) GroupNNIterator(query []Point, opts ...QueryOption) (*Iterator,
 	for i, q := range query {
 		qs[i] = geom.Point(q)
 	}
-	it, err := core.NewGNNIterator(ix.tree, qs, c.coreOptions())
+	out := &Iterator{}
+	opt := c.coreOptions()
+	opt.Cost = &out.tk
+	it, err := core.NewGNNIterator(ix.tree, qs, opt)
 	if err != nil {
 		return nil, err
 	}
-	return &Iterator{it: it}, nil
+	out.it = it
+	return out, nil
 }
 
 // Next returns the next group nearest neighbor; ok is false when the data
@@ -171,6 +200,9 @@ func (it *Iterator) Next() (Result, bool) {
 	}
 	return Result{Point: Point(g.Point), ID: g.ID, Dist: g.Dist}, true
 }
+
+// Cost returns the I/O this iterator has charged so far.
+func (it *Iterator) Cost() Cost { return costOf(it.tk) }
 
 // Errors surfaced by queries (wrapping the core package's sentinels so
 // callers can errors.Is them without importing internals).
