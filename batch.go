@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gnn/internal/core"
 	"gnn/internal/pagestore"
 )
 
@@ -26,6 +27,10 @@ type BatchResult struct {
 // to queries; each entry carries its own results, per-query cost and
 // error. Because every query runs in its own execution context, the batch
 // may itself run concurrently with other queries or batches.
+//
+// Each worker holds one pooled execution context for the whole batch, so
+// every query after a worker's first reuses warm scratch (heaps, candidate
+// buffers, result lists) instead of allocating.
 func (ix *Index) GroupNNBatch(queries [][]Point, opts ...QueryOption) []BatchResult {
 	out := make([]BatchResult, len(queries))
 	if len(queries) == 0 {
@@ -39,14 +44,16 @@ func (ix *Index) GroupNNBatch(queries [][]Point, opts ...QueryOption) []BatchRes
 	if workers > len(queries) {
 		workers = len(queries)
 	}
-	answer := func(i int) {
+	answer := func(i int, ec *core.ExecContext) {
 		var tk pagestore.CostTracker
-		out[i].Results, out[i].Err = ix.groupNN(queries[i], c, &tk)
+		out[i].Results, out[i].Err = ix.groupNN(queries[i], c, &tk, ec)
 		out[i].Cost = costOf(tk)
 	}
 	if workers == 1 {
+		ec := core.AcquireExec()
+		defer ec.Release()
 		for i := range queries {
-			answer(i)
+			answer(i, ec)
 		}
 		return out
 	}
@@ -56,12 +63,14 @@ func (ix *Index) GroupNNBatch(queries [][]Point, opts ...QueryOption) []BatchRes
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			ec := core.AcquireExec()
+			defer ec.Release()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(queries) {
 					return
 				}
-				answer(i)
+				answer(i, ec)
 			}
 		}()
 	}

@@ -11,6 +11,7 @@
 //	gnnbench -all -scale 0.1       # everything, 10% of the data
 //	gnnbench -list                 # available experiment IDs
 //	gnnbench -parallel 8           # batch-engine throughput, 8 workers
+//	gnnbench -allocs               # ns/op + allocs/op per algorithm×aggregate
 //
 // Paper-scale runs (default scale 1.0) rebuild PP (24,493 points) and TS
 // (194,971 points) and may take minutes for the disk-resident figures; use
@@ -18,9 +19,14 @@
 //
 // The -parallel N mode measures the concurrent batch query engine instead
 // of reproducing a figure: it sweeps worker counts 1/2/4/NumCPU (plus N)
-// over a fixed workload, reports queries/sec per worker count, and with
-// -parallel-out writes the sweep as a JSON snapshot for tracking scaling
-// across revisions.
+// over a fixed workload, reports queries/sec and steady-state allocations
+// per query per worker count, and with -parallel-out writes the sweep as a
+// JSON snapshot for tracking scaling across revisions.
+//
+// The -allocs mode measures the query kernels themselves: ns/op, allocs/op,
+// B/op and node accesses per algorithm×aggregate on a warm index, written
+// as JSON with -allocs-out (BENCH_alloc.json); -allocs-baseline embeds a
+// previous snapshot so the trajectory is visible in one file.
 package main
 
 import (
@@ -51,11 +57,21 @@ func main() {
 		budget   = flag.Int64("gcp-budget", 20_000_000, "GCP pair budget before a cell is DNF")
 		parallel = flag.Int("parallel", 0, "throughput mode: sweep batch workers up to N (0 = off)")
 		pout     = flag.String("parallel-out", "", "write the -parallel sweep as JSON to this file")
+		allocs   = flag.Bool("allocs", false, "allocation mode: ns/op and allocs/op per algorithm×aggregate")
+		aout     = flag.String("allocs-out", "", "write the -allocs snapshot as JSON to this file")
+		abase    = flag.String("allocs-baseline", "", "embed a previous -allocs snapshot as the baseline")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println("experiments:", strings.Join(experiments.IDs(), " "))
+		return
+	}
+	if *allocs {
+		if err := runAllocs(*scale, *queries, *seed, *aout, *abase); err != nil {
+			fmt.Fprintln(os.Stderr, "gnnbench:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if *parallel > 0 {
@@ -108,12 +124,22 @@ type parallelPoint struct {
 	QueriesSec float64 `json:"queries_per_sec"`
 	Seconds    float64 `json:"seconds"`
 	Speedup    float64 `json:"speedup_vs_1"`
+	// AllocsPerQuery is the steady-state heap allocation count per query
+	// (measured on the warm pass), the number the zero-allocation kernel
+	// work drives down; per-worker context reuse should keep it flat as
+	// workers grow.
+	AllocsPerQuery float64 `json:"allocs_per_query"`
 }
 
-// runParallel measures the batch engine's throughput: worker counts
-// 1/2/4/NumCPU (plus the requested maximum) answering the same workload of
-// GNN queries (n = 64, M = 8%, k = 8 — the paper's defaults) over TS.
-func runParallel(maxWorkers int, scale float64, numQueries int, seed int64, outPath string) error {
+// benchGroupSize and benchK are the paper's default workload parameters
+// (n = 64, M = 8%, k = 8) shared by the -parallel and -allocs modes.
+const benchGroupSize, benchK = 64, 8
+
+// benchFixture builds the shared fixture of the throughput and allocation
+// modes: the TS index at the requested scale plus a workload of GNN query
+// groups. Both modes must measure the identical setup or their snapshots
+// stop being comparable.
+func benchFixture(scale float64, numQueries int, seed int64) (*dataset.Dataset, *gnn.Index, [][]gnn.Point, error) {
 	d := dataset.GenerateTS(seed)
 	if scale < 1 {
 		n := int(float64(len(d.Points)) * scale)
@@ -128,15 +154,14 @@ func runParallel(maxWorkers int, scale float64, numQueries int, seed int64, outP
 	}
 	ix, err := gnn.BuildIndex(pts, nil, gnn.IndexConfig{})
 	if err != nil {
-		return err
+		return nil, nil, nil, err
 	}
-	const groupSize, k = 64, 8
 	qs, err := workload.Generate(workload.Spec{
-		N: groupSize, AreaFraction: 0.08, Queries: numQueries,
+		N: benchGroupSize, AreaFraction: 0.08, Queries: numQueries,
 		Workspace: dataset.Workspace(), Seed: seed,
 	})
 	if err != nil {
-		return err
+		return nil, nil, nil, err
 	}
 	batch := make([][]gnn.Point, len(qs))
 	for i, q := range qs {
@@ -146,6 +171,18 @@ func runParallel(maxWorkers int, scale float64, numQueries int, seed int64, outP
 		}
 		batch[i] = group
 	}
+	return d, ix, batch, nil
+}
+
+// runParallel measures the batch engine's throughput: worker counts
+// 1/2/4/NumCPU (plus the requested maximum) answering the same workload of
+// GNN queries (n = 64, M = 8%, k = 8 — the paper's defaults) over TS.
+func runParallel(maxWorkers int, scale float64, numQueries int, seed int64, outPath string) error {
+	d, ix, batch, err := benchFixture(scale, numQueries, seed)
+	if err != nil {
+		return err
+	}
+	const groupSize, k = benchGroupSize, benchK
 
 	sweep := map[int]bool{1: true, 2: true, 4: true, runtime.NumCPU(): true, maxWorkers: true}
 	workers := make([]int, 0, len(sweep))
@@ -162,15 +199,18 @@ func runParallel(maxWorkers int, scale float64, numQueries int, seed int64, outP
 		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	fmt.Printf("# batch query engine throughput — %s (%d points), %d queries of n=%d, k=%d\n\n",
-		d.Name, len(pts), len(batch), groupSize, k)
-	fmt.Printf("%-8s  %12s  %10s  %8s\n", "workers", "queries/sec", "seconds", "speedup")
+		d.Name, ix.Len(), len(batch), groupSize, k)
+	fmt.Printf("%-8s  %12s  %10s  %8s  %14s\n", "workers", "queries/sec", "seconds", "speedup", "allocs/query")
 	var base float64
 	for _, w := range workers {
 		// One warm-up pass, then the measured pass.
 		ix.GroupNNBatch(batch, gnn.WithK(k), gnn.WithParallelism(w))
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		start := time.Now()
 		out := ix.GroupNNBatch(batch, gnn.WithK(k), gnn.WithParallelism(w))
 		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
 		for _, r := range out {
 			if r.Err != nil {
 				return r.Err
@@ -183,9 +223,10 @@ func runParallel(maxWorkers int, scale float64, numQueries int, seed int64, outP
 		pt := parallelPoint{
 			Workers: w, QueriesSec: qps,
 			Seconds: elapsed.Seconds(), Speedup: qps / base,
+			AllocsPerQuery: float64(after.Mallocs-before.Mallocs) / float64(len(batch)),
 		}
 		snap.Results = append(snap.Results, pt)
-		fmt.Printf("%-8d  %12.1f  %10.3f  %7.2fx\n", w, qps, pt.Seconds, pt.Speedup)
+		fmt.Printf("%-8d  %12.1f  %10.3f  %7.2fx  %14.1f\n", w, qps, pt.Seconds, pt.Speedup, pt.AllocsPerQuery)
 	}
 	if outPath != "" {
 		data, err := json.MarshalIndent(snap, "", "  ")

@@ -127,6 +127,12 @@ type Options struct {
 	// index-wide aggregate accrues either way, so per-query costs always
 	// sum to the aggregate. A nil Cost charges the aggregate only.
 	Cost *pagestore.CostTracker
+	// Exec, when non-nil, supplies the query's pooled scratch arena so a
+	// caller answering many sequential queries (the batch engine) reuses
+	// one context instead of cycling the pool. A nil Exec draws a context
+	// from the pool for the duration of the call. Like Cost, an Exec must
+	// not be shared by concurrent queries.
+	Exec *ExecContext
 }
 
 func (o Options) withDefaults() Options {
@@ -214,24 +220,15 @@ func aggCombine(a Aggregate, vs []float64) float64 {
 
 // nodeLB returns the tight per-query-point lower bound on dist(p,Q) for
 // any p inside r — heuristic 3 for SUM, the analogous bounds for MAX/MIN.
+// The MAX/MIN bounds compare squared mindists and Sqrt only the winner
+// (squaring is monotone); SUM adds the distances themselves, so each term
+// keeps its Sqrt.
 func nodeLB(a Aggregate, r geom.Rect, qs []geom.Point) float64 {
 	switch a {
 	case Max:
-		m := 0.0
-		for _, q := range qs {
-			if d := geom.MinDistPointRect(q, r); d > m {
-				m = d
-			}
-		}
-		return m
+		return math.Sqrt(geom.MaxMinDistSqRectToGroup(r, qs))
 	case Min:
-		m := math.Inf(1)
-		for _, q := range qs {
-			if d := geom.MinDistPointRect(q, r); d < m {
-				m = d
-			}
-		}
-		return m
+		return math.Sqrt(geom.MinMinDistSqRectToGroup(r, qs))
 	default:
 		return geom.SumMinDistRectToGroup(r, qs)
 	}
@@ -323,7 +320,9 @@ func BruteForce(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, e
 	if err != nil {
 		return nil, err
 	}
-	best := newKBest(opt.K)
+	ec, owned := opt.exec()
+	defer releaseIfOwned(ec, owned)
+	best := ec.kbestFor(opt.K)
 	t.All(func(p geom.Point, id int64) bool {
 		if regionAllows(opt.Region, p) {
 			best.offer(GroupNeighbor{Point: p, ID: id, Dist: aggDistW(opt.Aggregate, p, qs, w)})

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"gnn/internal/geom"
+	"gnn/internal/pq"
+	"gnn/internal/rtree"
+)
+
+// ExecContext is the pooled per-query scratch arena of the GNN kernels:
+// every slice and heap a query needs in steady state — the result
+// accumulator, per-depth candidate buffers for depth-first traversals,
+// best-first entry heaps, MQM's threshold and iterator slices, F-MBM's
+// leaf buffers and the query-MBR corners — lives here and is reused across
+// queries, so a warm kernel allocates (almost) nothing.
+//
+// Acquire a context with AcquireExec and return it with Release, or set
+// Options.Exec to reuse one context across many sequential queries (the
+// batch engine holds one per worker). A context must never be shared by
+// concurrent queries: like Options.Cost, it is unsynchronised by design.
+type ExecContext struct {
+	best  kbest
+	cands rtree.CandStack
+	eheap pq.Heap[rtree.Entry]
+	qmbr  geom.Rect
+	qcent geom.Point
+
+	// Conversion buffer of the public layer (query []Point → []geom.Point).
+	qsbuf []geom.Point
+
+	// MQM per-stream state.
+	thresholds []float64
+	iters      []*rtree.NNIterator
+
+	// F-MBM leaf-processing state.
+	order     []int
+	keep      []int
+	blockDist []float64
+	lbs       []float64
+	fcands    []fmbmLeafCand
+}
+
+var execPool = pq.NewPool(func() *ExecContext { return &ExecContext{} })
+
+// AcquireExec draws an execution context from the pool. Callers must
+// Release it when the query completes.
+func AcquireExec() *ExecContext { return execPool.Get() }
+
+// Release zeroes everything the context retained (so pooled buffers don't
+// pin a finished query's points or subtrees) and returns it to the pool.
+// The context must not be used afterwards.
+func (ec *ExecContext) Release() {
+	if ec == nil {
+		return
+	}
+	ec.best.reset(0)
+	ec.cands.Reset()
+	ec.eheap.Reset()
+	clear(ec.qsbuf[:cap(ec.qsbuf)])
+	clear(ec.iters[:cap(ec.iters)])
+	clear(ec.fcands[:cap(ec.fcands)])
+	ec.lbs = ec.lbs[:0]
+	execPool.Put(ec)
+}
+
+// exec returns the options' context, drawing a pooled one when the caller
+// did not supply any. done reports whether the callee owns it and must
+// Release it on completion.
+func (o Options) exec() (ec *ExecContext, owned bool) {
+	if o.Exec != nil {
+		return o.Exec, false
+	}
+	return AcquireExec(), true
+}
+
+// releaseIfOwned releases ec when owned; pair it with exec() via defer.
+func releaseIfOwned(ec *ExecContext, owned bool) {
+	if owned {
+		ec.Release()
+	}
+}
+
+// Points returns a reusable []geom.Point of length n (contents undefined),
+// used by the public layer to convert caller queries without allocating.
+func (ec *ExecContext) Points(n int) []geom.Point {
+	if cap(ec.qsbuf) < n {
+		ec.qsbuf = make([]geom.Point, n)
+	}
+	ec.qsbuf = ec.qsbuf[:n]
+	return ec.qsbuf
+}
+
+// kbestFor returns the context's result accumulator, reset for k results.
+func (ec *ExecContext) kbestFor(k int) *kbest {
+	ec.best.reset(k)
+	return &ec.best
+}
+
+// boundingRect computes MBR(qs) into the context's reusable corners.
+func (ec *ExecContext) boundingRect(qs []geom.Point) geom.Rect {
+	ec.qmbr = geom.BoundingRectInto(ec.qmbr, qs)
+	return ec.qmbr
+}
+
+// centerOf computes r's centre into the context's reusable point.
+func (ec *ExecContext) centerOf(r geom.Rect) geom.Point {
+	d := r.Dim()
+	if cap(ec.qcent) < d {
+		ec.qcent = make(geom.Point, d)
+	}
+	ec.qcent = ec.qcent[:d]
+	for i := range ec.qcent {
+		ec.qcent[i] = (r.Lo[i] + r.Hi[i]) / 2
+	}
+	return ec.qcent
+}
+
+// floats returns a zeroed []float64 of length n backed by dst, growing it
+// as needed.
+func growFloats(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = 0
+	}
+	return dst
+}
+
+// grow returns dst with length n (contents undefined), reallocating only
+// when capacity is short.
+func grow[T any](dst []T, n int) []T {
+	if cap(dst) < n {
+		dst = make([]T, n)
+	}
+	return dst[:n]
+}
+
+// reset prepares the accumulator for a new query with result size k
+// (k = 0 only for Release-time zeroing), dropping prior results and
+// zeroing their payloads while keeping the backing array. It zeroes up to
+// capacity, not length: offer's append-then-truncate leaves an evicted
+// candidate in the slot beyond len, which must not stay pinned while the
+// context sits in the pool.
+func (b *kbest) reset(k int) {
+	clear(b.items[:cap(b.items)])
+	b.items = b.items[:0]
+	if cap(b.items) < k {
+		b.items = make([]GroupNeighbor, 0, k)
+	}
+	b.k = k
+}

@@ -1,11 +1,10 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"gnn/internal/geom"
 	"gnn/internal/pagestore"
-	"gnn/internal/pq"
 	"gnn/internal/rtree"
 )
 
@@ -25,6 +24,11 @@ import (
 // descending mindist(N,M_i) order so far-away groups trigger heuristic 6
 // early and spare the exact computations against the remaining groups.
 //
+// All per-leaf and per-traversal buffers (candidate lists, the suffix-
+// bound matrix, the block ordering and the entry heap) are drawn from the
+// pooled execution context, so repeated F-MBM queries stop allocating per
+// visited node.
+//
 // SUM aggregate only (the weighted bounds are sums).
 func FMBM(t *rtree.Tree, qf *QueryFile, opt DiskOptions) (*DiskReport, error) {
 	opt.Options = opt.Options.withDefaults()
@@ -40,12 +44,14 @@ func FMBM(t *rtree.Tree, qf *QueryFile, opt DiskOptions) (*DiskReport, error) {
 	if opt.Cost == nil {
 		opt.Cost = &pagestore.CostTracker{}
 	}
-	f := &fmbmRun{rd: t.Reader(opt.Cost), qf: qf, opt: opt, best: newKBest(opt.K), report: &DiskReport{}}
+	ec, owned := opt.exec()
+	defer releaseIfOwned(ec, owned)
+	f := &fmbmRun{rd: t.Reader(opt.Cost), qf: qf, opt: opt, best: ec.kbestFor(opt.K), ec: ec, report: &DiskReport{}}
 	if t.Len() > 0 {
 		if opt.Traversal == DepthFirst {
 			root := f.rd.Root()
 			rootRect, _ := t.Bounds()
-			if err := f.df(root, rootRect); err != nil {
+			if err := f.df(root, rootRect, 0); err != nil {
 				return nil, err
 			}
 		} else if err := f.bf(); err != nil {
@@ -62,7 +68,18 @@ type fmbmRun struct {
 	qf     *QueryFile
 	opt    DiskOptions
 	best   *kbest
+	ec     *ExecContext
 	report *DiskReport
+}
+
+// fmbmLeafCand is one leaf point whose global distance is being
+// accumulated block by block. lbSuffix views into the execution context's
+// flat backing: lbSuffix[s] = Σ_{l≥s in processing order} n_l·mindist(p, M_l),
+// so lbSuffix[0] is the point's weighted mindist.
+type fmbmLeafCand struct {
+	e        rtree.Entry
+	lbSuffix []float64
+	curr     float64
 }
 
 // weightedMindist is the heuristic-5 bound Σ_i n_i·mindist(r, M_i).
@@ -82,7 +99,8 @@ func (f *fmbmRun) bf() error {
 		rootRect, _ := f.rd.Tree().Bounds()
 		return f.processLeaf(root, rootRect)
 	}
-	heap := pq.NewHeap[rtree.Entry](64)
+	heap := &f.ec.eheap
+	heap.Reset()
 	for _, e := range root.Entries() {
 		heap.Push(e, f.weightedMindist(e.Rect))
 	}
@@ -107,26 +125,25 @@ func (f *fmbmRun) bf() error {
 	}
 }
 
-// df is the depth-first variant of Figure 4.7.
-func (f *fmbmRun) df(nd rtree.Node, ndRect geom.Rect) error {
+// df is the depth-first variant of Figure 4.7, with per-depth pooled
+// candidate buffers and an inlined insertion sort.
+func (f *fmbmRun) df(nd rtree.Node, ndRect geom.Rect, depth int) error {
 	if nd.IsLeaf() {
 		return f.processLeaf(nd, ndRect)
 	}
-	entries := nd.Entries()
-	type cand struct {
-		e rtree.Entry
-		w float64
+	buf := f.ec.cands.Level(depth)
+	cands := *buf
+	for _, e := range nd.Entries() {
+		cands = append(cands, rtree.Cand{E: e, D: f.weightedMindist(e.Rect)})
 	}
-	cands := make([]cand, 0, len(entries))
-	for _, e := range entries {
-		cands = append(cands, cand{e, f.weightedMindist(e.Rect)})
-	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].w < cands[b].w })
-	for _, c := range cands {
-		if c.w >= f.best.bound() {
+	rtree.SortCands(cands)
+	*buf = cands
+	for i := range cands {
+		c := cands[i]
+		if c.D >= f.best.bound() {
 			return nil // heuristic 5; list is sorted, so stop
 		}
-		if err := f.df(f.rd.Child(c.e), c.e.Rect); err != nil {
+		if err := f.df(f.rd.Child(c.E), c.E.Rect, depth+1); err != nil {
 			return err
 		}
 	}
@@ -141,44 +158,71 @@ func (f *fmbmRun) processLeaf(nd rtree.Node, ndRect geom.Rect) error {
 
 	// Read groups in descending mindist(N, M_i): far groups first, so
 	// their large exact distances inflate curr_dist early and heuristic 6
-	// kills hopeless points before the near (expensive) groups.
-	order := make([]int, m)
+	// kills hopeless points before the near (expensive) groups. The
+	// per-block mindists are computed once into a pooled buffer instead of
+	// twice per comparison inside the sort closure.
+	f.ec.blockDist = growFloats(f.ec.blockDist, m)
+	blockDist := f.ec.blockDist
+	for i := 0; i < m; i++ {
+		blockDist[i] = geom.MinDistRectRect(ndRect, f.qf.MBR(i))
+	}
+	f.ec.order = grow(f.ec.order, m)
+	order := f.ec.order
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		return geom.MinDistRectRect(ndRect, f.qf.MBR(order[a])) >
-			geom.MinDistRectRect(ndRect, f.qf.MBR(order[b]))
+	slices.SortFunc(order, func(a, b int) int {
+		switch {
+		case blockDist[a] > blockDist[b]:
+			return -1
+		case blockDist[a] < blockDist[b]:
+			return 1
+		default:
+			return a - b
+		}
 	})
 
-	type cand struct {
-		e rtree.Entry
-		// lbSuffix[s] = Σ_{l≥s in processing order} n_l·mindist(p, M_l);
-		// lbSuffix[0] is the point's weighted mindist.
-		lbSuffix []float64
-		curr     float64
-	}
 	entries := nd.Entries()
-	cands := make([]*cand, 0, len(entries))
-	for _, e := range entries {
-		c := &cand{e: e, lbSuffix: make([]float64, m+1)}
+	// One flat suffix-bound backing for the whole leaf: rows of m+1 carved
+	// per candidate.
+	f.ec.lbs = grow(f.ec.lbs, len(entries)*(m+1))
+	f.ec.fcands = grow(f.ec.fcands, len(entries))[:0]
+	cands := f.ec.fcands
+	for ei, e := range entries {
+		row := f.ec.lbs[ei*(m+1) : (ei+1)*(m+1)]
+		row[m] = 0
 		for s := m - 1; s >= 0; s-- {
 			i := order[s]
-			c.lbSuffix[s] = c.lbSuffix[s+1] +
+			row[s] = row[s+1] +
 				float64(f.qf.BlockLen(i))*geom.MinDistPointRect(e.Point, f.qf.MBR(i))
 		}
-		cands = append(cands, c)
+		cands = append(cands, fmbmLeafCand{e: e, lbSuffix: row})
 	}
 	// Points sorted by weighted mindist, as in Figure 4.7.
-	sort.Slice(cands, func(a, b int) bool { return cands[a].lbSuffix[0] < cands[b].lbSuffix[0] })
+	slices.SortFunc(cands, func(a, b fmbmLeafCand) int {
+		switch {
+		case a.lbSuffix[0] < b.lbSuffix[0]:
+			return -1
+		case a.lbSuffix[0] > b.lbSuffix[0]:
+			return 1
+		default:
+			return 0
+		}
+	})
 
-	survivors := cands
+	// survivors holds indexes into cands; filtering shuffles indexes, not
+	// candidate rows.
+	f.ec.keep = grow(f.ec.keep, len(cands))
+	survivors := f.ec.keep[:0]
+	for i := range cands {
+		survivors = append(survivors, i)
+	}
 	for s := 0; s < m && len(survivors) > 0; s++ {
 		// Heuristic 6 before paying for the block read.
 		keep := survivors[:0]
-		for _, c := range survivors {
-			if c.curr+c.lbSuffix[s] < f.best.bound() {
-				keep = append(keep, c)
+		for _, ci := range survivors {
+			if cands[ci].curr+cands[ci].lbSuffix[s] < f.best.bound() {
+				keep = append(keep, ci)
 			}
 		}
 		survivors = keep
@@ -189,12 +233,12 @@ func (f *fmbmRun) processLeaf(nd rtree.Node, ndRect geom.Rect) error {
 		if err != nil {
 			return err
 		}
-		for _, c := range survivors {
-			c.curr += geom.SumDist(c.e.Point, blk)
+		for _, ci := range survivors {
+			cands[ci].curr += geom.SumDist(cands[ci].e.Point, blk)
 		}
 	}
-	for _, c := range survivors {
-		f.best.offer(GroupNeighbor{Point: c.e.Point, ID: c.e.ID, Dist: c.curr})
+	for _, ci := range survivors {
+		f.best.offer(GroupNeighbor{Point: cands[ci].e.Point, ID: cands[ci].e.ID, Dist: cands[ci].curr})
 	}
 	return nil
 }

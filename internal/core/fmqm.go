@@ -64,12 +64,20 @@ func FMQM(t *rtree.Tree, qf *QueryFile, opt DiskOptions) (*DiskReport, error) {
 	if opt.Cost == nil {
 		opt.Cost = &pagestore.CostTracker{}
 	}
+	ec, owned := opt.exec()
+	defer releaseIfOwned(ec, owned)
 	m := qf.NumBlocks()
 	iters := make([]*GNNIterator, m)
+	defer func() {
+		for _, it := range iters {
+			it.Close() // nil-safe; releases each block's stream to the pool
+		}
+	}()
 	exhausted := make([]bool, m)
-	thresholds := make([]float64, m)
+	ec.thresholds = growFloats(ec.thresholds, m)
+	thresholds := ec.thresholds
 	var pending []*fmqmCand
-	best := newKBest(opt.K)
+	best := ec.kbestFor(opt.K)
 	report := &DiskReport{}
 
 	sumT := func() float64 {

@@ -81,8 +81,11 @@ func GCP(tp, tq *rtree.Tree, opt GCPOptions) (*GCPReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer it.Close()
+	ec, owned := opt.exec()
+	defer releaseIfOwned(ec, owned)
 	n := tq.Len()
-	best := newKBest(opt.K)
+	best := ec.kbestFor(opt.K)
 	list := make(map[int64]*gcpCand)
 	report := &GCPReport{}
 	T := 0.0

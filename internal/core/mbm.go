@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"math"
 
 	"gnn/internal/geom"
 	"gnn/internal/pq"
@@ -20,6 +20,10 @@ import (
 // aggregates. Options.DisableHeuristic3 reproduces the §5.1 footnote-3
 // ablation. The best-first variant is built on the incremental iterator
 // below; the depth-first variant follows Figure 3.7.
+//
+// Both variants draw their scratch (candidate buffers, result list, query
+// MBR corners, heaps) from the pooled execution context, so a warm query
+// allocates only its result slice.
 func MBM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 	opt = opt.withDefaults()
 	if err := validate(t, qs, opt); err != nil {
@@ -28,22 +32,33 @@ func MBM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 	if t.Len() == 0 {
 		return nil, nil
 	}
+	ec, owned := opt.exec()
+	defer releaseIfOwned(ec, owned)
 	if opt.Traversal == DepthFirst {
 		w, err := newWeightCtx(opt.Weights, len(qs))
 		if err != nil {
 			return nil, err
 		}
-		best := newKBest(opt.K)
-		qmbr := geom.BoundingRect(qs)
-		rd := t.Reader(opt.Cost)
-		mbmDF(rd, rd.Root(), qs, qmbr, w, opt, best)
+		best := ec.kbestFor(opt.K)
+		st := mbmState{
+			rd:   t.Reader(opt.Cost),
+			qs:   qs,
+			qmbr: ec.boundingRect(qs),
+			w:    w,
+			opt:  opt,
+			best: best,
+			ec:   ec,
+		}
+		st.qcent = ec.centerOf(st.qmbr)
+		st.df(st.rd.Root(), 0)
 		return best.results(), nil
 	}
 	it, err := NewGNNIterator(t, qs, opt)
 	if err != nil {
 		return nil, err
 	}
-	best := newKBest(opt.K)
+	defer it.Close()
+	best := ec.kbestFor(opt.K)
 	for len(best.items) < opt.K {
 		g, ok := it.Next()
 		if !ok {
@@ -54,59 +69,81 @@ func MBM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 	return best.results(), nil
 }
 
-// mbmDF is the depth-first MBM of Figure 3.7: entries sorted by mindist to
+// mbmState carries the per-query state of a depth-first MBM traversal.
+type mbmState struct {
+	rd    rtree.Reader
+	qs    []geom.Point
+	qmbr  geom.Rect
+	qcent geom.Point // centre of qmbr — the tie-break reference
+	w     *weightCtx
+	opt   Options
+	best  *kbest
+	ec    *ExecContext
+}
+
+// df is the depth-first MBM of Figure 3.7: entries sorted by mindist to
 // the query MBR; heuristic 2 ends the scan of the sorted list (monotone in
 // the sort key), heuristic 3 skips individual surviving nodes.
-func mbmDF(rd rtree.Reader, nd rtree.Node, qs []geom.Point, qmbr geom.Rect, w *weightCtx, opt Options, best *kbest) {
-	entries := nd.Entries()
-	n := len(qs)
-	type cand struct {
-		e rtree.Entry
-		d float64 // mindist(entry, M) — the sort key
-	}
-	cands := make([]cand, 0, len(entries))
-	for _, e := range entries {
-		if !regionIntersects(opt.Region, e.Rect) {
+//
+// Candidates are sorted on the squared mindist (same order — squaring is
+// monotone) with an inlined insertion sort over a per-depth pooled buffer,
+// and the heuristic-2 bound is derived from that key with a single Sqrt,
+// instead of the seed's fresh slice, sort.Slice closure and second mindist
+// computation per entry.
+func (st *mbmState) df(nd rtree.Node, depth int) {
+	buf := st.ec.cands.Level(depth)
+	cands := *buf
+	for _, e := range nd.Entries() {
+		if !regionIntersects(st.opt.Region, e.Rect) {
 			continue // constrained query: subtree holds no qualifying point
 		}
-		var d float64
+		var d, d2 float64 // mindist(entry, M)² — the sort key — and its tie-break
 		if e.IsLeafEntry() {
-			d = geom.MinDistPointRect(e.Point, qmbr)
+			d = geom.MinDistSqPointRect(e.Point, st.qmbr)
+			d2 = geom.DistSq(e.Point, st.qcent)
 		} else {
-			d = geom.MinDistRectRect(e.Rect, qmbr)
+			d = geom.MinDistSqRectRect(e.Rect, st.qmbr)
+			d2 = geom.MinDistSqPointRect(st.qcent, e.Rect)
 		}
-		cands = append(cands, cand{e, d})
+		cands = append(cands, rtree.Cand{E: e, D: d, D2: d2})
 	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
-	for _, c := range cands {
-		if c.e.IsLeafEntry() {
+	rtree.SortCands(cands)
+	*buf = cands
+	n := len(st.qs)
+	for i := range cands {
+		c := cands[i]
+		// Heuristic 2 from the sort key: quickLBFromMindist(√key) equals
+		// the quickNodeLBW/quickPointLBW bound bit for bit, because every
+		// mindist function is defined as the Sqrt of its squared variant.
+		lb := quickLBFromMindist(st.opt.Aggregate, math.Sqrt(c.D), n, st.w)
+		if c.E.IsLeafEntry() {
 			// Heuristic 2 on points: mindist(p,M) ≥ best_dist/n discards
 			// p without computing n exact distances; monotone in the sort
 			// key, so all later entries are discarded too.
-			if quickPointLBW(opt.Aggregate, c.e.Point, qmbr, n, w) >= best.bound() {
-				opt.Trace.add(func(tr *Trace) { tr.PointsPrunedQuick++ })
+			if lb >= st.best.bound() {
+				st.opt.Trace.add(func(tr *Trace) { tr.PointsPrunedQuick++ })
 				return
 			}
-			if regionAllows(opt.Region, c.e.Point) {
-				opt.Trace.add(func(tr *Trace) { tr.ExactDistances++ })
-				best.offer(GroupNeighbor{
-					Point: c.e.Point, ID: c.e.ID,
-					Dist: aggDistW(opt.Aggregate, c.e.Point, qs, w),
+			if regionAllows(st.opt.Region, c.E.Point) {
+				st.opt.Trace.add(func(tr *Trace) { tr.ExactDistances++ })
+				st.best.offer(GroupNeighbor{
+					Point: c.E.Point, ID: c.E.ID,
+					Dist: aggDistW(st.opt.Aggregate, c.E.Point, st.qs, st.w),
 				})
 			}
 			continue
 		}
-		if quickNodeLBW(opt.Aggregate, c.e.Rect, qmbr, n, w) >= best.bound() {
-			opt.Trace.add(func(tr *Trace) { tr.NodesPrunedH2++ })
+		if lb >= st.best.bound() {
+			st.opt.Trace.add(func(tr *Trace) { tr.NodesPrunedH2++ })
 			return // heuristic 2: this and all later nodes pruned
 		}
-		if !opt.DisableHeuristic3 &&
-			nodeLBW(opt.Aggregate, c.e.Rect, qs, w) >= best.bound() {
-			opt.Trace.add(func(tr *Trace) { tr.NodesPrunedH3++ })
+		if !st.opt.DisableHeuristic3 &&
+			nodeLBW(st.opt.Aggregate, c.E.Rect, st.qs, st.w) >= st.best.bound() {
+			st.opt.Trace.add(func(tr *Trace) { tr.NodesPrunedH3++ })
 			continue // heuristic 3: skip just this node
 		}
-		opt.Trace.add(func(tr *Trace) { tr.NodesVisited++ })
-		mbmDF(rd, rd.Child(c.e), qs, qmbr, w, opt, best)
+		st.opt.Trace.add(func(tr *Trace) { tr.NodesVisited++ })
+		st.df(st.rd.Child(c.E), depth+1)
 	}
 }
 
@@ -126,14 +163,21 @@ func mbmDF(rd rtree.Reader, nd rtree.Node, qs []geom.Point, qmbr geom.Rect, w *w
 // Because every key lower-bounds the exact distance of everything beneath
 // it, results emerge in exact ascending order while far nodes and points
 // never pay the n-distance computation.
+//
+// Iterators (and their heaps and MBR corners) are drawn from a pool;
+// callers that finish early should Close the iterator so its scratch is
+// recycled. Forgetting to Close costs only the reuse, never correctness.
 type GNNIterator struct {
-	rd   rtree.Reader
-	qs   []geom.Point
-	qmbr geom.Rect
-	opt  Options
-	w    *weightCtx
-	heap *pq.Heap[gnnItem]
+	rd     rtree.Reader
+	qs     []geom.Point
+	qmbr   geom.Rect
+	opt    Options
+	w      *weightCtx
+	heap   pq.Heap[gnnItem]
+	closed bool
 }
+
+var gnnIterPool = pq.NewPool(func() *GNNIterator { return &GNNIterator{} })
 
 type gnnState int8
 
@@ -149,7 +193,10 @@ type gnnItem struct {
 	state gnnState
 }
 
-// NewGNNIterator starts an incremental GNN scan of t around qs.
+// NewGNNIterator starts an incremental GNN scan of t around qs. The
+// iterator owns its scratch (it does not borrow Options.Exec, so any
+// number of iterators — F-MQM runs one per query block — may coexist
+// within one query).
 func NewGNNIterator(t *rtree.Tree, qs []geom.Point, opt Options) (*GNNIterator, error) {
 	opt = opt.withDefaults()
 	if err := validate(t, qs, opt); err != nil {
@@ -159,14 +206,14 @@ func NewGNNIterator(t *rtree.Tree, qs []geom.Point, opt Options) (*GNNIterator, 
 	if err != nil {
 		return nil, err
 	}
-	it := &GNNIterator{
-		rd:   t.Reader(opt.Cost),
-		qs:   qs,
-		qmbr: geom.BoundingRect(qs),
-		opt:  opt,
-		w:    w,
-		heap: pq.NewHeap[gnnItem](64),
-	}
+	it := gnnIterPool.Get()
+	it.rd = t.Reader(opt.Cost)
+	it.qs = qs
+	it.qmbr = geom.BoundingRectInto(it.qmbr, qs)
+	it.opt = opt
+	it.w = w
+	it.closed = false
+	it.heap.Reset()
 	if t.Len() > 0 {
 		it.pushNode(it.rd.Root())
 	}
@@ -193,8 +240,11 @@ func (it *GNNIterator) pushNode(nd rtree.Node) {
 }
 
 // Next returns the next group nearest neighbor; ok is false when the data
-// set is exhausted.
+// set is exhausted or the iterator has been closed.
 func (it *GNNIterator) Next() (GroupNeighbor, bool) {
+	if it.closed {
+		return GroupNeighbor{}, false
+	}
 	for {
 		item, ok := it.heap.Pop()
 		if !ok {
@@ -229,7 +279,29 @@ func (it *GNNIterator) Next() (GroupNeighbor, bool) {
 }
 
 // PeekDist returns a lower bound on the distance of the next result; ok is
-// false when exhausted.
+// false when exhausted or closed.
 func (it *GNNIterator) PeekDist() (float64, bool) {
+	if it.closed {
+		return 0, false
+	}
 	return it.heap.MinPriority()
+}
+
+// Close releases the iterator's scratch to the pool. Call it at most
+// once, and do not use the iterator afterwards: once the object is
+// re-leased to another query, the closed flag belongs to the new owner,
+// so a stale handle's second Close (or Next) would corrupt that query.
+// The public gnn.Iterator wrapper tracks its own done state for exactly
+// this reason.
+func (it *GNNIterator) Close() {
+	if it == nil || it.closed {
+		return
+	}
+	it.closed = true
+	it.rd = rtree.Reader{}
+	it.qs = nil
+	it.opt = Options{}
+	it.w = nil
+	it.heap.Reset()
+	gnnIterPool.Put(it)
 }

@@ -32,13 +32,23 @@ func MQM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 	qs, w = sortByHilbertWeighted(qs, w)
 	n := len(qs)
 
+	ec, owned := opt.exec()
+	defer releaseIfOwned(ec, owned)
 	rd := t.Reader(opt.Cost)
-	iters := make([]*rtree.NNIterator, n)
+	ec.iters = grow(ec.iters, n)
+	iters := ec.iters
 	for i, q := range qs {
 		iters[i] = rd.NewNNIterator(q)
 	}
-	thresholds := make([]float64, n)
-	best := newKBest(opt.K)
+	defer func() {
+		for i, it := range iters {
+			it.Close()
+			iters[i] = nil
+		}
+	}()
+	ec.thresholds = growFloats(ec.thresholds, n)
+	thresholds := ec.thresholds
+	best := ec.kbestFor(opt.K)
 
 	// T = agg_i(w_i·t_i). For SUM (the common case) it is maintained
 	// incrementally; MAX/MIN recompute, which is still cheap because the

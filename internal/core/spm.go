@@ -1,11 +1,8 @@
 package core
 
 import (
-	"sort"
-
 	"gnn/internal/centroid"
 	"gnn/internal/geom"
-	"gnn/internal/pq"
 	"gnn/internal/rtree"
 )
 
@@ -46,11 +43,13 @@ func SPM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 	if w != nil {
 		n = w.sum
 	}
-	best := newKBest(opt.K)
+	ec, owned := opt.exec()
+	defer releaseIfOwned(ec, owned)
+	best := ec.kbestFor(opt.K)
 	if t.Len() > 0 {
-		run := spmRun{rd: t.Reader(opt.Cost), qs: qs, q: q, dq: dq, n: n, w: w, region: opt.Region, best: best}
+		run := spmRun{rd: t.Reader(opt.Cost), qs: qs, q: q, dq: dq, n: n, w: w, region: opt.Region, best: best, ec: ec}
 		if opt.Traversal == DepthFirst {
-			run.df(run.rd.Root())
+			run.df(run.rd.Root(), 0)
 		} else {
 			run.bf()
 		}
@@ -68,6 +67,7 @@ type spmRun struct {
 	w      *weightCtx
 	region *geom.Rect
 	best   *kbest
+	ec     *ExecContext
 }
 
 // spmCentroid computes the approximate centroid and its dist(q,Q).
@@ -106,41 +106,42 @@ func (r *spmRun) offer(e rtree.Entry) {
 }
 
 // df is the depth-first variant of Figure 3.4: entries sorted by mindist
-// to the centroid, recursion pruned by heuristic 1.
-func (r *spmRun) df(nd rtree.Node) {
-	entries := nd.Entries()
-	type cand struct {
-		e rtree.Entry
-		d float64 // mindist(entry, centroid)
-	}
-	cands := make([]cand, 0, len(entries))
-	for _, e := range entries {
-		var d float64
+// to the centroid (per-depth pooled buffer, inlined insertion sort),
+// recursion pruned by heuristic 1.
+func (r *spmRun) df(nd rtree.Node, depth int) {
+	buf := r.ec.cands.Level(depth)
+	cands := *buf
+	for _, e := range nd.Entries() {
+		var d float64 // mindist(entry, centroid)
 		if e.IsLeafEntry() {
 			d = geom.Dist(r.q, e.Point)
 		} else {
 			d = geom.MinDistPointRect(r.q, e.Rect)
 		}
-		cands = append(cands, cand{e, d})
+		cands = append(cands, rtree.Cand{E: e, D: d})
 	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
-	for _, c := range cands {
-		if c.d >= r.threshold() {
+	rtree.SortCands(cands)
+	*buf = cands
+	for i := range cands {
+		c := cands[i]
+		if c.D >= r.threshold() {
 			return // heuristic 1 prunes this and all later entries
 		}
-		if c.e.IsLeafEntry() {
-			r.offer(c.e)
-		} else if regionIntersects(r.region, c.e.Rect) {
-			r.df(r.rd.Child(c.e))
+		if c.E.IsLeafEntry() {
+			r.offer(c.E)
+		} else if regionIntersects(r.region, c.E.Rect) {
+			r.df(r.rd.Child(c.E), depth+1)
 		}
 	}
 }
 
-// bf is the best-first variant: a single priority queue over entries
-// keyed by mindist to the centroid; the first key that fails heuristic 1
-// ends the search, since all remaining keys are at least as large.
+// bf is the best-first variant: a single priority queue (pooled with the
+// execution context) over entries keyed by mindist to the centroid; the
+// first key that fails heuristic 1 ends the search, since all remaining
+// keys are at least as large.
 func (r *spmRun) bf() {
-	heap := pq.NewHeap[rtree.Entry](64)
+	heap := &r.ec.eheap
+	heap.Reset()
 	push := func(nd rtree.Node) {
 		for _, e := range nd.Entries() {
 			if e.IsLeafEntry() {

@@ -136,6 +136,28 @@ func quickNodeLBW(a Aggregate, r geom.Rect, qmbr geom.Rect, n int, w *weightCtx)
 	}
 }
 
+// quickLBFromMindist folds an already-computed mindist d (point- or
+// rect-to-MBR) into the heuristic-2 family bound, exactly as
+// quickNodeLBW/quickPointLBW would: the depth-first kernels sort on the
+// squared mindist and derive the bound from that key with a single Sqrt
+// instead of recomputing the mindist.
+func quickLBFromMindist(a Aggregate, d float64, n int, w *weightCtx) float64 {
+	if w == nil {
+		if a == Sum {
+			return float64(n) * d
+		}
+		return d
+	}
+	switch a {
+	case Max:
+		return d * w.max
+	case Min:
+		return d * w.min
+	default:
+		return d * w.sum
+	}
+}
+
 // quickPointLBW is quickNodeLBW for a data point.
 func quickPointLBW(a Aggregate, p geom.Point, qmbr geom.Rect, n int, w *weightCtx) float64 {
 	if w == nil {

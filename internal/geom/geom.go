@@ -82,10 +82,19 @@ func SumDist(p Point, qs []Point) float64 {
 }
 
 // MaxDistToGroup returns max_i |p qi| (used by the MAX-aggregate extension).
+// Only the winning distance pays a Sqrt: squaring is monotone, so the
+// maximum of the squared distances identifies the maximum distance.
 func MaxDistToGroup(p Point, qs []Point) float64 {
+	return math.Sqrt(MaxDistSqToGroup(p, qs))
+}
+
+// MaxDistSqToGroup returns max_i |p qi|², the squared MAX-aggregate
+// distance. It is sufficient (and Sqrt-free) when only comparisons are
+// needed.
+func MaxDistSqToGroup(p Point, qs []Point) float64 {
 	var m float64
 	for _, q := range qs {
-		if d := Dist(p, q); d > m {
+		if d := DistSq(p, q); d > m {
 			m = d
 		}
 	}
@@ -93,10 +102,17 @@ func MaxDistToGroup(p Point, qs []Point) float64 {
 }
 
 // MinDistToGroup returns min_i |p qi| (used by the MIN-aggregate extension).
+// Only the winning distance pays a Sqrt, as in MaxDistToGroup.
 func MinDistToGroup(p Point, qs []Point) float64 {
+	return math.Sqrt(MinDistSqToGroup(p, qs))
+}
+
+// MinDistSqToGroup returns min_i |p qi|², the squared MIN-aggregate
+// distance.
+func MinDistSqToGroup(p Point, qs []Point) float64 {
 	m := math.Inf(1)
 	for _, q := range qs {
-		if d := Dist(p, q); d < m {
+		if d := DistSq(p, q); d < m {
 			m = d
 		}
 	}
@@ -129,15 +145,44 @@ func RectFromPoint(p Point) Rect {
 
 // BoundingRect returns the MBR of a non-empty point set.
 // It panics when pts is empty: an MBR of nothing is undefined.
+// It allocates exactly the two corner slices, growing them in place rather
+// than cloning per point.
 func BoundingRect(pts []Point) Rect {
 	if len(pts) == 0 {
 		panic("geom: BoundingRect of empty point set")
 	}
-	r := RectFromPoint(pts[0])
-	for _, p := range pts[1:] {
-		r = r.ExpandPoint(p)
+	return BoundingRectInto(Rect{}, pts)
+}
+
+// BoundingRectInto computes the MBR of a non-empty point set into dst's
+// corner slices, reallocating them only when their capacity is too small.
+// It is the allocation-free variant of BoundingRect for pooled per-query
+// scratch. It panics when pts is empty.
+func BoundingRectInto(dst Rect, pts []Point) Rect {
+	if len(pts) == 0 {
+		panic("geom: BoundingRect of empty point set")
 	}
-	return r
+	d := len(pts[0])
+	if cap(dst.Lo) < d {
+		dst.Lo = make(Point, d)
+	}
+	if cap(dst.Hi) < d {
+		dst.Hi = make(Point, d)
+	}
+	dst.Lo, dst.Hi = dst.Lo[:d], dst.Hi[:d]
+	copy(dst.Lo, pts[0])
+	copy(dst.Hi, pts[0])
+	for _, p := range pts[1:] {
+		for i, v := range p {
+			if v < dst.Lo[i] {
+				dst.Lo[i] = v
+			}
+			if v > dst.Hi[i] {
+				dst.Hi[i] = v
+			}
+		}
+	}
+	return dst
 }
 
 // Dim returns the dimensionality of r.
@@ -360,11 +405,39 @@ func MaxDistRectRect(r, s Rect) float64 {
 }
 
 // SumMinDistRectToGroup returns Σ_i mindist(r, qi), the heuristic-3 lower
-// bound on dist(p,Q) for any point p inside r.
+// bound on dist(p,Q) for any point p inside r. The SUM aggregate adds the
+// distances themselves, so every term pays its Sqrt — squared-distance
+// elision is not legal here (Σ√dᵢ² ≠ √Σdᵢ²).
 func SumMinDistRectToGroup(r Rect, qs []Point) float64 {
 	var s float64
 	for _, q := range qs {
 		s += MinDistPointRect(q, r)
 	}
 	return s
+}
+
+// MaxMinDistSqRectToGroup returns max_i mindist(r, qi)², the squared
+// heuristic-3 lower bound for the MAX aggregate. Squaring is monotone, so
+// the maximum of the squared per-point bounds is the square of the maximum
+// bound; callers compare in squared space and Sqrt only the result.
+func MaxMinDistSqRectToGroup(r Rect, qs []Point) float64 {
+	var m float64
+	for _, q := range qs {
+		if d := MinDistSqPointRect(q, r); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// MinMinDistSqRectToGroup returns min_i mindist(r, qi)², the squared
+// heuristic-3 lower bound for the MIN aggregate.
+func MinMinDistSqRectToGroup(r Rect, qs []Point) float64 {
+	m := math.Inf(1)
+	for _, q := range qs {
+		if d := MinDistSqPointRect(q, r); d < m {
+			m = d
+		}
+	}
+	return m
 }

@@ -380,3 +380,66 @@ func BenchmarkMinDistPointRect(b *testing.B) {
 		_ = MinDistPointRect(p, r)
 	}
 }
+
+// TestSquaredAggregateVariants: the squared group aggregates must agree
+// exactly with their Sqrt counterparts — Sqrt is monotone and correctly
+// rounded, so Sqrt of the squared aggregate is bit-identical to the
+// aggregate of the Sqrts.
+func TestSquaredAggregateVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		p := randPoint(rng)
+		qs := make([]Point, 1+rng.Intn(8))
+		for i := range qs {
+			qs[i] = randPoint(rng)
+		}
+		if got, want := math.Sqrt(MaxDistSqToGroup(p, qs)), MaxDistToGroup(p, qs); got != want {
+			t.Fatalf("sqrt(MaxDistSq)=%v != MaxDist=%v", got, want)
+		}
+		if got, want := math.Sqrt(MinDistSqToGroup(p, qs)), MinDistToGroup(p, qs); got != want {
+			t.Fatalf("sqrt(MinDistSq)=%v != MinDist=%v", got, want)
+		}
+		r := NewRect(randPoint(rng), randPoint(rng))
+		maxLB := 0.0
+		minLB := math.Inf(1)
+		for _, q := range qs {
+			if d := MinDistPointRect(q, r); d > maxLB {
+				maxLB = d
+			}
+			if d := MinDistPointRect(q, r); d < minLB {
+				minLB = d
+			}
+		}
+		if got := math.Sqrt(MaxMinDistSqRectToGroup(r, qs)); got != maxLB {
+			t.Fatalf("sqrt(MaxMinDistSq)=%v != %v", got, maxLB)
+		}
+		if got := math.Sqrt(MinMinDistSqRectToGroup(r, qs)); got != minLB {
+			t.Fatalf("sqrt(MinMinDistSq)=%v != %v", got, minLB)
+		}
+	}
+}
+
+// TestBoundingRectInto: the in-place variant must agree with BoundingRect
+// and reuse the destination's backing arrays when they are large enough.
+func TestBoundingRectInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	pts := make([]Point, 16)
+	for i := range pts {
+		pts[i] = randPoint(rng)
+	}
+	want := BoundingRect(pts)
+	dst := Rect{Lo: make(Point, 0, 2), Hi: make(Point, 0, 2)}
+	loBase, hiBase := &dst.Lo[:1][0], &dst.Hi[:1][0]
+	got := BoundingRectInto(dst, pts)
+	if !got.Equal(want) {
+		t.Fatalf("BoundingRectInto %v != BoundingRect %v", got, want)
+	}
+	if &got.Lo[0] != loBase || &got.Hi[0] != hiBase {
+		t.Fatal("BoundingRectInto reallocated despite sufficient capacity")
+	}
+	// Small destination must grow, not panic or write out of bounds.
+	grown := BoundingRectInto(Rect{}, pts)
+	if !grown.Equal(want) {
+		t.Fatalf("BoundingRectInto from zero Rect %v != %v", grown, want)
+	}
+}

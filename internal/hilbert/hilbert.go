@@ -11,7 +11,7 @@
 // curve of order k visits every cell of a 2^k × 2^k grid exactly once.
 package hilbert
 
-import "sort"
+import "slices"
 
 // DefaultOrder is the curve order used when sorting floating-point data:
 // a 2^16 × 2^16 grid gives sub-meter resolution on the paper's
@@ -123,7 +123,16 @@ func SortByValue(n int, m *Mapper, at func(i int) (x, y float64), swap func(i, j
 		keys[i] = m.Value(x, y)
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	slices.SortStableFunc(idx, func(a, b int) int {
+		switch {
+		case keys[a] < keys[b]:
+			return -1
+		case keys[a] > keys[b]:
+			return 1
+		default:
+			return 0
+		}
+	})
 	// Apply the permutation with the provided swap, tracking positions.
 	pos := make([]int, n)  // pos[item] = current index of item
 	item := make([]int, n) // item[index] = item currently at index

@@ -78,6 +78,11 @@ func (h *Heap[T]) Clear() {
 	h.items = h.items[:0]
 }
 
+// Reset prepares the heap for reuse by a new query: all items are dropped
+// (payloads zeroed for GC) while the backing array is retained, so a warm
+// heap serves its next query without allocating.
+func (h *Heap[T]) Reset() { h.Clear() }
+
 func (h *Heap[T]) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -127,6 +132,23 @@ func NewBoundedMax[T any](k int) *BoundedMax[T] {
 	return &BoundedMax[T]{k: k, items: make([]Item[T], 0, k)}
 }
 
+// Reset prepares the heap for reuse by a new query with result size k,
+// retaining the backing array (grown when the new k needs more room). It
+// panics when k < 1, like NewBoundedMax.
+func (b *BoundedMax[T]) Reset(k int) {
+	if k < 1 {
+		panic("pq: BoundedMax requires k >= 1")
+	}
+	for i := range b.items {
+		b.items[i] = Item[T]{}
+	}
+	b.items = b.items[:0]
+	if cap(b.items) < k {
+		b.items = make([]Item[T], 0, k)
+	}
+	b.k = k
+}
+
 // Len returns the number of retained entries (≤ k).
 func (b *BoundedMax[T]) Len() int { return len(b.items) }
 
@@ -158,28 +180,19 @@ func (b *BoundedMax[T]) Push(value T, priority float64) bool {
 	return true
 }
 
-// Sorted returns the retained entries in ascending priority order.
+// Sorted returns the retained entries in ascending priority order. It
+// allocates only the returned slice: the copy is heapsorted in place
+// (swapping the max to the tail and sifting down the shrunk prefix).
 func (b *BoundedMax[T]) Sorted() []Item[T] {
 	out := make([]Item[T], len(b.items))
 	copy(out, b.items)
-	// heapsort-style extraction on the copy (max-heap pops largest first)
-	tmp := &BoundedMax[T]{k: b.k, items: out}
-	res := make([]Item[T], len(out))
-	for i := len(out) - 1; i >= 0; i-- {
-		res[i] = tmp.popMax()
+	tmp := BoundedMax[T]{k: b.k}
+	for n := len(out) - 1; n > 0; n-- {
+		out[0], out[n] = out[n], out[0]
+		tmp.items = out[:n]
+		tmp.down(0)
 	}
-	return res
-}
-
-func (b *BoundedMax[T]) popMax() Item[T] {
-	max := b.items[0]
-	last := len(b.items) - 1
-	b.items[0] = b.items[last]
-	b.items = b.items[:last]
-	if len(b.items) > 0 {
-		b.down(0)
-	}
-	return max
+	return out
 }
 
 func (b *BoundedMax[T]) up(i int) {

@@ -202,3 +202,70 @@ func BenchmarkHeapPushPop(b *testing.B) {
 		h.Pop()
 	}
 }
+
+// TestHeapReset: a Reset heap behaves like a fresh one and reuses its
+// backing array.
+func TestHeapReset(t *testing.T) {
+	h := NewHeap[int](4)
+	for i := 0; i < 20; i++ {
+		h.Push(i, float64(20-i))
+	}
+	h.Reset()
+	if h.Len() != 0 || !h.Empty() {
+		t.Fatalf("Reset heap not empty: len=%d", h.Len())
+	}
+	if _, ok := h.Pop(); ok {
+		t.Fatal("Pop from reset heap succeeded")
+	}
+	h.Push(1, 2.0)
+	h.Push(2, 1.0)
+	if it, ok := h.Pop(); !ok || it.Value != 2 {
+		t.Fatalf("reset heap misordered: %+v ok=%v", it, ok)
+	}
+}
+
+// TestBoundedMaxReset: Reset re-arms the heap for a different k and clears
+// prior entries.
+func TestBoundedMaxReset(t *testing.T) {
+	b := NewBoundedMax[int](2)
+	b.Push(1, 1)
+	b.Push(2, 2)
+	b.Reset(3)
+	if b.Len() != 0 || b.Full() {
+		t.Fatalf("Reset heap not empty: len=%d", b.Len())
+	}
+	for i := 0; i < 5; i++ {
+		b.Push(i, float64(i))
+	}
+	got := b.Sorted()
+	if len(got) != 3 || got[0].Value != 0 || got[2].Value != 2 {
+		t.Fatalf("Reset(3) kept wrong entries: %+v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reset(0) did not panic")
+		}
+	}()
+	b.Reset(0)
+}
+
+// TestPool: Get returns constructed values; Put recycles them.
+func TestPool(t *testing.T) {
+	built := 0
+	p := NewPool(func() *Heap[int] {
+		built++
+		return NewHeap[int](4)
+	})
+	h := p.Get()
+	if built != 1 {
+		t.Fatalf("constructor ran %d times", built)
+	}
+	h.Push(7, 7)
+	h.Reset()
+	p.Put(h)
+	_ = p.Get() // either the recycled heap or a fresh one; both must be empty
+	p.Put(nil)  // must not panic or poison the pool
+	if got := p.Get(); got == nil || got.Len() != 0 {
+		t.Fatalf("pool returned unusable heap: %+v", got)
+	}
+}

@@ -3,7 +3,7 @@ package rtree
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"gnn/internal/geom"
 	"gnn/internal/hilbert"
@@ -29,19 +29,26 @@ func BulkLoadSTR(cfg Config, pts []geom.Point, ids []int64) (*Tree, error) {
 	slabs := int(math.Ceil(math.Sqrt(float64(nLeaves))))
 	perSlab := slabs * M
 
-	sort.SliceStable(entries, func(a, b int) bool {
-		return entries[a].Point[0] < entries[b].Point[0]
-	})
+	cmpAxis := func(axis int) func(a, b Entry) int {
+		return func(a, b Entry) int {
+			switch {
+			case a.Point[axis] < b.Point[axis]:
+				return -1
+			case a.Point[axis] > b.Point[axis]:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	slices.SortStableFunc(entries, cmpAxis(0))
 	for lo := 0; lo < len(entries); lo += perSlab {
 		hi := lo + perSlab
 		if hi > len(entries) {
 			hi = len(entries)
 		}
-		slab := entries[lo:hi]
 		if t.cfg.Dim >= 2 {
-			sort.SliceStable(slab, func(a, b int) bool {
-				return slab[a].Point[1] < slab[b].Point[1]
-			})
+			slices.SortStableFunc(entries[lo:hi], cmpAxis(1))
 		}
 	}
 	t.packLevels(entries)

@@ -2,6 +2,7 @@ package rtree
 
 import (
 	"fmt"
+	"math"
 
 	"gnn/internal/geom"
 	"gnn/internal/pq"
@@ -23,18 +24,25 @@ type pairItem struct {
 // from the second, in ascending distance order — the incremental closest-
 // pair algorithm of [HS98] used as the engine of GCP (§4.1).
 //
-// The iterator maintains a heap of entry pairs keyed by the mindist of
-// their rectangles: since mindist lower-bounds every concrete pair beneath
-// an entry pair, popping in heap order yields pairs in ascending distance.
+// The iterator maintains a heap of entry pairs keyed by the squared
+// mindist of their rectangles: since mindist lower-bounds every concrete
+// pair beneath an entry pair and squaring preserves order, popping in heap
+// order yields pairs in ascending distance while no heap key pays a Sqrt.
 // Node accesses are charged to each side's execution context (each tree's
 // shared accountant, plus whatever tracker the contexts carry).
+//
+// Iterators are drawn from a pool; Close recycles the heap (GCP closes its
+// iterator on every path). Forgetting to Close costs only the reuse.
 type PairIterator struct {
 	rp, rq Reader
-	heap   *pq.Heap[pairItem]
-	// HeapMax tracks the high-water mark of the heap, reported because the
+	heap   pq.Heap[pairItem]
+	closed bool
+	// heapMax tracks the high-water mark of the heap, reported because the
 	// paper discusses GCP's "large heap requirements" (§4.1).
 	heapMax int
 }
+
+var pairIterPool = pq.NewPool(func() *PairIterator { return &PairIterator{} })
 
 // NewClosestPairIterator starts an incremental closest-pair scan between
 // two non-empty trees of equal dimensionality, in fresh aggregate-only
@@ -53,7 +61,9 @@ func NewClosestPairIteratorReaders(rp, rq Reader) (*PairIterator, error) {
 	if tp.Dim() != tq.Dim() {
 		return nil, fmt.Errorf("rtree: dimension mismatch %d vs %d", tp.Dim(), tq.Dim())
 	}
-	it := &PairIterator{rp: rp, rq: rq, heap: pq.NewHeap[pairItem](256)}
+	it := pairIterPool.Get()
+	it.rp, it.rq, it.closed, it.heapMax = rp, rq, false, 0
+	it.heap.Reset()
 	if tp.Len() > 0 && tq.Len() > 0 {
 		np, nq := rp.Root(), rq.Root()
 		it.pushCross(np.Entries(), nq.Entries())
@@ -65,7 +75,7 @@ func NewClosestPairIteratorReaders(rp, rq Reader) (*PairIterator, error) {
 func (it *PairIterator) pushCross(eps, eqs []Entry) {
 	for _, ep := range eps {
 		for _, eq := range eqs {
-			it.heap.Push(pairItem{ep, eq}, pairDist(ep, eq))
+			it.heap.Push(pairItem{ep, eq}, pairDistSq(ep, eq))
 		}
 	}
 	if it.heap.Len() > it.heapMax {
@@ -73,22 +83,25 @@ func (it *PairIterator) pushCross(eps, eqs []Entry) {
 	}
 }
 
-func pairDist(ep, eq Entry) float64 {
+func pairDistSq(ep, eq Entry) float64 {
 	switch {
 	case ep.IsLeafEntry() && eq.IsLeafEntry():
-		return geom.Dist(ep.Point, eq.Point)
+		return geom.DistSq(ep.Point, eq.Point)
 	case ep.IsLeafEntry():
-		return geom.MinDistPointRect(ep.Point, eq.Rect)
+		return geom.MinDistSqPointRect(ep.Point, eq.Rect)
 	case eq.IsLeafEntry():
-		return geom.MinDistPointRect(eq.Point, ep.Rect)
+		return geom.MinDistSqPointRect(eq.Point, ep.Rect)
 	default:
-		return geom.MinDistRectRect(ep.Rect, eq.Rect)
+		return geom.MinDistSqRectRect(ep.Rect, eq.Rect)
 	}
 }
 
 // Next returns the next closest pair; ok is false when all pairs have been
-// reported.
+// reported or the iterator is closed.
 func (it *PairIterator) Next() (Pair, bool) {
+	if it.closed {
+		return Pair{}, false
+	}
 	for {
 		item, ok := it.heap.Pop()
 		if !ok {
@@ -96,10 +109,11 @@ func (it *PairIterator) Next() (Pair, bool) {
 		}
 		ep, eq := item.Value.ep, item.Value.eq
 		if ep.IsLeafEntry() && eq.IsLeafEntry() {
+			d := math.Sqrt(item.Priority)
 			return Pair{
-				P:    Neighbor{Point: ep.Point, ID: ep.ID, Dist: item.Priority},
-				Q:    Neighbor{Point: eq.Point, ID: eq.ID, Dist: item.Priority},
-				Dist: item.Priority,
+				P:    Neighbor{Point: ep.Point, ID: ep.ID, Dist: d},
+				Q:    Neighbor{Point: eq.Point, ID: eq.ID, Dist: d},
+				Dist: d,
 			}, true
 		}
 		// Expand the unresolved side with the larger rectangle (both when
@@ -119,9 +133,16 @@ func (it *PairIterator) Next() (Pair, bool) {
 }
 
 // PeekDist returns a lower bound on the distance of the next pair; ok is
-// false when exhausted.
+// false when exhausted or closed.
 func (it *PairIterator) PeekDist() (float64, bool) {
-	return it.heap.MinPriority()
+	if it.closed {
+		return 0, false
+	}
+	d, ok := it.heap.MinPriority()
+	if !ok {
+		return 0, false
+	}
+	return math.Sqrt(d), true
 }
 
 // HeapLen returns the current number of queued entry pairs.
@@ -129,3 +150,16 @@ func (it *PairIterator) HeapLen() int { return it.heap.Len() }
 
 // HeapMax returns the high-water mark of the pair heap.
 func (it *PairIterator) HeapMax() int { return it.heapMax }
+
+// Close releases the iterator's heap to the pool. Call it at most once,
+// and do not use the iterator afterwards — see NNIterator.Close for the
+// stale-handle hazard the closed flag cannot cover after a re-lease.
+func (it *PairIterator) Close() {
+	if it == nil || it.closed {
+		return
+	}
+	it.closed = true
+	it.rp, it.rq = Reader{}, Reader{}
+	it.heap.Reset()
+	pairIterPool.Put(it)
+}

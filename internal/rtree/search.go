@@ -1,7 +1,7 @@
 package rtree
 
 import (
-	"sort"
+	"math"
 
 	"gnn/internal/geom"
 	"gnn/internal/pq"
@@ -79,40 +79,46 @@ func (t *Tree) NearestDF(q geom.Point, k int) []Neighbor {
 // branch-and-bound algorithm of [RKV95]: entries of each node are visited
 // in ascending mindist order and subtrees farther than the current k-th
 // best are pruned. Results are sorted by ascending distance.
+//
+// The traversal works entirely in squared distances (comparisons are
+// order-preserving, so pruning is unaffected) and draws its candidate
+// buffers and result heap from a pooled scratch; only the returned slice
+// is allocated in steady state, with each result paying one Sqrt.
 func (rd Reader) NearestDF(q geom.Point, k int) []Neighbor {
 	if rd.t.size == 0 || k < 1 {
 		return nil
 	}
-	best := pq.NewBoundedMax[Neighbor](k)
-	rd.nearestDF(rd.Root(), q, best)
-	return neighborsFrom(best)
+	sc := nnScratchPool.Get()
+	sc.best.Reset(k)
+	rd.nearestDF(rd.Root(), q, sc, 0)
+	out := neighborsFromSq(&sc.best)
+	sc.release()
+	return out
 }
 
-func (rd Reader) nearestDF(nd Node, q geom.Point, best *pq.BoundedMax[Neighbor]) {
-	entries := nd.Entries()
-	type cand struct {
-		e Entry
-		d float64
-	}
-	cands := make([]cand, 0, len(entries))
-	for _, e := range entries {
+func (rd Reader) nearestDF(nd Node, q geom.Point, sc *nnScratch, depth int) {
+	buf := sc.cands.Level(depth)
+	cands := *buf
+	for _, e := range nd.Entries() {
 		var d float64
 		if e.IsLeafEntry() {
-			d = geom.Dist(q, e.Point)
+			d = geom.DistSq(q, e.Point)
 		} else {
-			d = geom.MinDistPointRect(q, e.Rect)
+			d = geom.MinDistSqPointRect(q, e.Rect)
 		}
-		cands = append(cands, cand{e, d})
+		cands = append(cands, Cand{E: e, D: d})
 	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
-	for _, c := range cands {
-		if bd, ok := best.Kth(); ok && c.d >= bd {
+	SortCands(cands)
+	*buf = cands
+	for i := range cands {
+		c := cands[i]
+		if bd, ok := sc.best.Kth(); ok && c.D >= bd {
 			return // every remaining candidate is at least this far
 		}
-		if c.e.IsLeafEntry() {
-			best.Push(Neighbor{Point: c.e.Point, ID: c.e.ID, Dist: c.d}, c.d)
+		if c.E.IsLeafEntry() {
+			sc.best.Push(Neighbor{Point: c.E.Point, ID: c.E.ID}, c.D)
 		} else {
-			rd.nearestDF(rd.Child(c.e), q, best)
+			rd.nearestDF(rd.Child(c.E), q, sc, depth+1)
 		}
 	}
 }
@@ -130,6 +136,7 @@ func (rd Reader) NearestBF(q geom.Point, k int) []Neighbor {
 		return nil
 	}
 	it := rd.NewNNIterator(q)
+	defer it.Close()
 	out := make([]Neighbor, 0, k)
 	for len(out) < k {
 		nb, ok := it.Next()
@@ -141,11 +148,16 @@ func (rd Reader) NearestBF(q geom.Point, k int) []Neighbor {
 	return out
 }
 
-func neighborsFrom(best *pq.BoundedMax[Neighbor]) []Neighbor {
+// neighborsFromSq extracts the heap's neighbors in ascending order,
+// converting the squared-priority keys into the Euclidean distances the
+// API reports. Dist(p,q) is defined as Sqrt(DistSq(p,q)), so the converted
+// values are bit-identical to distances computed directly.
+func neighborsFromSq(best *pq.BoundedMax[Neighbor]) []Neighbor {
 	items := best.Sorted()
 	out := make([]Neighbor, len(items))
 	for i, it := range items {
 		out[i] = it.Value
+		out[i].Dist = math.Sqrt(it.Priority)
 	}
 	return out
 }
@@ -154,11 +166,19 @@ func neighborsFrom(best *pq.BoundedMax[Neighbor]) []Neighbor {
 // point, one at a time — the incremental behaviour MQM depends on (§2,
 // [HS99]). Each call to Next may visit further tree nodes, charged to the
 // iterator's execution context.
+//
+// Iterators are drawn from a pool: callers that finish with an iterator
+// before exhausting it should Close it so its heap is recycled; forgetting
+// to Close only costs the reuse, never correctness. The heap is keyed by
+// squared distances, with one Sqrt per emitted neighbor.
 type NNIterator struct {
-	rd   Reader
-	q    geom.Point
-	heap *pq.Heap[Entry]
+	rd     Reader
+	q      geom.Point
+	heap   pq.Heap[Entry]
+	closed bool
 }
+
+var nnIterPool = pq.NewPool(func() *NNIterator { return &NNIterator{} })
 
 // NewNNIterator starts an incremental nearest-neighbor scan around q in a
 // fresh aggregate-only execution context.
@@ -168,7 +188,9 @@ func (t *Tree) NewNNIterator(q geom.Point) *NNIterator {
 
 // NewNNIterator starts an incremental nearest-neighbor scan around q.
 func (rd Reader) NewNNIterator(q geom.Point) *NNIterator {
-	it := &NNIterator{rd: rd, q: q, heap: pq.NewHeap[Entry](64)}
+	it := nnIterPool.Get()
+	it.rd, it.q, it.closed = rd, q, false
+	it.heap.Reset()
 	if rd.t.size > 0 {
 		it.pushNode(rd.Root())
 	}
@@ -178,30 +200,61 @@ func (rd Reader) NewNNIterator(q geom.Point) *NNIterator {
 func (it *NNIterator) pushNode(nd Node) {
 	for _, e := range nd.Entries() {
 		if e.IsLeafEntry() {
-			it.heap.Push(e, geom.Dist(it.q, e.Point))
+			it.heap.Push(e, geom.DistSq(it.q, e.Point))
 		} else {
-			it.heap.Push(e, geom.MinDistPointRect(it.q, e.Rect))
+			it.heap.Push(e, geom.MinDistSqPointRect(it.q, e.Rect))
 		}
 	}
 }
 
 // Next returns the next nearest point; ok is false when the data set is
-// exhausted.
+// exhausted or the iterator has been closed.
 func (it *NNIterator) Next() (Neighbor, bool) {
+	if it.closed {
+		return Neighbor{}, false
+	}
 	for {
 		item, ok := it.heap.Pop()
 		if !ok {
 			return Neighbor{}, false
 		}
 		if item.Value.IsLeafEntry() {
-			return Neighbor{Point: item.Value.Point, ID: item.Value.ID, Dist: item.Priority}, true
+			return Neighbor{
+				Point: item.Value.Point,
+				ID:    item.Value.ID,
+				Dist:  math.Sqrt(item.Priority),
+			}, true
 		}
 		it.pushNode(it.rd.Child(item.Value))
 	}
 }
 
 // PeekDist returns the lower bound on the distance of the next neighbor
-// without advancing; ok is false when exhausted.
+// without advancing; ok is false when exhausted or closed.
 func (it *NNIterator) PeekDist() (float64, bool) {
-	return it.heap.MinPriority()
+	if it.closed {
+		return 0, false
+	}
+	d, ok := it.heap.MinPriority()
+	if !ok {
+		return 0, false
+	}
+	return math.Sqrt(d), true
+}
+
+// Close releases the iterator's heap to the pool. Call it at most once,
+// and do not use the iterator afterwards: once the object is re-leased to
+// another query, the closed flag belongs to the new owner, so a stale
+// handle's second Close (or Next) would corrupt that query. Holders of a
+// possibly-already-closed handle (the public gnn.Iterator wrapper) must
+// track their own done state instead of relying on this guard.
+func (it *NNIterator) Close() {
+	if it == nil || it.closed {
+		return
+	}
+	it.closed = true
+	it.rd = Reader{}
+	it.q = nil
+	it.heap.Reset()
+	nnIterPool.Put(it)
 }

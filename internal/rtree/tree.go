@@ -18,7 +18,7 @@ package rtree
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"gnn/internal/geom"
 	"gnn/internal/pagestore"
@@ -351,7 +351,16 @@ func (t *Tree) forcedReinsert(n *node, path []*node, reinserted map[int]bool) {
 	for i, e := range n.entries {
 		ds[i] = distEntry{e, geom.DistSq(e.Rect.Center(), center)}
 	}
-	sort.Slice(ds, func(a, b int) bool { return ds[a].d > ds[b].d })
+	slices.SortFunc(ds, func(a, b distEntry) int {
+		switch {
+		case a.d > b.d:
+			return -1
+		case a.d < b.d:
+			return 1
+		default:
+			return 0
+		}
+	})
 	removed := make([]Entry, 0, p)
 	for i := 0; i < p; i++ {
 		removed = append(removed, ds[i].e)
@@ -455,17 +464,27 @@ func rstarSplit(entries []Entry, minEntries int) (g1, g2 []Entry) {
 }
 
 func sortEntries(es []Entry, axis int, byLower bool) {
-	sort.SliceStable(es, func(a, b int) bool {
+	cmp := func(x, y float64) int {
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		default:
+			return 0
+		}
+	}
+	slices.SortStableFunc(es, func(a, b Entry) int {
 		if byLower {
-			if es[a].Rect.Lo[axis] != es[b].Rect.Lo[axis] {
-				return es[a].Rect.Lo[axis] < es[b].Rect.Lo[axis]
+			if c := cmp(a.Rect.Lo[axis], b.Rect.Lo[axis]); c != 0 {
+				return c
 			}
-			return es[a].Rect.Hi[axis] < es[b].Rect.Hi[axis]
+			return cmp(a.Rect.Hi[axis], b.Rect.Hi[axis])
 		}
-		if es[a].Rect.Hi[axis] != es[b].Rect.Hi[axis] {
-			return es[a].Rect.Hi[axis] < es[b].Rect.Hi[axis]
+		if c := cmp(a.Rect.Hi[axis], b.Rect.Hi[axis]); c != 0 {
+			return c
 		}
-		return es[a].Rect.Lo[axis] < es[b].Rect.Lo[axis]
+		return cmp(a.Rect.Lo[axis], b.Rect.Lo[axis])
 	})
 }
 
@@ -540,7 +559,7 @@ func (t *Tree) Delete(p geom.Point, id int64) bool {
 	}
 	// Reinsert orphaned entries at their original levels, lowest first so
 	// the tree is tall enough when higher-level entries return.
-	sort.Slice(orphans, func(a, b int) bool { return orphans[a].level < orphans[b].level })
+	slices.SortFunc(orphans, func(a, b orphan) int { return a.level - b.level })
 	for _, o := range orphans {
 		for _, e := range o.entries {
 			if o.level >= t.height {

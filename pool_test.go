@@ -1,0 +1,166 @@
+// Pool hygiene tests: scratch released to the sync.Pool arenas must come
+// back fully reset. The suite hammers the pools with randomized queries
+// from many goroutines (run under -race, its primary consumer) and checks
+// the two invariants pooling could silently break: every answer still
+// matches a fresh-context serial run, and per-query costs still sum
+// exactly to the index-wide aggregate (PR 1's invariant).
+package gnn_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"gnn"
+)
+
+// poolQuery is one randomized query specification.
+type poolQuery struct {
+	group []gnn.Point
+	opts  []gnn.QueryOption
+	kind  string
+}
+
+// randPoolQueries builds a deterministic mix of algorithms, aggregates,
+// ks, weights and group sizes — every pooled code path.
+func randPoolQueries(rng *rand.Rand, n int) []poolQuery {
+	out := make([]poolQuery, n)
+	for i := range out {
+		size := 1 + rng.Intn(12)
+		group := make([]gnn.Point, size)
+		base := gnn.Point{rng.Float64() * 1000, rng.Float64() * 1000}
+		for j := range group {
+			group[j] = gnn.Point{base[0] + rng.Float64()*200, base[1] + rng.Float64()*200}
+		}
+		k := 1 + rng.Intn(5)
+		opts := []gnn.QueryOption{gnn.WithK(k)}
+		kind := "MBM-BF"
+		switch rng.Intn(5) {
+		case 0:
+			opts = append(opts, gnn.WithAlgorithm(gnn.AlgoMQM))
+			kind = "MQM"
+		case 1:
+			opts = append(opts, gnn.WithAlgorithm(gnn.AlgoSPM))
+			kind = "SPM"
+		case 2:
+			opts = append(opts, gnn.WithAlgorithm(gnn.AlgoMBM), gnn.WithDepthFirst())
+			kind = "MBM-DF"
+		case 3:
+			opts = append(opts, gnn.WithAlgorithm(gnn.AlgoBruteForce))
+			kind = "brute"
+		}
+		if kind != "SPM" { // SPM's Lemma-1 bound is SUM-only
+			switch rng.Intn(3) {
+			case 0:
+				opts = append(opts, gnn.WithAggregate(gnn.MaxDist))
+			case 1:
+				opts = append(opts, gnn.WithAggregate(gnn.MinDist))
+			}
+		}
+		if rng.Intn(2) == 0 {
+			w := make([]float64, size)
+			for j := range w {
+				w[j] = 0.5 + rng.Float64()*3
+			}
+			opts = append(opts, gnn.WithWeights(w))
+		}
+		out[i] = poolQuery{group: group, opts: opts, kind: kind}
+	}
+	return out
+}
+
+// TestPoolReuseIsClean answers 1000 randomized queries: first serially
+// (the reference), then concurrently from 8 goroutines so released
+// scratch is constantly re-acquired by different queries and goroutines.
+// Any state leaking through the pools shows up as a diverged answer, a
+// race report, or a broken cost-sum.
+func TestPoolReuseIsClean(t *testing.T) {
+	const queries = 1000
+	const goroutines = 8
+	ix, _ := concurrencyFixture(t, 0)
+	rng := rand.New(rand.NewSource(1234))
+	specs := randPoolQueries(rng, queries)
+
+	want := make([][]gnn.Result, queries)
+	for i, q := range specs {
+		res, _, err := ix.GroupNNWithCost(q.group, q.opts...)
+		if err != nil {
+			t.Fatalf("query %d (%s): %v", i, q.kind, err)
+		}
+		want[i] = res
+	}
+
+	ix.ResetCost()
+	costs := make([]gnn.Cost, goroutines)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Interleave walk order per goroutine so the same pooled
+			// scratch serves different query shapes back to back.
+			for i := w; i < queries; i += 1 + w%3 {
+				q := specs[i]
+				res, cost, err := ix.GroupNNWithCost(q.group, q.opts...)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d query %d (%s): %w", w, i, q.kind, err)
+					return
+				}
+				if !reflect.DeepEqual(res, want[i]) {
+					errs <- fmt.Errorf("worker %d query %d (%s): pooled run diverged from serial reference", w, i, q.kind)
+					return
+				}
+				costs[w].Add(cost)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	var sum gnn.Cost
+	for _, c := range costs {
+		sum.Add(c)
+	}
+	if sum != ix.Cost() {
+		t.Fatalf("per-query cost sum %+v != aggregate %+v", sum, ix.Cost())
+	}
+}
+
+// TestPoolReuseAcrossBatches: the batch engine's per-worker contexts must
+// give the same answers batch after batch, with exact per-query costs.
+func TestPoolReuseAcrossBatches(t *testing.T) {
+	ix, groups := concurrencyFixture(t, 0)
+	want := ix.GroupNNBatch(groups, gnn.WithK(3))
+	for round := 0; round < 5; round++ {
+		got := ix.GroupNNBatch(groups, gnn.WithK(3), gnn.WithParallelism(1+round%4))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: batch output changed under context reuse", round)
+		}
+	}
+}
+
+// TestIteratorCloseThenNext: a closed iterator must report exhaustion, not
+// touch recycled scratch.
+func TestIteratorCloseThenNext(t *testing.T) {
+	ix, groups := concurrencyFixture(t, 0)
+	it, err := ix.GroupNNIterator(groups[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := it.Next(); !ok {
+		t.Fatal("fresh iterator empty")
+	}
+	it.Close()
+	it.Close() // idempotent
+	if _, ok := it.Next(); ok {
+		t.Fatal("closed iterator yielded a result")
+	}
+	if c := it.Cost(); c.LogicalAccesses == 0 {
+		t.Fatal("iterator cost lost after Close")
+	}
+}

@@ -130,18 +130,26 @@ func (ix *Index) GroupNN(query []Point, opts ...QueryOption) ([]Result, error) {
 func (ix *Index) GroupNNWithCost(query []Point, opts ...QueryOption) ([]Result, Cost, error) {
 	c := buildConfig(opts)
 	var tk pagestore.CostTracker
-	res, err := ix.groupNN(query, c, &tk)
+	res, err := ix.groupNN(query, c, &tk, nil)
 	return res, costOf(tk), err
 }
 
-// groupNN dispatches one memory-resident query charging tk.
-func (ix *Index) groupNN(query []Point, c queryConfig, tk *pagestore.CostTracker) ([]Result, error) {
-	qs := make([]geom.Point, len(query))
+// groupNN dispatches one memory-resident query charging tk. ec supplies
+// the query's pooled scratch arena; nil draws one from the pool for the
+// duration of the call (the batch engine passes one per worker so a whole
+// batch reuses the same warm scratch).
+func (ix *Index) groupNN(query []Point, c queryConfig, tk *pagestore.CostTracker, ec *core.ExecContext) ([]Result, error) {
+	if ec == nil {
+		ec = core.AcquireExec()
+		defer ec.Release()
+	}
+	qs := ec.Points(len(query))
 	for i, q := range query {
 		qs[i] = geom.Point(q)
 	}
 	opt := c.coreOptions()
 	opt.Cost = tk
+	opt.Exec = ec
 	var (
 		gs  []core.GroupNeighbor
 		err error
@@ -167,11 +175,20 @@ func (ix *Index) groupNN(query []Point, c queryConfig, tk *pagestore.CostTracker
 // Iterator reports group nearest neighbors one at a time in ascending
 // aggregate distance, so callers need not fix k in advance (incremental
 // MBM). An Iterator is a single query's execution context: use it from one
-// goroutine, but any number of iterators may run concurrently.
+// goroutine, but any number of iterators may run concurrently. Callers
+// that stop before exhausting the scan should Close the iterator so its
+// pooled scratch is recycled; forgetting to Close only costs the reuse.
 type Iterator struct {
 	it *core.GNNIterator
 	tk pagestore.CostTracker
 }
+
+// iterDone reports whether the iterator has been closed. The wrapper (not
+// pooled, so this state cannot go stale) absorbs double-Close and
+// Next-after-Close, which must never reach the pooled core iterator: once
+// that object is re-leased to another query, its own closed flag belongs
+// to the new owner.
+func (it *Iterator) iterDone() bool { return it.it == nil }
 
 // GroupNNIterator starts an incremental GNN scan.
 func (ix *Index) GroupNNIterator(query []Point, opts ...QueryOption) (*Iterator, error) {
@@ -192,8 +209,11 @@ func (ix *Index) GroupNNIterator(query []Point, opts ...QueryOption) (*Iterator,
 }
 
 // Next returns the next group nearest neighbor; ok is false when the data
-// set is exhausted.
+// set is exhausted or the iterator has been closed.
 func (it *Iterator) Next() (Result, bool) {
+	if it.iterDone() {
+		return Result{}, false
+	}
 	g, ok := it.it.Next()
 	if !ok {
 		return Result{}, false
@@ -203,6 +223,16 @@ func (it *Iterator) Next() (Result, bool) {
 
 // Cost returns the I/O this iterator has charged so far.
 func (it *Iterator) Cost() Cost { return costOf(it.tk) }
+
+// Close releases the iterator's pooled scratch. The iterator must not be
+// used afterwards (Next reports exhaustion); Close is idempotent.
+func (it *Iterator) Close() {
+	if it.iterDone() {
+		return
+	}
+	it.it.Close()
+	it.it = nil
+}
 
 // Errors surfaced by queries (wrapping the core package's sentinels so
 // callers can errors.Is them without importing internals).
