@@ -32,40 +32,40 @@ type allocSnapshot struct {
 type allocCell struct {
 	Algorithm string  `json:"algorithm"`
 	Aggregate string  `json:"aggregate"`
+	Layout    string  `json:"layout,omitempty"`
 	NsPerOp   float64 `json:"ns_per_op"`
 	AllocsOp  float64 `json:"allocs_per_op"`
 	BytesOp   float64 `json:"bytes_per_op"`
 	NAPerOp   float64 `json:"na_per_op"`
 }
 
-// allocGrid is the algorithm×aggregate matrix the snapshot measures: every
-// memory-resident kernel under every aggregate its pruning bounds support.
-func allocGrid() []struct {
+// allocGridCell is one measured kernel configuration.
+type allocGridCell struct {
 	algo string
 	agg  gnn.Aggregate
 	opts []gnn.QueryOption
-} {
-	type cell = struct {
-		algo string
-		agg  gnn.Aggregate
-		opts []gnn.QueryOption
-	}
-	var grid []cell
+}
+
+// allocGrid is the algorithm×aggregate matrix the snapshot measures: every
+// memory-resident kernel under every aggregate its pruning bounds support.
+func allocGrid() []allocGridCell {
+	var grid []allocGridCell
 	for _, agg := range []gnn.Aggregate{gnn.SumDist, gnn.MaxDist, gnn.MinDist} {
 		grid = append(grid,
-			cell{"MBM-BF", agg, []gnn.QueryOption{gnn.WithAlgorithm(gnn.AlgoMBM), gnn.WithAggregate(agg)}},
-			cell{"MBM-DF", agg, []gnn.QueryOption{gnn.WithAlgorithm(gnn.AlgoMBM), gnn.WithAggregate(agg), gnn.WithDepthFirst()}},
-			cell{"MQM", agg, []gnn.QueryOption{gnn.WithAlgorithm(gnn.AlgoMQM), gnn.WithAggregate(agg)}},
+			allocGridCell{"MBM-BF", agg, []gnn.QueryOption{gnn.WithAlgorithm(gnn.AlgoMBM), gnn.WithAggregate(agg)}},
+			allocGridCell{"MBM-DF", agg, []gnn.QueryOption{gnn.WithAlgorithm(gnn.AlgoMBM), gnn.WithAggregate(agg), gnn.WithDepthFirst()}},
+			allocGridCell{"MQM", agg, []gnn.QueryOption{gnn.WithAlgorithm(gnn.AlgoMQM), gnn.WithAggregate(agg)}},
 		)
 	}
-	grid = append(grid, cell{"SPM", gnn.SumDist, []gnn.QueryOption{gnn.WithAlgorithm(gnn.AlgoSPM)}})
+	grid = append(grid, allocGridCell{"SPM", gnn.SumDist, []gnn.QueryOption{gnn.WithAlgorithm(gnn.AlgoSPM)}})
 	return grid
 }
 
-// runAllocs measures ns/op, allocs/op, B/op and NA/op per kernel cell over
-// the paper's default workload (n = 64, M = 8%, k = 8) on TS — the same
-// fixture the -parallel mode measures, via benchFixture.
-func runAllocs(scale float64, numQueries int, seed int64, outPath, baselinePath string) error {
+// runAllocs measures ns/op, allocs/op, B/op and NA/op per kernel cell and
+// layout over the paper's default workload (n = 64, M = 8%, k = 8) on TS —
+// the same fixture the -parallel mode measures, via benchFixture. With two
+// layouts it additionally prints the packed-vs-dynamic comparison table.
+func runAllocs(scale float64, numQueries int, seed int64, outPath, baselinePath string, layouts []gnn.Layout) error {
 	d, ix, queries, err := benchFixture(scale, numQueries, seed)
 	if err != nil {
 		return err
@@ -91,44 +91,59 @@ func runAllocs(scale float64, numQueries int, seed int64, outPath, baselinePath 
 
 	fmt.Printf("# query kernel cost — %s (%d points), %d queries of n=%d, k=%d\n\n",
 		d.Name, ix.Len(), len(queries), groupSize, k)
-	fmt.Printf("%-8s  %-4s  %12s  %12s  %12s  %10s\n",
-		"algo", "agg", "ns/op", "allocs/op", "B/op", "na/op")
-	for _, cell := range allocGrid() {
-		opts := append([]gnn.QueryOption{gnn.WithK(k)}, cell.opts...)
+	fmt.Printf("%-8s  %-4s  %-8s  %12s  %12s  %12s  %10s\n",
+		"algo", "agg", "layout", "ns/op", "allocs/op", "B/op", "na/op")
+	measure := func(cell allocGridCell, layout gnn.Layout) (allocCell, error) {
+		opts := append([]gnn.QueryOption{gnn.WithK(k), gnn.WithLayout(layout)}, cell.opts...)
 		// Warm-up pass: fills buffer-free caches, pools and grows scratch to
 		// steady-state capacity so the measurement sees the warm path.
 		for _, q := range queries {
 			if _, err := ix.GroupNN(q, opts...); err != nil {
-				return fmt.Errorf("%s/%s: %w", cell.algo, cell.agg, err)
+				return allocCell{}, fmt.Errorf("%s/%s/%v: %w", cell.algo, cell.agg, layout, err)
 			}
 		}
 		ix.ResetCost()
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
 		start := time.Now()
-		const rounds = 3
-		for r := 0; r < rounds; r++ {
+		// Adaptive rounds: at least 3, then keep going until the cell has
+		// run long enough to dampen scheduler noise (cheap MBM cells would
+		// otherwise finish in tens of milliseconds and jitter by 20%+).
+		const minRounds, maxRounds, minWall = 3, 40, 500 * time.Millisecond
+		rounds := 0
+		for rounds < minRounds || (time.Since(start) < minWall && rounds < maxRounds) {
 			for _, q := range queries {
 				if _, err := ix.GroupNN(q, opts...); err != nil {
-					return fmt.Errorf("%s/%s: %w", cell.algo, cell.agg, err)
+					return allocCell{}, fmt.Errorf("%s/%s/%v: %w", cell.algo, cell.agg, layout, err)
 				}
 			}
+			rounds++
 		}
 		elapsed := time.Since(start)
 		runtime.ReadMemStats(&after)
 		total := float64(rounds * len(queries))
-		c := allocCell{
+		return allocCell{
 			Algorithm: cell.algo,
 			Aggregate: cell.agg.String(),
+			Layout:    layout.String(),
 			NsPerOp:   float64(elapsed.Nanoseconds()) / total,
 			AllocsOp:  float64(after.Mallocs-before.Mallocs) / total,
 			BytesOp:   float64(after.TotalAlloc-before.TotalAlloc) / total,
 			NAPerOp:   float64(ix.Cost().LogicalAccesses) / total,
-		}
-		snap.Cells = append(snap.Cells, c)
-		fmt.Printf("%-8s  %-4s  %12.0f  %12.1f  %12.1f  %10.1f\n",
-			c.Algorithm, c.Aggregate, c.NsPerOp, c.AllocsOp, c.BytesOp, c.NAPerOp)
+		}, nil
 	}
+	for _, cell := range allocGrid() {
+		for _, layout := range layouts {
+			c, err := measure(cell, layout)
+			if err != nil {
+				return err
+			}
+			snap.Cells = append(snap.Cells, c)
+			fmt.Printf("%-8s  %-4s  %-8s  %12.0f  %12.1f  %12.1f  %10.1f\n",
+				c.Algorithm, c.Aggregate, c.Layout, c.NsPerOp, c.AllocsOp, c.BytesOp, c.NAPerOp)
+		}
+	}
+	printLayoutComparison(snap.Cells)
 	if outPath != "" {
 		data, err := json.MarshalIndent(snap, "", "  ")
 		if err != nil {
@@ -140,4 +155,40 @@ func runAllocs(scale float64, numQueries int, seed int64, outPath, baselinePath 
 		fmt.Printf("\nsnapshot written to %s\n", outPath)
 	}
 	return nil
+}
+
+// printLayoutComparison renders the packed-vs-dynamic side-by-side table
+// when the measured cells cover both layouts.
+func printLayoutComparison(cells []allocCell) {
+	type key struct{ algo, agg string }
+	dyn := map[key]allocCell{}
+	pkd := map[key]allocCell{}
+	var order []key
+	for _, c := range cells {
+		k := key{c.Algorithm, c.Aggregate}
+		switch c.Layout {
+		case "dynamic":
+			if _, ok := dyn[k]; !ok {
+				order = append(order, k)
+			}
+			dyn[k] = c
+		case "packed":
+			pkd[k] = c
+		}
+	}
+	if len(dyn) == 0 || len(pkd) == 0 {
+		return
+	}
+	fmt.Printf("\n# layout comparison — dynamic vs packed (same queries, identical NA by construction)\n\n")
+	fmt.Printf("%-8s  %-4s  %14s  %14s  %8s  %10s\n",
+		"algo", "agg", "dynamic ns/op", "packed ns/op", "speedup", "na/op")
+	for _, k := range order {
+		d, ok1 := dyn[k]
+		p, ok2 := pkd[k]
+		if !ok1 || !ok2 {
+			continue
+		}
+		fmt.Printf("%-8s  %-4s  %14.0f  %14.0f  %7.2fx  %10.1f\n",
+			k.algo, k.agg, d.NsPerOp, p.NsPerOp, d.NsPerOp/p.NsPerOp, p.NAPerOp)
+	}
 }

@@ -60,22 +60,33 @@ func main() {
 		allocs   = flag.Bool("allocs", false, "allocation mode: ns/op and allocs/op per algorithm×aggregate")
 		aout     = flag.String("allocs-out", "", "write the -allocs snapshot as JSON to this file")
 		abase    = flag.String("allocs-baseline", "", "embed a previous -allocs snapshot as the baseline")
+		layout   = flag.String("layout", "", "index layout to serve queries from: auto, dynamic, packed, or both (side-by-side; -allocs default)")
 	)
 	flag.Parse()
+
+	layouts, err := resolveLayouts(*layout, *allocs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gnnbench:", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		fmt.Println("experiments:", strings.Join(experiments.IDs(), " "))
 		return
 	}
 	if *allocs {
-		if err := runAllocs(*scale, *queries, *seed, *aout, *abase); err != nil {
+		if err := runAllocs(*scale, *queries, *seed, *aout, *abase, layouts); err != nil {
 			fmt.Fprintln(os.Stderr, "gnnbench:", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *parallel > 0 {
-		if err := runParallel(*parallel, *scale, *queries, *seed, *pout); err != nil {
+		if len(layouts) != 1 {
+			fmt.Fprintln(os.Stderr, "gnnbench: -parallel supports a single -layout (auto, dynamic or packed)")
+			os.Exit(2)
+		}
+		if err := runParallel(*parallel, *scale, *queries, *seed, *pout, layouts[0]); err != nil {
 			fmt.Fprintln(os.Stderr, "gnnbench:", err)
 			os.Exit(1)
 		}
@@ -84,6 +95,13 @@ func main() {
 	if !*all && *fig == "" {
 		fmt.Fprintln(os.Stderr, "usage: gnnbench -fig <id> | -all | -list | -parallel N")
 		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if *layout != "" {
+		// The figure harness drives the library through its serving
+		// default; accepting a layout here and ignoring it would mislabel
+		// identical runs.
+		fmt.Fprintln(os.Stderr, "gnnbench: -layout applies to -allocs and -parallel modes only")
 		os.Exit(2)
 	}
 	env := experiments.NewEnv(experiments.Config{
@@ -95,7 +113,6 @@ func main() {
 	})
 	fmt.Printf("# gnn benchmark harness — scale %g, %d queries/workload, seed %d\n\n",
 		*scale, *queries, *seed)
-	var err error
 	if *all {
 		err = experiments.RunAll(env, os.Stdout)
 	} else {
@@ -107,6 +124,30 @@ func main() {
 	}
 }
 
+// resolveLayouts maps the -layout flag to the layout list a mode
+// measures. The -allocs mode defaults to both layouts (the side-by-side
+// comparison that BENCH_packed.json snapshots); everything else defaults
+// to auto, the serving default.
+func resolveLayouts(flag string, allocsMode bool) ([]gnn.Layout, error) {
+	switch flag {
+	case "":
+		if allocsMode {
+			return []gnn.Layout{gnn.LayoutDynamic, gnn.LayoutPacked}, nil
+		}
+		return []gnn.Layout{gnn.LayoutAuto}, nil
+	case "auto":
+		return []gnn.Layout{gnn.LayoutAuto}, nil
+	case "dynamic":
+		return []gnn.Layout{gnn.LayoutDynamic}, nil
+	case "packed":
+		return []gnn.Layout{gnn.LayoutPacked}, nil
+	case "both":
+		return []gnn.Layout{gnn.LayoutDynamic, gnn.LayoutPacked}, nil
+	default:
+		return nil, fmt.Errorf("unknown -layout %q (want auto, dynamic, packed or both)", flag)
+	}
+}
+
 // parallelSnapshot is the JSON schema of the -parallel-out file.
 type parallelSnapshot struct {
 	Dataset    string          `json:"dataset"`
@@ -114,6 +155,7 @@ type parallelSnapshot struct {
 	Queries    int             `json:"queries"`
 	GroupSize  int             `json:"group_size"`
 	K          int             `json:"k"`
+	Layout     string          `json:"layout"`
 	NumCPU     int             `json:"num_cpu"`
 	GOMAXPROCS int             `json:"gomaxprocs"`
 	Results    []parallelPoint `json:"results"`
@@ -177,7 +219,7 @@ func benchFixture(scale float64, numQueries int, seed int64) (*dataset.Dataset, 
 // runParallel measures the batch engine's throughput: worker counts
 // 1/2/4/NumCPU (plus the requested maximum) answering the same workload of
 // GNN queries (n = 64, M = 8%, k = 8 — the paper's defaults) over TS.
-func runParallel(maxWorkers int, scale float64, numQueries int, seed int64, outPath string) error {
+func runParallel(maxWorkers int, scale float64, numQueries int, seed int64, outPath string, layout gnn.Layout) error {
 	d, ix, batch, err := benchFixture(scale, numQueries, seed)
 	if err != nil {
 		return err
@@ -195,20 +237,20 @@ func runParallel(maxWorkers int, scale float64, numQueries int, seed int64, outP
 
 	snap := parallelSnapshot{
 		Dataset: d.Name, Scale: scale, Queries: len(batch),
-		GroupSize: groupSize, K: k,
+		GroupSize: groupSize, K: k, Layout: layout.String(),
 		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
-	fmt.Printf("# batch query engine throughput — %s (%d points), %d queries of n=%d, k=%d\n\n",
-		d.Name, ix.Len(), len(batch), groupSize, k)
+	fmt.Printf("# batch query engine throughput — %s (%d points), %d queries of n=%d, k=%d, layout %v\n\n",
+		d.Name, ix.Len(), len(batch), groupSize, k, layout)
 	fmt.Printf("%-8s  %12s  %10s  %8s  %14s\n", "workers", "queries/sec", "seconds", "speedup", "allocs/query")
 	var base float64
 	for _, w := range workers {
 		// One warm-up pass, then the measured pass.
-		ix.GroupNNBatch(batch, gnn.WithK(k), gnn.WithParallelism(w))
+		ix.GroupNNBatch(batch, gnn.WithK(k), gnn.WithParallelism(w), gnn.WithLayout(layout))
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
 		start := time.Now()
-		out := ix.GroupNNBatch(batch, gnn.WithK(k), gnn.WithParallelism(w))
+		out := ix.GroupNNBatch(batch, gnn.WithK(k), gnn.WithParallelism(w), gnn.WithLayout(layout))
 		elapsed := time.Since(start)
 		runtime.ReadMemStats(&after)
 		for _, r := range out {

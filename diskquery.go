@@ -22,10 +22,21 @@ const (
 	DiskFMBM
 )
 
-// autoBlockThreshold is the block count at which DiskAuto switches from
-// F-MQM to F-MBM. The paper's PP query set yields 3 blocks (F-MQM wins)
-// and its TS query set 20 blocks (F-MBM wins); the crossover sits between.
-const autoBlockThreshold = 8
+// DefaultAutoBlockThreshold is the default block count at which DiskAuto
+// switches from F-MQM to F-MBM. The paper's PP query set yields 3 blocks
+// (F-MQM wins) and its TS query set 20 blocks (F-MBM wins); the crossover
+// sits between. Tune it per workload with
+// QuerySetConfig.AutoBlockThreshold.
+const DefaultAutoBlockThreshold = 8
+
+// autoDiskAlgorithm resolves DiskAuto for a query set of the given block
+// count under the given crossover threshold.
+func autoDiskAlgorithm(blocks, threshold int) DiskAlgorithm {
+	if blocks <= threshold {
+		return DiskFMQM
+	}
+	return DiskFMBM
+}
 
 // String names the disk algorithm.
 func (a DiskAlgorithm) String() string {
@@ -48,6 +59,11 @@ type QuerySetConfig struct {
 	BlockPoints int
 	// BufferPages attaches an LRU buffer over the set's pages.
 	BufferPages int
+	// AutoBlockThreshold is the block count at which DiskAuto switches
+	// from F-MQM (few blocks: per-block streams stay cheap) to F-MBM
+	// (many blocks: one pruned traversal wins). Default
+	// DefaultAutoBlockThreshold; negative forces F-MBM for every set.
+	AutoBlockThreshold int
 }
 
 // QuerySet is a disk-resident, non-indexed query set: Hilbert-sorted,
@@ -55,8 +71,9 @@ type QuerySetConfig struct {
 // and F-MBM. Build one with NewQuerySet. A QuerySet is immutable after
 // construction, so concurrent queries may share it.
 type QuerySet struct {
-	qf   *core.QueryFile
-	acct *pagestore.Accountant
+	qf            *core.QueryFile
+	acct          *pagestore.Accountant
+	autoThreshold int
 }
 
 // NewQuerySet prepares a disk-resident query set from 2-D points.
@@ -70,7 +87,17 @@ func NewQuerySet(points []Point, cfg QuerySetConfig) (*QuerySet, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &QuerySet{qf: qf, acct: acct}, nil
+	threshold := cfg.AutoBlockThreshold
+	if threshold == 0 {
+		threshold = DefaultAutoBlockThreshold
+	}
+	return &QuerySet{qf: qf, acct: acct, autoThreshold: threshold}, nil
+}
+
+// AutoAlgorithm returns the algorithm DiskAuto resolves to for this set:
+// F-MQM up to the configured block threshold, F-MBM beyond it.
+func (qs *QuerySet) AutoAlgorithm() DiskAlgorithm {
+	return autoDiskAlgorithm(qs.Blocks(), qs.autoThreshold)
 }
 
 // Len returns the number of query points.
@@ -107,17 +134,15 @@ func (ix *Index) GroupNNFromSetWithCost(qs *QuerySet, algo DiskAlgorithm, opts .
 	dopt := core.DiskOptions{Options: c.coreOptions()}
 	var tk pagestore.CostTracker
 	dopt.Cost = &tk
-	if algo == DiskAuto {
-		if qs.Blocks() <= autoBlockThreshold {
-			algo = DiskFMQM
-		} else {
-			algo = DiskFMBM
-		}
+	p, err := ix.packedForLayout(c.layout, c.region)
+	if err != nil {
+		return nil, Cost{}, err
 	}
-	var (
-		rep *core.DiskReport
-		err error
-	)
+	dopt.Packed = p
+	if algo == DiskAuto {
+		algo = qs.AutoAlgorithm()
+	}
+	var rep *core.DiskReport
 	switch algo {
 	case DiskFMQM:
 		rep, err = core.FMQM(ix.tree, qs.qf, dopt)
@@ -148,6 +173,12 @@ func (ix *Index) GroupNNClosestPairsWithCost(queryIndex *Index, pairBudget int64
 	c := buildConfig(opts)
 	if c.aggregate != SumDist {
 		return nil, Cost{}, ErrUnsupportedAggregate
+	}
+	if c.layout == LayoutPacked {
+		// GCP is a synchronised pair traversal over two dynamic trees; it
+		// has no packed form, and LayoutPacked promises to fail rather
+		// than silently degrade.
+		return nil, Cost{}, fmt.Errorf("gnn: GCP traverses two dynamic trees: %w", ErrNotPacked)
 	}
 	gopt := core.GCPOptions{
 		Options:    c.coreOptions(),

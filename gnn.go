@@ -68,9 +68,17 @@ type IndexConfig struct {
 // then Insert) or BuildIndex (bulk load). All read operations are safe for
 // unlimited concurrent callers; Insert and Delete require external
 // synchronisation with no concurrent readers.
+//
+// Serving layout: BuildIndex additionally packs the tree into a flat,
+// cache-friendly SoA snapshot (see Pack) that queries use by default.
+// Insert and Delete invalidate the snapshot — subsequent queries fall
+// back to the dynamic nodes with identical results and costs — and Pack
+// rebuilds it under the same no-concurrent-readers contract as the
+// mutation itself.
 type Index struct {
-	tree *rtree.Tree
-	acct *pagestore.Accountant
+	tree   *rtree.Tree
+	acct   *pagestore.Accountant
+	packed *rtree.Packed
 }
 
 // NewIndex returns an empty index.
@@ -95,7 +103,7 @@ func BuildIndex(points []Point, ids []int64, cfg IndexConfig) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{tree: t, acct: acct}, nil
+	return &Index{tree: t, acct: acct, packed: t.Pack()}, nil
 }
 
 func indexConfig(cfg IndexConfig) (*pagestore.Accountant, rtree.Config) {
@@ -107,15 +115,51 @@ func indexConfig(cfg IndexConfig) (*pagestore.Accountant, rtree.Config) {
 	}
 }
 
-// Insert adds a data point with its identifier.
+// Insert adds a data point with its identifier. A successful insert
+// invalidates the packed serving layout; call Pack after a mutation batch
+// to restore it. (A rejected insert leaves the tree — and therefore the
+// snapshot — untouched.)
 func (ix *Index) Insert(p Point, id int64) error {
-	return ix.tree.Insert(geom.Point(p), id)
+	if err := ix.tree.Insert(geom.Point(p), id); err != nil {
+		return err
+	}
+	ix.packed = nil
+	return nil
 }
 
 // Delete removes one occurrence of (p, id); it reports whether a matching
-// entry existed.
+// entry existed. A successful delete invalidates the packed serving
+// layout; call Pack after a mutation batch to restore it. (A no-op delete
+// leaves the snapshot valid.)
 func (ix *Index) Delete(p Point, id int64) bool {
-	return ix.tree.Delete(geom.Point(p), id)
+	if !ix.tree.Delete(geom.Point(p), id) {
+		return false
+	}
+	ix.packed = nil
+	return true
+}
+
+// Pack (re)builds the packed serving layout: an immutable snapshot of the
+// tree that stores all nodes in one flat structure-of-arrays arena, which
+// queries then traverse instead of the pointer-linked nodes — same
+// results, same node-access counts, substantially less pointer chasing.
+// BuildIndex packs automatically; call Pack after Insert/Delete batches
+// on an incrementally built or mutated index. Like the mutations
+// themselves, Pack requires that no queries run concurrently with it.
+func (ix *Index) Pack() {
+	ix.packed = ix.tree.Pack()
+}
+
+// IsPacked reports whether the index currently serves queries from the
+// packed layout (false after any Insert/Delete until Pack is called).
+func (ix *Index) IsPacked() bool { return ix.packed.Valid(ix.tree) }
+
+// servingPacked returns the packed snapshot queries should use, or nil.
+func (ix *Index) servingPacked() *rtree.Packed {
+	if ix.packed.Valid(ix.tree) {
+		return ix.packed
+	}
+	return nil
 }
 
 // Len returns the number of indexed points.
@@ -194,7 +238,7 @@ func (ix *Index) NearestNeighborsWithCost(q Point, k int) ([]Result, Cost, error
 		return nil, Cost{}, core.ErrBadK
 	}
 	var tk pagestore.CostTracker
-	nbs := ix.tree.Reader(&tk).NearestBF(geom.Point(q), k)
+	nbs := rtree.ReaderOver(ix.tree, ix.servingPacked(), &tk).NearestBF(geom.Point(q), k)
 	out := make([]Result, len(nbs))
 	for i, nb := range nbs {
 		out[i] = Result{Point: Point(nb.Point), ID: nb.ID, Dist: nb.Dist}

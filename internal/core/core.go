@@ -133,6 +133,12 @@ type Options struct {
 	// from the pool for the duration of the call. Like Cost, an Exec must
 	// not be shared by concurrent queries.
 	Exec *ExecContext
+	// Packed, when non-nil and still valid for the queried tree, makes the
+	// traversal run against the flat SoA arena instead of the dynamic
+	// nodes. Results, per-query costs and node-access counts are identical
+	// between the layouts; only the memory walked differs. A stale or
+	// mismatched snapshot is ignored (dynamic fallback), never an error.
+	Packed *rtree.Packed
 }
 
 func (o Options) withDefaults() Options {
@@ -159,6 +165,18 @@ var (
 	// resident family).
 	ErrUnsupportedOption = errors.New("core: option not supported by this algorithm")
 )
+
+// packedFor returns the packed snapshot the traversal should use, or nil
+// for the dynamic layout. The region extension stays on the dynamic nodes
+// unless the algorithm filters per point only (allowRegion): the packed
+// kernels keep their fused loops branch-free rather than threading a
+// rectangle test through every pass.
+func (o Options) packedFor(t *rtree.Tree, allowRegion bool) *rtree.Packed {
+	if o.Packed == nil || (o.Region != nil && !allowRegion) || !o.Packed.Valid(t) {
+		return nil
+	}
+	return o.Packed
+}
 
 func validate(t *rtree.Tree, qs []geom.Point, opt Options) error {
 	if len(qs) == 0 {
@@ -323,6 +341,10 @@ func BruteForce(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, e
 	ec, owned := opt.exec()
 	defer releaseIfOwned(ec, owned)
 	best := ec.kbestFor(opt.K)
+	if p := opt.packedFor(t, true); p != nil {
+		bruteForcePacked(p, qs, w, opt, best, ec)
+		return best.results(), nil
+	}
 	t.All(func(p geom.Point, id int64) bool {
 		if regionAllows(opt.Region, p) {
 			best.offer(GroupNeighbor{Point: p, ID: id, Dist: aggDistW(opt.Aggregate, p, qs, w)})
@@ -330,6 +352,61 @@ func BruteForce(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, e
 		return true
 	})
 	return best.results(), nil
+}
+
+// bruteForcePacked is the packed-layout baseline: the flat leaf arena is
+// consumed in streaming chunks, each chunk's aggregate distances computed
+// by one fused group kernel over the SoA coordinate arrays — the linear
+// scan the packed layout was built to make fast. Offers happen in the
+// same depth-first slot order as Tree.All, so results are identical to
+// the dynamic scan.
+func bruteForcePacked(p *rtree.Packed, qs []geom.Point, w *weightCtx, opt Options, best *kbest, ec *ExecContext) {
+	pc := p.PointSoA()
+	n := p.NumLeafSlots()
+	const chunk = 512
+	var ws []float64
+	if w != nil {
+		ws = w.w
+	}
+	for s := 0; s < n; s += chunk {
+		e := s + chunk
+		if e > n {
+			e = n
+		}
+		ec.dbuf = grow(ec.dbuf, e-s)
+		dists := ec.dbuf
+		sqrtEach := false
+		switch opt.Aggregate {
+		case Max:
+			if ws == nil {
+				geom.MaxDistSqPointsGroup(pc, s, e, qs, dists)
+				sqrtEach = true
+			} else {
+				geom.MaxDistPointsGroupW(pc, s, e, qs, ws, dists)
+			}
+		case Min:
+			if ws == nil {
+				geom.MinDistSqPointsGroup(pc, s, e, qs, dists)
+				sqrtEach = true
+			} else {
+				geom.MinDistPointsGroupW(pc, s, e, qs, ws, dists)
+			}
+		default:
+			geom.SumDistPointsGroup(pc, s, e, qs, ws, dists)
+		}
+		for i := 0; i < e-s; i++ {
+			slot := int32(s + i)
+			pt := p.LeafPoint(slot)
+			if !regionAllows(opt.Region, pt) {
+				continue
+			}
+			d := dists[i]
+			if sqrtEach {
+				d = math.Sqrt(d)
+			}
+			best.offer(GroupNeighbor{Point: pt, ID: p.LeafID(slot), Dist: d})
+		}
+	}
 }
 
 // BruteForcePoints computes the exact k GNNs of qs over a plain point

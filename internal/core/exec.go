@@ -24,6 +24,20 @@ type ExecContext struct {
 	qmbr  geom.Rect
 	qcent geom.Point
 
+	// Packed-layout scratch: per-depth ref candidates, the int32 best-first
+	// heap, the fused-kernel distance buffers and a spare rectangle for the
+	// per-node bounds that need one (heuristic 3, F-MBM leaf ordering).
+	pcands rtree.PCandStack
+	peheap pq.Heap[rtree.PackedRef]
+	dbuf   []float64
+	dbuf2  []float64
+	prect  geom.Rect
+
+	// SoA copy of the query group (per-axis columns) for the exact-
+	// distance and heuristic-3 inner loops.
+	gsoa  [][]float64
+	gflat []float64
+
 	// Conversion buffer of the public layer (query []Point → []geom.Point).
 	qsbuf []geom.Point
 
@@ -37,6 +51,7 @@ type ExecContext struct {
 	blockDist []float64
 	lbs       []float64
 	fcands    []fmbmLeafCand
+	pfcands   []fmbmPackedCand
 }
 
 var execPool = pq.NewPool(func() *ExecContext { return &ExecContext{} })
@@ -55,9 +70,12 @@ func (ec *ExecContext) Release() {
 	ec.best.reset(0)
 	ec.cands.Reset()
 	ec.eheap.Reset()
+	ec.pcands.Reset()
+	ec.peheap.Reset()
 	clear(ec.qsbuf[:cap(ec.qsbuf)])
 	clear(ec.iters[:cap(ec.iters)])
 	clear(ec.fcands[:cap(ec.fcands)])
+	ec.pfcands = ec.pfcands[:0]
 	ec.lbs = ec.lbs[:0]
 	execPool.Put(ec)
 }
@@ -87,6 +105,35 @@ func (ec *ExecContext) Points(n int) []geom.Point {
 	}
 	ec.qsbuf = ec.qsbuf[:n]
 	return ec.qsbuf
+}
+
+// groupSoA lays the query group out as per-axis columns into the
+// context's reusable backing (see the SoA group fast path in weighted.go).
+func (ec *ExecContext) groupSoA(qs []geom.Point) [][]float64 {
+	ec.gsoa, ec.gflat = groupSoAInto(ec.gsoa, ec.gflat, qs)
+	return ec.gsoa
+}
+
+// groupSoAInto fills (and grows) the given column/backing buffers with
+// the group's coordinates, column a holding axis a of every query point.
+func groupSoAInto(dst [][]float64, flat []float64, qs []geom.Point) ([][]float64, []float64) {
+	dim, n := len(qs[0]), len(qs)
+	if cap(flat) < dim*n {
+		flat = make([]float64, dim*n)
+	}
+	flat = flat[:dim*n]
+	if cap(dst) < dim {
+		dst = make([][]float64, dim)
+	}
+	dst = dst[:dim]
+	for a := 0; a < dim; a++ {
+		col := flat[a*n : (a+1)*n]
+		for j, q := range qs {
+			col[j] = q[a]
+		}
+		dst[a] = col
+	}
+	return dst, flat
 }
 
 // kbestFor returns the context's result accumulator, reset for k results.

@@ -46,16 +46,29 @@ func FMBM(t *rtree.Tree, qf *QueryFile, opt DiskOptions) (*DiskReport, error) {
 	}
 	ec, owned := opt.exec()
 	defer releaseIfOwned(ec, owned)
-	f := &fmbmRun{rd: t.Reader(opt.Cost), qf: qf, opt: opt, best: ec.kbestFor(opt.K), ec: ec, report: &DiskReport{}}
+	f := &fmbmRun{rd: rtree.ReaderOver(t, opt.packedFor(t, false), opt.Cost),
+		qf: qf, opt: opt, best: ec.kbestFor(opt.K), ec: ec, report: &DiskReport{}}
 	if t.Len() > 0 {
-		if opt.Traversal == DepthFirst {
+		switch {
+		case f.rd.Packed() != nil && opt.Traversal == DepthFirst:
+			rootRect, _ := t.Bounds()
+			if err := f.dfPacked(f.rd.PackedRoot(), rootRect, 0); err != nil {
+				return nil, err
+			}
+		case f.rd.Packed() != nil:
+			if err := f.bfPacked(); err != nil {
+				return nil, err
+			}
+		case opt.Traversal == DepthFirst:
 			root := f.rd.Root()
 			rootRect, _ := t.Bounds()
 			if err := f.df(root, rootRect, 0); err != nil {
 				return nil, err
 			}
-		} else if err := f.bf(); err != nil {
-			return nil, err
+		default:
+			if err := f.bf(); err != nil {
+				return nil, err
+			}
 		}
 	}
 	f.report.Neighbors = f.best.results()
@@ -150,17 +163,14 @@ func (f *fmbmRun) df(nd rtree.Node, ndRect geom.Rect, depth int) error {
 	return nil
 }
 
-// processLeaf accumulates the global distance of the leaf's points over
-// all query blocks, applying heuristic 6 before each exact pass.
-func (f *fmbmRun) processLeaf(nd rtree.Node, ndRect geom.Rect) error {
-	f.report.Rounds++
+// orderBlocks returns the query blocks in descending mindist(N, M_i):
+// far groups first, so their large exact distances inflate curr_dist
+// early and heuristic 6 kills hopeless points before the near (expensive)
+// groups. The per-block mindists are computed once into a pooled buffer
+// instead of twice per comparison inside the sort closure. Shared by both
+// layouts so the processing order is identical by construction.
+func (f *fmbmRun) orderBlocks(ndRect geom.Rect) []int {
 	m := f.qf.NumBlocks()
-
-	// Read groups in descending mindist(N, M_i): far groups first, so
-	// their large exact distances inflate curr_dist early and heuristic 6
-	// kills hopeless points before the near (expensive) groups. The
-	// per-block mindists are computed once into a pooled buffer instead of
-	// twice per comparison inside the sort closure.
 	f.ec.blockDist = growFloats(f.ec.blockDist, m)
 	blockDist := f.ec.blockDist
 	for i := 0; i < m; i++ {
@@ -181,6 +191,15 @@ func (f *fmbmRun) processLeaf(nd rtree.Node, ndRect geom.Rect) error {
 			return a - b
 		}
 	})
+	return order
+}
+
+// processLeaf accumulates the global distance of the leaf's points over
+// all query blocks, applying heuristic 6 before each exact pass.
+func (f *fmbmRun) processLeaf(nd rtree.Node, ndRect geom.Rect) error {
+	f.report.Rounds++
+	m := f.qf.NumBlocks()
+	order := f.orderBlocks(ndRect)
 
 	entries := nd.Entries()
 	// One flat suffix-bound backing for the whole leaf: rows of m+1 carved
@@ -239,6 +258,191 @@ func (f *fmbmRun) processLeaf(nd rtree.Node, ndRect geom.Rect) error {
 	}
 	for _, ci := range survivors {
 		f.best.offer(GroupNeighbor{Point: cands[ci].e.Point, ID: cands[ci].e.ID, Dist: cands[ci].curr})
+	}
+	return nil
+}
+
+// fmbmPackedCand is fmbmLeafCand for the packed layout: the entry shrinks
+// to its leaf slot plus its position within the leaf, which indexes the
+// column-major suffix-bound matrix.
+type fmbmPackedCand struct {
+	slot int32
+	idx  int32
+	curr float64
+}
+
+// weightedMindistPacked computes the heuristic-5 bound for node nd's whole
+// routing range in fused per-block passes over the SoA corner arrays,
+// writing dst[i] = Σ_l n_l·mindist(rect_i, M_l).
+func (f *fmbmRun) weightedMindistPacked(s, e int32, dst []float64) {
+	p := f.rd.Packed()
+	lo, hi := p.RectSoA()
+	dst = dst[:e-s]
+	for i := range dst {
+		dst[i] = 0
+	}
+	for b := 0; b < f.qf.NumBlocks(); b++ {
+		geom.AccumWeightedMinDistRectsRect(lo, hi, int(s), int(e),
+			float64(f.qf.BlockLen(b)), f.qf.MBR(b), dst)
+	}
+}
+
+// dfPacked is the depth-first variant of Figure 4.7 over the packed
+// arena. ndRect is consumed only when nd is a leaf (the block-ordering
+// reference), exactly like df.
+func (f *fmbmRun) dfPacked(nd int32, ndRect geom.Rect, depth int) error {
+	p := f.rd.Packed()
+	if p.IsLeaf(nd) {
+		return f.processLeafPacked(nd, ndRect)
+	}
+	s, e := p.NodeRange(nd)
+	cnt := int(e - s)
+	f.ec.dbuf = grow(f.ec.dbuf, cnt)
+	f.weightedMindistPacked(s, e, f.ec.dbuf)
+	buf := f.ec.pcands.Level(depth)
+	cands := *buf
+	for i := 0; i < cnt; i++ {
+		cands = append(cands, rtree.PCand{Ref: rtree.NodeRef(s + int32(i)), D: f.ec.dbuf[i]})
+	}
+	rtree.SortPCands(cands)
+	*buf = cands
+	for i := range cands {
+		c := cands[i]
+		if c.D >= f.best.bound() {
+			return nil // heuristic 5; list is sorted, so stop
+		}
+		slot, _ := rtree.RefSlot(c.Ref)
+		// The child rect is needed only if the child is a leaf; the scratch
+		// rect is consumed (or ignored) before any deeper descent reuses it.
+		p.RectInto(slot, &f.ec.prect)
+		if err := f.dfPacked(f.rd.PackedChild(slot), f.ec.prect, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bfPacked traverses internal routing slots best-first by their fused
+// weighted mindist; leaves are processed wholesale when popped.
+func (f *fmbmRun) bfPacked() error {
+	p := f.rd.Packed()
+	root := f.rd.PackedRoot()
+	if p.IsLeaf(root) {
+		rootRect, _ := f.rd.Tree().Bounds()
+		return f.processLeafPacked(root, rootRect)
+	}
+	heap := &f.ec.peheap
+	heap.Reset()
+	push := func(nd int32) {
+		s, e := p.NodeRange(nd)
+		cnt := int(e - s)
+		f.ec.dbuf = grow(f.ec.dbuf, cnt)
+		f.weightedMindistPacked(s, e, f.ec.dbuf)
+		for i := 0; i < cnt; i++ {
+			heap.Push(rtree.NodeRef(s+int32(i)), f.ec.dbuf[i])
+		}
+	}
+	push(root)
+	for {
+		item, ok := heap.Pop()
+		if !ok {
+			return nil
+		}
+		if item.Priority >= f.best.bound() {
+			return nil // heuristic 5 ends the search: all keys are larger
+		}
+		slot, _ := rtree.RefSlot(item.Value)
+		nd := f.rd.PackedChild(slot)
+		if p.IsLeaf(nd) {
+			p.RectInto(slot, &f.ec.prect)
+			if err := f.processLeafPacked(nd, f.ec.prect); err != nil {
+				return err
+			}
+			continue
+		}
+		push(nd)
+	}
+}
+
+// processLeafPacked is processLeaf over the packed arena. The heuristic-6
+// suffix bounds live in a column-major matrix (column s contiguous over
+// the leaf's points) so each block contributes one fused unit-stride pass
+// over the SoA point arrays instead of a strided per-point loop.
+func (f *fmbmRun) processLeafPacked(nd int32, ndRect geom.Rect) error {
+	p := f.rd.Packed()
+	f.report.Rounds++
+	m := f.qf.NumBlocks()
+	order := f.orderBlocks(ndRect)
+
+	s, e := p.NodeRange(nd)
+	np := int(e - s)
+	// Column-major suffix bounds: lbsT[c*np+i] = Σ_{l≥c in processing
+	// order} n_l·mindist(p_i, M_l), with column m all zeros.
+	f.ec.lbs = grow(f.ec.lbs, (m+1)*np)
+	lbsT := f.ec.lbs
+	for i := m * np; i < (m+1)*np; i++ {
+		lbsT[i] = 0
+	}
+	pc := p.PointSoA()
+	for c := m - 1; c >= 0; c-- {
+		b := order[c]
+		geom.AddWeightedMinDistPointsRect(pc, int(s), int(e),
+			float64(f.qf.BlockLen(b)), f.qf.MBR(b),
+			lbsT[(c+1)*np:(c+2)*np], lbsT[c*np:(c+1)*np])
+	}
+
+	f.ec.pfcands = grow(f.ec.pfcands, np)[:0]
+	cands := f.ec.pfcands
+	for i := 0; i < np; i++ {
+		cands = append(cands, fmbmPackedCand{slot: s + int32(i), idx: int32(i)})
+	}
+	// Points sorted by weighted mindist (= suffix column 0), as in
+	// Figure 4.7; same keys and comparator as the dynamic sort, so the
+	// same permutation.
+	slices.SortFunc(cands, func(a, b fmbmPackedCand) int {
+		la, lb := lbsT[a.idx], lbsT[b.idx]
+		switch {
+		case la < lb:
+			return -1
+		case la > lb:
+			return 1
+		default:
+			return 0
+		}
+	})
+
+	f.ec.keep = grow(f.ec.keep, np)
+	survivors := f.ec.keep[:0]
+	for i := range cands {
+		survivors = append(survivors, i)
+	}
+	for c := 0; c < m && len(survivors) > 0; c++ {
+		// Heuristic 6 before paying for the block read.
+		keep := survivors[:0]
+		base := c * np
+		for _, ci := range survivors {
+			if cands[ci].curr+lbsT[base+int(cands[ci].idx)] < f.best.bound() {
+				keep = append(keep, ci)
+			}
+		}
+		survivors = keep
+		if len(survivors) == 0 {
+			break
+		}
+		blk, err := f.qf.ReadBlock(order[c], f.opt.Cost)
+		if err != nil {
+			return err
+		}
+		for _, ci := range survivors {
+			cands[ci].curr += geom.SumDist(p.LeafPoint(cands[ci].slot), blk)
+		}
+	}
+	for _, ci := range survivors {
+		f.best.offer(GroupNeighbor{
+			Point: p.LeafPoint(cands[ci].slot),
+			ID:    p.LeafID(cands[ci].slot),
+			Dist:  cands[ci].curr,
+		})
 	}
 	return nil
 }

@@ -41,8 +41,9 @@ func MBM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 		}
 		best := ec.kbestFor(opt.K)
 		st := mbmState{
-			rd:   t.Reader(opt.Cost),
+			rd:   rtree.ReaderOver(t, opt.packedFor(t, false), opt.Cost),
 			qs:   qs,
+			gq:   ec.groupSoA(qs),
 			qmbr: ec.boundingRect(qs),
 			w:    w,
 			opt:  opt,
@@ -50,7 +51,11 @@ func MBM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 			ec:   ec,
 		}
 		st.qcent = ec.centerOf(st.qmbr)
-		st.df(st.rd.Root(), 0)
+		if st.rd.Packed() != nil {
+			st.dfPacked(st.rd.PackedRoot(), 0)
+		} else {
+			st.df(st.rd.Root(), 0)
+		}
 		return best.results(), nil
 	}
 	it, err := NewGNNIterator(t, qs, opt)
@@ -73,6 +78,7 @@ func MBM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 type mbmState struct {
 	rd    rtree.Reader
 	qs    []geom.Point
+	gq    [][]float64 // SoA copy of qs for the group-facing inner loops
 	qmbr  geom.Rect
 	qcent geom.Point // centre of qmbr — the tie-break reference
 	w     *weightCtx
@@ -128,7 +134,7 @@ func (st *mbmState) df(nd rtree.Node, depth int) {
 				st.opt.Trace.add(func(tr *Trace) { tr.ExactDistances++ })
 				st.best.offer(GroupNeighbor{
 					Point: c.E.Point, ID: c.E.ID,
-					Dist: aggDistW(st.opt.Aggregate, c.E.Point, st.qs, st.w),
+					Dist: aggDistSoA(st.opt.Aggregate, c.E.Point, st.gq, st.w),
 				})
 			}
 			continue
@@ -138,12 +144,80 @@ func (st *mbmState) df(nd rtree.Node, depth int) {
 			return // heuristic 2: this and all later nodes pruned
 		}
 		if !st.opt.DisableHeuristic3 &&
-			nodeLBW(st.opt.Aggregate, c.E.Rect, st.qs, st.w) >= st.best.bound() {
+			nodeLBSoA(st.opt.Aggregate, c.E.Rect, st.gq, st.w) >= st.best.bound() {
 			st.opt.Trace.add(func(tr *Trace) { tr.NodesPrunedH3++ })
 			continue // heuristic 3: skip just this node
 		}
 		st.opt.Trace.add(func(tr *Trace) { tr.NodesVisited++ })
 		st.df(st.rd.Child(c.E), depth+1)
+	}
+}
+
+// dfPacked is the depth-first MBM of Figure 3.7 over the packed arena:
+// the per-node sort key (squared mindist to the query MBR) and its
+// centre-distance tie-break both come from fused passes over the SoA
+// coordinate arrays, and candidates are 4-byte refs instead of copied
+// entries. Every bound is evaluated by the same floating-point operations
+// as df, so pruning — and with it the node-access count — is identical.
+func (st *mbmState) dfPacked(nd int32, depth int) {
+	p := st.rd.Packed()
+	s, e := p.NodeRange(nd)
+	cnt := int(e - s)
+	st.ec.dbuf = grow(st.ec.dbuf, cnt)
+	st.ec.dbuf2 = grow(st.ec.dbuf2, cnt)
+	d, d2 := st.ec.dbuf, st.ec.dbuf2
+	leaf := p.IsLeaf(nd)
+	if leaf {
+		pc := p.PointSoA()
+		geom.MinDistSqPointsRect(pc, int(s), int(e), st.qmbr, d)
+		geom.DistSqPointsPoint(pc, int(s), int(e), st.qcent, d2)
+	} else {
+		lo, hi := p.RectSoA()
+		geom.MinDistSqRectsRect(lo, hi, int(s), int(e), st.qmbr, d)
+		geom.MinDistSqRectsPoint(lo, hi, int(s), int(e), st.qcent, d2)
+	}
+	buf := st.ec.pcands.Level(depth)
+	cands := *buf
+	for i := 0; i < cnt; i++ {
+		ref := rtree.LeafRef(s + int32(i))
+		if !leaf {
+			ref = rtree.NodeRef(s + int32(i))
+		}
+		cands = append(cands, rtree.PCand{Ref: ref, D: d[i], D2: d2[i]})
+	}
+	rtree.SortPCands(cands)
+	*buf = cands
+	n := len(st.qs)
+	for i := range cands {
+		c := cands[i]
+		lb := quickLBFromMindist(st.opt.Aggregate, math.Sqrt(c.D), n, st.w)
+		slot, isPoint := rtree.RefSlot(c.Ref)
+		if isPoint {
+			if lb >= st.best.bound() {
+				st.opt.Trace.add(func(tr *Trace) { tr.PointsPrunedQuick++ })
+				return
+			}
+			st.opt.Trace.add(func(tr *Trace) { tr.ExactDistances++ })
+			pt := p.LeafPoint(slot)
+			st.best.offer(GroupNeighbor{
+				Point: pt, ID: p.LeafID(slot),
+				Dist: aggDistSoA(st.opt.Aggregate, pt, st.gq, st.w),
+			})
+			continue
+		}
+		if lb >= st.best.bound() {
+			st.opt.Trace.add(func(tr *Trace) { tr.NodesPrunedH2++ })
+			return // heuristic 2: this and all later nodes pruned
+		}
+		if !st.opt.DisableHeuristic3 {
+			p.RectInto(slot, &st.ec.prect)
+			if nodeLBSoA(st.opt.Aggregate, st.ec.prect, st.gq, st.w) >= st.best.bound() {
+				st.opt.Trace.add(func(tr *Trace) { tr.NodesPrunedH3++ })
+				continue // heuristic 3: skip just this node
+			}
+		}
+		st.opt.Trace.add(func(tr *Trace) { tr.NodesVisited++ })
+		st.dfPacked(st.rd.PackedChild(slot), depth+1)
 	}
 }
 
@@ -173,7 +247,12 @@ type GNNIterator struct {
 	qmbr   geom.Rect
 	opt    Options
 	w      *weightCtx
+	gq     [][]float64 // SoA copy of qs for the group-facing inner loops
+	gflat  []float64   // backing of gq
 	heap   pq.Heap[gnnItem]
+	ph     pq.Heap[pgnnItem] // packed layout: 8-byte items, fused keys
+	dbuf   []float64         // fused-kernel distance buffer (packed path)
+	prect  geom.Rect         // spare rect for the packed heuristic-3 bound
 	closed bool
 }
 
@@ -193,6 +272,14 @@ type gnnItem struct {
 	state gnnState
 }
 
+// pgnnItem is gnnItem for the packed layout: the 88-byte entry shrinks to
+// an int32 ref, so the lazy best-first heap stays within a few cache
+// lines even at its high-water mark.
+type pgnnItem struct {
+	ref   rtree.PackedRef
+	state gnnState
+}
+
 // NewGNNIterator starts an incremental GNN scan of t around qs. The
 // iterator owns its scratch (it does not borrow Options.Exec, so any
 // number of iterators — F-MQM runs one per query block — may coexist
@@ -207,15 +294,21 @@ func NewGNNIterator(t *rtree.Tree, qs []geom.Point, opt Options) (*GNNIterator, 
 		return nil, err
 	}
 	it := gnnIterPool.Get()
-	it.rd = t.Reader(opt.Cost)
+	it.rd = rtree.ReaderOver(t, opt.packedFor(t, false), opt.Cost)
 	it.qs = qs
+	it.gq, it.gflat = groupSoAInto(it.gq, it.gflat, qs)
 	it.qmbr = geom.BoundingRectInto(it.qmbr, qs)
 	it.opt = opt
 	it.w = w
 	it.closed = false
 	it.heap.Reset()
+	it.ph.Reset()
 	if t.Len() > 0 {
-		it.pushNode(it.rd.Root())
+		if it.rd.Packed() != nil {
+			it.pushNodePacked(it.rd.PackedRoot())
+		} else {
+			it.pushNode(it.rd.Root())
+		}
 	}
 	return it, nil
 }
@@ -239,11 +332,78 @@ func (it *GNNIterator) pushNode(nd rtree.Node) {
 	}
 }
 
+// pushNodePacked enqueues node nd's slots with their heuristic-2 keys,
+// derived from one fused mindist pass over the SoA arrays — the same
+// values quickPointLBW/quickNodeLBW produce entry by entry.
+func (it *GNNIterator) pushNodePacked(nd int32) {
+	p := it.rd.Packed()
+	s, e := p.NodeRange(nd)
+	cnt := int(e - s)
+	it.dbuf = grow(it.dbuf, cnt)
+	n := len(it.qs)
+	if p.IsLeaf(nd) {
+		geom.MinDistSqPointsRect(p.PointSoA(), int(s), int(e), it.qmbr, it.dbuf)
+		for i := 0; i < cnt; i++ {
+			it.ph.Push(pgnnItem{rtree.LeafRef(s + int32(i)), pointCheap},
+				quickLBFromMindist(it.opt.Aggregate, math.Sqrt(it.dbuf[i]), n, it.w))
+		}
+		return
+	}
+	lo, hi := p.RectSoA()
+	geom.MinDistSqRectsRect(lo, hi, int(s), int(e), it.qmbr, it.dbuf)
+	for i := 0; i < cnt; i++ {
+		it.ph.Push(pgnnItem{rtree.NodeRef(s + int32(i)), nodeCheap},
+			quickLBFromMindist(it.opt.Aggregate, math.Sqrt(it.dbuf[i]), n, it.w))
+	}
+}
+
+// nextPacked is Next over the packed arena: the same lazy key-tightening
+// state machine, driven by refs instead of entries.
+func (it *GNNIterator) nextPacked() (GroupNeighbor, bool) {
+	p := it.rd.Packed()
+	for {
+		item, ok := it.ph.Pop()
+		if !ok {
+			return GroupNeighbor{}, false
+		}
+		slot, _ := rtree.RefSlot(item.Value.ref)
+		switch item.Value.state {
+		case pointExact:
+			return GroupNeighbor{
+				Point: p.LeafPoint(slot),
+				ID:    p.LeafID(slot),
+				Dist:  item.Priority,
+			}, true
+		case pointCheap:
+			it.opt.Trace.add(func(tr *Trace) { tr.ExactDistances++ })
+			exact := aggDistSoA(it.opt.Aggregate, p.LeafPoint(slot), it.gq, it.w)
+			it.ph.Push(pgnnItem{item.Value.ref, pointExact}, exact)
+		case nodeCheap:
+			if !it.opt.DisableHeuristic3 {
+				p.RectInto(slot, &it.prect)
+				tight := nodeLBSoA(it.opt.Aggregate, it.prect, it.gq, it.w)
+				if tight > item.Priority {
+					it.ph.Push(pgnnItem{item.Value.ref, nodeTight}, tight)
+					continue
+				}
+			}
+			it.opt.Trace.add(func(tr *Trace) { tr.NodesVisited++ })
+			it.pushNodePacked(it.rd.PackedChild(slot))
+		case nodeTight:
+			it.opt.Trace.add(func(tr *Trace) { tr.NodesVisited++ })
+			it.pushNodePacked(it.rd.PackedChild(slot))
+		}
+	}
+}
+
 // Next returns the next group nearest neighbor; ok is false when the data
 // set is exhausted or the iterator has been closed.
 func (it *GNNIterator) Next() (GroupNeighbor, bool) {
 	if it.closed {
 		return GroupNeighbor{}, false
+	}
+	if it.rd.Packed() != nil {
+		return it.nextPacked()
 	}
 	for {
 		item, ok := it.heap.Pop()
@@ -259,11 +419,11 @@ func (it *GNNIterator) Next() (GroupNeighbor, bool) {
 			}, true
 		case pointCheap:
 			it.opt.Trace.add(func(tr *Trace) { tr.ExactDistances++ })
-			exact := aggDistW(it.opt.Aggregate, item.Value.e.Point, it.qs, it.w)
+			exact := aggDistSoA(it.opt.Aggregate, item.Value.e.Point, it.gq, it.w)
 			it.heap.Push(gnnItem{item.Value.e, pointExact}, exact)
 		case nodeCheap:
 			if !it.opt.DisableHeuristic3 {
-				tight := nodeLBW(it.opt.Aggregate, item.Value.e.Rect, it.qs, it.w)
+				tight := nodeLBSoA(it.opt.Aggregate, item.Value.e.Rect, it.gq, it.w)
 				if tight > item.Priority {
 					it.heap.Push(gnnItem{item.Value.e, nodeTight}, tight)
 					continue
@@ -284,6 +444,9 @@ func (it *GNNIterator) PeekDist() (float64, bool) {
 	if it.closed {
 		return 0, false
 	}
+	if it.rd.Packed() != nil {
+		return it.ph.MinPriority()
+	}
 	return it.heap.MinPriority()
 }
 
@@ -303,5 +466,6 @@ func (it *GNNIterator) Close() {
 	it.opt = Options{}
 	it.w = nil
 	it.heap.Reset()
+	it.ph.Reset()
 	gnnIterPool.Put(it)
 }

@@ -34,7 +34,10 @@ func MQM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 
 	ec, owned := opt.exec()
 	defer releaseIfOwned(ec, owned)
-	rd := t.Reader(opt.Cost)
+	// MQM's per-point NN streams never consult the region (it filters
+	// results point by point), so the packed layout serves constrained
+	// queries too.
+	rd := rtree.ReaderOver(t, opt.packedFor(t, true), opt.Cost)
 	ec.iters = grow(ec.iters, n)
 	iters := ec.iters
 	for i, q := range qs {
@@ -48,6 +51,7 @@ func MQM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 	}()
 	ec.thresholds = growFloats(ec.thresholds, n)
 	thresholds := ec.thresholds
+	gq := ec.groupSoA(qs)
 	best := ec.kbestFor(opt.K)
 
 	// T = agg_i(w_i·t_i). For SUM (the common case) it is maintained
@@ -84,7 +88,7 @@ func MQM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 			best.offer(GroupNeighbor{
 				Point: nb.Point,
 				ID:    nb.ID,
-				Dist:  aggDistW(opt.Aggregate, nb.Point, qs, w),
+				Dist:  aggDistSoA(opt.Aggregate, nb.Point, gq, w),
 			})
 		}
 	}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gnn/internal/geom"
+	"gnn/internal/pagestore"
+	"gnn/internal/rtree"
+)
+
+// Differential suite for the packed SoA layout: every algorithm must
+// return byte-identical results AND charge byte-identical per-query costs
+// (logical and physical node accesses, buffer hits) on both layouts. This
+// is strict equality, not tolerance: the fused kernels reproduce the
+// scalar floating-point ops exactly, so any divergence is a bug.
+
+// diffRun answers the same query on the dynamic and packed layouts and
+// fails on any divergence in results, per-query cost, or trace counters.
+func diffRun(t *testing.T, name string, packed *rtree.Packed,
+	run func(Options) ([]GroupNeighbor, error), opt Options) {
+	t.Helper()
+	var dtk, ptk pagestore.CostTracker
+	var dtr, ptr Trace
+
+	opt.Packed = nil
+	opt.Cost = &dtk
+	opt.Trace = &dtr
+	dyn, err := run(opt)
+	if err != nil {
+		t.Fatalf("%s (dynamic): %v", name, err)
+	}
+	opt.Packed = packed
+	opt.Cost = &ptk
+	opt.Trace = &ptr
+	pkd, err := run(opt)
+	if err != nil {
+		t.Fatalf("%s (packed): %v", name, err)
+	}
+	if !reflect.DeepEqual(dyn, pkd) {
+		t.Fatalf("%s: results diverged between layouts\ndynamic: %v\npacked:  %v", name, dyn, pkd)
+	}
+	if dtk != ptk {
+		t.Fatalf("%s: per-query cost diverged\ndynamic: %+v\npacked:  %+v", name, dtk, ptk)
+	}
+	if dtr != ptr {
+		t.Fatalf("%s: trace diverged\ndynamic: %+v\npacked:  %+v", name, dtr, ptr)
+	}
+}
+
+func TestPackedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	pts := clusteredPts(rng, 3000, 1000)
+	tr := buildTree(t, pts, 16)
+	packed := tr.Pack()
+
+	for trial := 0; trial < 12; trial++ {
+		n := []int{1, 3, 8, 32}[trial%4]
+		qs := make([]geom.Point, n)
+		base := geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}
+		for i := range qs {
+			qs[i] = geom.Point{base[0] + rng.Float64()*150, base[1] + rng.Float64()*150}
+		}
+		var weights []float64
+		if trial%2 == 1 {
+			weights = make([]float64, n)
+			for i := range weights {
+				weights[i] = 0.25 + rng.Float64()*4
+			}
+		}
+		k := []int{1, 4, 9}[trial%3]
+		for _, agg := range []Aggregate{Sum, Max, Min} {
+			opt := Options{K: k, Aggregate: agg, Weights: weights}
+			type cell struct {
+				name string
+				run  func(Options) ([]GroupNeighbor, error)
+				sum  bool
+			}
+			cells := []cell{
+				{"BruteForce", func(o Options) ([]GroupNeighbor, error) { return BruteForce(tr, qs, o) }, false},
+				{"MQM", func(o Options) ([]GroupNeighbor, error) { return MQM(tr, qs, o) }, false},
+				{"MBM-BF", func(o Options) ([]GroupNeighbor, error) { return MBM(tr, qs, o) }, false},
+				{"MBM-DF", func(o Options) ([]GroupNeighbor, error) {
+					o.Traversal = DepthFirst
+					return MBM(tr, qs, o)
+				}, false},
+				{"SPM-BF", func(o Options) ([]GroupNeighbor, error) { return SPM(tr, qs, o) }, true},
+				{"SPM-DF", func(o Options) ([]GroupNeighbor, error) {
+					o.Traversal = DepthFirst
+					return SPM(tr, qs, o)
+				}, true},
+			}
+			for _, c := range cells {
+				if c.sum && agg != Sum {
+					continue
+				}
+				name := fmt.Sprintf("trial%d/%s/%v/k=%d/weighted=%v", trial, c.name, agg, k, weights != nil)
+				diffRun(t, name, packed, c.run, opt)
+			}
+		}
+	}
+}
+
+// TestPackedEquivalenceIterator steps the incremental GNN scan in
+// lockstep on both layouts, comparing every emitted neighbor, every peek
+// bound and the running cost.
+func TestPackedEquivalenceIterator(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pts := clusteredPts(rng, 2000, 800)
+	tr := buildTree(t, pts, 16)
+	packed := tr.Pack()
+
+	for _, agg := range []Aggregate{Sum, Max, Min} {
+		qs := make([]geom.Point, 6)
+		for i := range qs {
+			qs[i] = geom.Point{rng.Float64() * 800, rng.Float64() * 800}
+		}
+		var dtk, ptk pagestore.CostTracker
+		di, err := NewGNNIterator(tr, qs, Options{Aggregate: agg, Cost: &dtk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pi, err := NewGNNIterator(tr, qs, Options{Aggregate: agg, Cost: &ptk, Packed: packed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 300; i++ {
+			dp, dpo := di.PeekDist()
+			pp, ppo := pi.PeekDist()
+			if dp != pp || dpo != ppo {
+				t.Fatalf("agg %v: peek diverged at %d: %v/%v vs %v/%v", agg, i, dp, dpo, pp, ppo)
+			}
+			dn, dok := di.Next()
+			pn, pok := pi.Next()
+			if dok != pok || !reflect.DeepEqual(dn, pn) {
+				t.Fatalf("agg %v: stream diverged at %d:\ndynamic: %v %v\npacked:  %v %v", agg, i, dn, dok, pn, pok)
+			}
+			if dtk != ptk {
+				t.Fatalf("agg %v: cost diverged at %d: %+v vs %+v", agg, i, dtk, ptk)
+			}
+			if !dok {
+				break
+			}
+		}
+		di.Close()
+		pi.Close()
+	}
+}
+
+// TestPackedEquivalenceDisk covers the disk-resident family: F-MQM (whose
+// per-block streams ride the packed GNNIterator) and F-MBM in both
+// traversals, comparing neighbors, rounds and combined I/O cost.
+func TestPackedEquivalenceDisk(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	pts := clusteredPts(rng, 2500, 1000)
+	tr := buildTree(t, pts, 16)
+	packed := tr.Pack()
+
+	for trial := 0; trial < 4; trial++ {
+		nq := []int{40, 120, 400, 800}[trial]
+		qpts := make([]geom.Point, nq)
+		base := geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}
+		for i := range qpts {
+			qpts[i] = geom.Point{base[0] + rng.Float64()*300, base[1] + rng.Float64()*300}
+		}
+		k := []int{1, 5}[trial%2]
+
+		type cell struct {
+			name string
+			run  func(Options) (*DiskReport, error)
+		}
+		cells := []cell{
+			{"F-MQM", func(o Options) (*DiskReport, error) {
+				qf, err := NewQueryFile(qpts, 50, pagestore.NewAccountant(0), 1<<40)
+				if err != nil {
+					return nil, err
+				}
+				return FMQM(tr, qf, DiskOptions{Options: o})
+			}},
+			{"F-MBM-BF", func(o Options) (*DiskReport, error) {
+				qf, err := NewQueryFile(qpts, 50, pagestore.NewAccountant(0), 1<<40)
+				if err != nil {
+					return nil, err
+				}
+				return FMBM(tr, qf, DiskOptions{Options: o})
+			}},
+			{"F-MBM-DF", func(o Options) (*DiskReport, error) {
+				o.Traversal = DepthFirst
+				qf, err := NewQueryFile(qpts, 50, pagestore.NewAccountant(0), 1<<40)
+				if err != nil {
+					return nil, err
+				}
+				return FMBM(tr, qf, DiskOptions{Options: o})
+			}},
+		}
+		for _, c := range cells {
+			name := fmt.Sprintf("trial%d/%s/k=%d", trial, c.name, k)
+			var dtk, ptk pagestore.CostTracker
+			drep, err := c.run(Options{K: k, Cost: &dtk})
+			if err != nil {
+				t.Fatalf("%s (dynamic): %v", name, err)
+			}
+			prep, err := c.run(Options{K: k, Cost: &ptk, Packed: packed})
+			if err != nil {
+				t.Fatalf("%s (packed): %v", name, err)
+			}
+			if !reflect.DeepEqual(drep.Neighbors, prep.Neighbors) {
+				t.Fatalf("%s: neighbors diverged\ndynamic: %v\npacked:  %v", name, drep.Neighbors, prep.Neighbors)
+			}
+			if drep.Rounds != prep.Rounds {
+				t.Fatalf("%s: rounds %d vs %d", name, drep.Rounds, prep.Rounds)
+			}
+			if drep.Cost != prep.Cost {
+				t.Fatalf("%s: cost diverged\ndynamic: %+v\npacked:  %+v", name, drep.Cost, prep.Cost)
+			}
+		}
+	}
+}
+
+// TestPackedStaleFallsBack checks that a stale snapshot (tree mutated
+// after Pack) silently degrades to the dynamic layout with correct
+// results including the new point.
+func TestPackedStaleFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	pts := clusteredPts(rng, 500, 300)
+	tr := buildTree(t, pts, 16)
+	packed := tr.Pack()
+	target := geom.Point{1e6, 1e6}
+	if err := tr.Insert(target, 777_777); err != nil {
+		t.Fatal(err)
+	}
+	got, err := MBM(tr, []geom.Point{{1e6, 1e6}}, Options{Packed: packed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != 777_777 {
+		t.Fatalf("stale-snapshot query missed the inserted point: %v", got)
+	}
+}
+
+// FuzzPackedEquivalence fuzzes the packed/dynamic differential across
+// dataset shape, group size, k, aggregate and traversal. Any result or
+// cost divergence crashes the fuzz target.
+func FuzzPackedEquivalence(f *testing.F) {
+	f.Add(int64(1), uint16(300), uint8(4), uint8(2), uint8(0), false)
+	f.Add(int64(2), uint16(60), uint8(1), uint8(1), uint8(1), true)
+	f.Add(int64(3), uint16(900), uint8(16), uint8(7), uint8(2), false)
+	f.Add(int64(4), uint16(2), uint8(3), uint8(5), uint8(0), true)
+	f.Fuzz(func(t *testing.T, seed int64, n uint16, groupSize, k, agg uint8, df bool) {
+		rng := rand.New(rand.NewSource(seed))
+		np := int(n)%1200 + 1
+		pts := clusteredPts(rng, np, 500)
+		tr := buildTree(t, pts, 8)
+		packed := tr.Pack()
+		qs := make([]geom.Point, int(groupSize)%24+1)
+		for i := range qs {
+			qs[i] = geom.Point{rng.Float64() * 600, rng.Float64() * 600}
+		}
+		opt := Options{
+			K:         int(k)%12 + 1,
+			Aggregate: []Aggregate{Sum, Max, Min}[int(agg)%3],
+		}
+		if df {
+			opt.Traversal = DepthFirst
+		}
+		diffRun(t, "fuzz/MBM", packed, func(o Options) ([]GroupNeighbor, error) {
+			return MBM(tr, qs, o)
+		}, opt)
+		diffRun(t, "fuzz/MQM", packed, func(o Options) ([]GroupNeighbor, error) {
+			return MQM(tr, qs, o)
+		}, opt)
+		if opt.Aggregate == Sum {
+			diffRun(t, "fuzz/SPM", packed, func(o Options) ([]GroupNeighbor, error) {
+				return SPM(tr, qs, o)
+			}, opt)
+		}
+	})
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+
 	"gnn/internal/centroid"
 	"gnn/internal/geom"
 	"gnn/internal/rtree"
@@ -47,10 +49,16 @@ func SPM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 	defer releaseIfOwned(ec, owned)
 	best := ec.kbestFor(opt.K)
 	if t.Len() > 0 {
-		run := spmRun{rd: t.Reader(opt.Cost), qs: qs, q: q, dq: dq, n: n, w: w, region: opt.Region, best: best, ec: ec}
-		if opt.Traversal == DepthFirst {
+		run := spmRun{rd: rtree.ReaderOver(t, opt.packedFor(t, false), opt.Cost),
+			qs: qs, gq: ec.groupSoA(qs), q: q, dq: dq, n: n, w: w, region: opt.Region, best: best, ec: ec}
+		switch {
+		case run.rd.Packed() != nil && opt.Traversal == DepthFirst:
+			run.dfPacked(run.rd.PackedRoot(), 0)
+		case run.rd.Packed() != nil:
+			run.bfPacked()
+		case opt.Traversal == DepthFirst:
 			run.df(run.rd.Root(), 0)
-		} else {
+		default:
 			run.bf()
 		}
 	}
@@ -61,9 +69,10 @@ func SPM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 type spmRun struct {
 	rd     rtree.Reader
 	qs     []geom.Point
-	q      geom.Point // centroid
-	dq     float64    // dist_w(q, Q)
-	n      float64    // W = Σ w_i (or n when unweighted)
+	gq     [][]float64 // SoA copy of qs for the exact-distance loop
+	q      geom.Point  // centroid
+	dq     float64     // dist_w(q, Q)
+	n      float64     // W = Σ w_i (or n when unweighted)
 	w      *weightCtx
 	region *geom.Rect
 	best   *kbest
@@ -101,7 +110,7 @@ func (r *spmRun) offer(e rtree.Entry) {
 	}
 	r.best.offer(GroupNeighbor{
 		Point: e.Point, ID: e.ID,
-		Dist: aggDistW(Sum, e.Point, r.qs, r.w),
+		Dist: aggDistSoA(Sum, e.Point, r.gq, r.w),
 	})
 }
 
@@ -131,6 +140,96 @@ func (r *spmRun) df(nd rtree.Node, depth int) {
 			r.offer(c.E)
 		} else if regionIntersects(r.region, c.E.Rect) {
 			r.df(r.rd.Child(c.E), depth+1)
+		}
+	}
+}
+
+// dfPacked is df over the packed arena: the mindist-to-centroid keys of a
+// whole node come from one fused pass over the SoA arrays (square rooted
+// to the real distances heuristic 1 is stated in), candidates are int32
+// refs. The packed path runs only for unconstrained queries, so the
+// region checks of df vanish rather than branch.
+func (r *spmRun) dfPacked(nd int32, depth int) {
+	p := r.rd.Packed()
+	s, e := p.NodeRange(nd)
+	cnt := int(e - s)
+	r.ec.dbuf = grow(r.ec.dbuf, cnt)
+	d := r.ec.dbuf
+	leaf := p.IsLeaf(nd)
+	if leaf {
+		geom.DistSqPointsPoint(p.PointSoA(), int(s), int(e), r.q, d)
+	} else {
+		lo, hi := p.RectSoA()
+		geom.MinDistSqRectsPoint(lo, hi, int(s), int(e), r.q, d)
+	}
+	buf := r.ec.pcands.Level(depth)
+	cands := *buf
+	for i := 0; i < cnt; i++ {
+		ref := rtree.LeafRef(s + int32(i))
+		if !leaf {
+			ref = rtree.NodeRef(s + int32(i))
+		}
+		cands = append(cands, rtree.PCand{Ref: ref, D: math.Sqrt(d[i])})
+	}
+	rtree.SortPCands(cands)
+	*buf = cands
+	for i := range cands {
+		c := cands[i]
+		if c.D >= r.threshold() {
+			return // heuristic 1 prunes this and all later entries
+		}
+		if slot, isPoint := rtree.RefSlot(c.Ref); isPoint {
+			pt := p.LeafPoint(slot)
+			r.best.offer(GroupNeighbor{
+				Point: pt, ID: p.LeafID(slot),
+				Dist: aggDistSoA(Sum, pt, r.gq, r.w),
+			})
+		} else {
+			r.dfPacked(r.rd.PackedChild(slot), depth+1)
+		}
+	}
+}
+
+// bfPacked is bf over the packed arena, with the int32 ref heap.
+func (r *spmRun) bfPacked() {
+	p := r.rd.Packed()
+	heap := &r.ec.peheap
+	heap.Reset()
+	push := func(nd int32) {
+		s, e := p.NodeRange(nd)
+		cnt := int(e - s)
+		r.ec.dbuf = grow(r.ec.dbuf, cnt)
+		d := r.ec.dbuf
+		if p.IsLeaf(nd) {
+			geom.DistSqPointsPoint(p.PointSoA(), int(s), int(e), r.q, d)
+			for i := 0; i < cnt; i++ {
+				heap.Push(rtree.LeafRef(s+int32(i)), math.Sqrt(d[i]))
+			}
+			return
+		}
+		lo, hi := p.RectSoA()
+		geom.MinDistSqRectsPoint(lo, hi, int(s), int(e), r.q, d)
+		for i := 0; i < cnt; i++ {
+			heap.Push(rtree.NodeRef(s+int32(i)), math.Sqrt(d[i]))
+		}
+	}
+	push(r.rd.PackedRoot())
+	for {
+		item, ok := heap.Pop()
+		if !ok {
+			return
+		}
+		if item.Priority >= r.threshold() {
+			return
+		}
+		if slot, isPoint := rtree.RefSlot(item.Value); isPoint {
+			pt := p.LeafPoint(slot)
+			r.best.offer(GroupNeighbor{
+				Point: pt, ID: p.LeafID(slot),
+				Dist: aggDistSoA(Sum, pt, r.gq, r.w),
+			})
+		} else {
+			push(r.rd.PackedChild(slot))
 		}
 	}
 }

@@ -207,6 +207,268 @@ func combineThresholdsW(a Aggregate, thresholds []float64, w *weightCtx) float64
 	}
 }
 
+// The SoA group fast path. The group-facing inner loops — the exact
+// aggregate distance of a candidate point and the heuristic-3 node bound —
+// evaluate one term per query point, and with the group stored as a slice
+// of separately allocated points every term starts with a pointer chase.
+// Queries therefore lay the group out once per query as per-axis columns
+// (ExecContext.groupSoA) and the hot loops stream those contiguous
+// arrays. Each term performs exactly the same floating-point operations
+// in the same order as its AoS counterpart in aggDistW/nodeLBW (the 2-D
+// specialisation's dx*dx + dy*dy equals the (0+d0²)+d1² accumulation
+// bit for bit, squares being non-negative), so results, pruning and
+// node-access counts are unchanged — on both tree layouts, which share
+// these functions.
+
+// aggDistSoA is aggDistW over the SoA group g (g[axis][j]).
+func aggDistSoA(a Aggregate, p geom.Point, g [][]float64, w *weightCtx) float64 {
+	n := len(g[0])
+	if len(g) == 2 {
+		px, py := p[0], p[1]
+		qx, qy := g[0], g[1]
+		switch a {
+		case Max:
+			var m float64
+			if w == nil {
+				for j := 0; j < n; j++ {
+					dx, dy := px-qx[j], py-qy[j]
+					if dsq := dx*dx + dy*dy; dsq > m {
+						m = dsq
+					}
+				}
+				return math.Sqrt(m)
+			}
+			for j := 0; j < n; j++ {
+				dx, dy := px-qx[j], py-qy[j]
+				if d := w.w[j] * math.Sqrt(dx*dx+dy*dy); d > m {
+					m = d
+				}
+			}
+			return m
+		case Min:
+			m := math.Inf(1)
+			if w == nil {
+				for j := 0; j < n; j++ {
+					dx, dy := px-qx[j], py-qy[j]
+					if dsq := dx*dx + dy*dy; dsq < m {
+						m = dsq
+					}
+				}
+				return math.Sqrt(m)
+			}
+			for j := 0; j < n; j++ {
+				dx, dy := px-qx[j], py-qy[j]
+				if d := w.w[j] * math.Sqrt(dx*dx+dy*dy); d < m {
+					m = d
+				}
+			}
+			return m
+		default:
+			var s float64
+			if w == nil {
+				for j := 0; j < n; j++ {
+					dx, dy := px-qx[j], py-qy[j]
+					s += math.Sqrt(dx*dx + dy*dy)
+				}
+				return s
+			}
+			for j := 0; j < n; j++ {
+				dx, dy := px-qx[j], py-qy[j]
+				s += w.w[j] * math.Sqrt(dx*dx+dy*dy)
+			}
+			return s
+		}
+	}
+	// Generic dimensionality: same shape, axis-inner.
+	distSqAt := func(j int) float64 {
+		var dsq float64
+		for ax := range g {
+			d := p[ax] - g[ax][j]
+			dsq += d * d
+		}
+		return dsq
+	}
+	switch a {
+	case Max:
+		var m float64
+		if w == nil {
+			for j := 0; j < n; j++ {
+				if dsq := distSqAt(j); dsq > m {
+					m = dsq
+				}
+			}
+			return math.Sqrt(m)
+		}
+		for j := 0; j < n; j++ {
+			if d := w.w[j] * math.Sqrt(distSqAt(j)); d > m {
+				m = d
+			}
+		}
+		return m
+	case Min:
+		m := math.Inf(1)
+		if w == nil {
+			for j := 0; j < n; j++ {
+				if dsq := distSqAt(j); dsq < m {
+					m = dsq
+				}
+			}
+			return math.Sqrt(m)
+		}
+		for j := 0; j < n; j++ {
+			if d := w.w[j] * math.Sqrt(distSqAt(j)); d < m {
+				m = d
+			}
+		}
+		return m
+	default:
+		var s float64
+		if w == nil {
+			for j := 0; j < n; j++ {
+				s += math.Sqrt(distSqAt(j))
+			}
+			return s
+		}
+		for j := 0; j < n; j++ {
+			s += w.w[j] * math.Sqrt(distSqAt(j))
+		}
+		return s
+	}
+}
+
+// nodeLBSoA is nodeLBW (the heuristic-3 family bound) over the SoA group.
+func nodeLBSoA(a Aggregate, r geom.Rect, g [][]float64, w *weightCtx) float64 {
+	n := len(g[0])
+	if len(g) == 2 {
+		lox, hix := r.Lo[0], r.Hi[0]
+		loy, hiy := r.Lo[1], r.Hi[1]
+		qx, qy := g[0], g[1]
+		minDistSqAt := func(j int) float64 {
+			var dx, dy float64
+			switch {
+			case qx[j] < lox:
+				dx = lox - qx[j]
+			case qx[j] > hix:
+				dx = qx[j] - hix
+			}
+			switch {
+			case qy[j] < loy:
+				dy = loy - qy[j]
+			case qy[j] > hiy:
+				dy = qy[j] - hiy
+			}
+			return dx*dx + dy*dy
+		}
+		switch a {
+		case Max:
+			var m float64
+			if w == nil {
+				for j := 0; j < n; j++ {
+					if dsq := minDistSqAt(j); dsq > m {
+						m = dsq
+					}
+				}
+				return math.Sqrt(m)
+			}
+			for j := 0; j < n; j++ {
+				if d := w.w[j] * math.Sqrt(minDistSqAt(j)); d > m {
+					m = d
+				}
+			}
+			return m
+		case Min:
+			m := math.Inf(1)
+			if w == nil {
+				for j := 0; j < n; j++ {
+					if dsq := minDistSqAt(j); dsq < m {
+						m = dsq
+					}
+				}
+				return math.Sqrt(m)
+			}
+			for j := 0; j < n; j++ {
+				if d := w.w[j] * math.Sqrt(minDistSqAt(j)); d < m {
+					m = d
+				}
+			}
+			return m
+		default:
+			var s float64
+			if w == nil {
+				for j := 0; j < n; j++ {
+					s += math.Sqrt(minDistSqAt(j))
+				}
+				return s
+			}
+			for j := 0; j < n; j++ {
+				s += w.w[j] * math.Sqrt(minDistSqAt(j))
+			}
+			return s
+		}
+	}
+	minDistSqAt := func(j int) float64 {
+		var dsq float64
+		for ax := range g {
+			v := g[ax][j]
+			var d float64
+			switch {
+			case v < r.Lo[ax]:
+				d = r.Lo[ax] - v
+			case v > r.Hi[ax]:
+				d = v - r.Hi[ax]
+			}
+			dsq += d * d
+		}
+		return dsq
+	}
+	switch a {
+	case Max:
+		var m float64
+		if w == nil {
+			for j := 0; j < n; j++ {
+				if dsq := minDistSqAt(j); dsq > m {
+					m = dsq
+				}
+			}
+			return math.Sqrt(m)
+		}
+		for j := 0; j < n; j++ {
+			if d := w.w[j] * math.Sqrt(minDistSqAt(j)); d > m {
+				m = d
+			}
+		}
+		return m
+	case Min:
+		m := math.Inf(1)
+		if w == nil {
+			for j := 0; j < n; j++ {
+				if dsq := minDistSqAt(j); dsq < m {
+					m = dsq
+				}
+			}
+			return math.Sqrt(m)
+		}
+		for j := 0; j < n; j++ {
+			if d := w.w[j] * math.Sqrt(minDistSqAt(j)); d < m {
+				m = d
+			}
+		}
+		return m
+	default:
+		var s float64
+		if w == nil {
+			for j := 0; j < n; j++ {
+				s += math.Sqrt(minDistSqAt(j))
+			}
+			return s
+		}
+		for j := 0; j < n; j++ {
+			s += w.w[j] * math.Sqrt(minDistSqAt(j))
+		}
+		return s
+	}
+}
+
 // regionAllows reports whether a data point qualifies under the optional
 // constraint region.
 func regionAllows(region *geom.Rect, p geom.Point) bool {

@@ -1,0 +1,220 @@
+package rtree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gnn/internal/geom"
+	"gnn/internal/pagestore"
+)
+
+func randTree(t *testing.T, rng *rand.Rand, n, maxEntries int, bulk bool) *Tree {
+	t.Helper()
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}
+	}
+	cfg := Config{Dim: 2, MaxEntries: maxEntries}
+	if bulk {
+		tr, err := BulkLoadSTR(cfg, pts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if err := tr.Insert(p, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+// TestPackedTraversalEquivalence checks that every rtree-level traversal
+// returns identical neighbors and charges identical per-query costs on
+// both layouts.
+func TestPackedTraversalEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, bulk := range []bool{true, false} {
+		tr := randTree(t, rng, 2000, 8, bulk)
+		p := tr.Pack()
+		if !p.Valid(tr) {
+			t.Fatal("fresh snapshot reports invalid")
+		}
+		if p.Len() != tr.Len() || p.Height() != tr.Height() {
+			t.Fatalf("snapshot shape: len %d/%d height %d/%d", p.Len(), tr.Len(), p.Height(), tr.Height())
+		}
+		for trial := 0; trial < 50; trial++ {
+			q := geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}
+			k := 1 + rng.Intn(10)
+
+			var dtk, ptk pagestore.CostTracker
+			dyn := tr.Reader(&dtk).NearestDF(q, k)
+			pkd := ReaderOver(tr, p, &ptk).NearestDF(q, k)
+			if !reflect.DeepEqual(dyn, pkd) {
+				t.Fatalf("NearestDF diverged (bulk=%v trial %d):\ndyn: %v\npkd: %v", bulk, trial, dyn, pkd)
+			}
+			if dtk != ptk {
+				t.Fatalf("NearestDF cost diverged: dyn %+v pkd %+v", dtk, ptk)
+			}
+
+			dtk, ptk = pagestore.CostTracker{}, pagestore.CostTracker{}
+			dyn = tr.Reader(&dtk).NearestBF(q, k)
+			pkd = p.Reader(&ptk).NearestBF(q, k)
+			if !reflect.DeepEqual(dyn, pkd) {
+				t.Fatalf("NearestBF diverged (bulk=%v trial %d)", bulk, trial)
+			}
+			if dtk != ptk {
+				t.Fatalf("NearestBF cost diverged: dyn %+v pkd %+v", dtk, ptk)
+			}
+
+			r := geom.NewRect(
+				geom.Point{rng.Float64() * 1000, rng.Float64() * 1000},
+				geom.Point{rng.Float64() * 1000, rng.Float64() * 1000})
+			var dres, pres []int64
+			dtk, ptk = pagestore.CostTracker{}, pagestore.CostTracker{}
+			tr.Reader(&dtk).Search(r, func(_ geom.Point, id int64) bool {
+				dres = append(dres, id)
+				return true
+			})
+			ReaderOver(tr, p, &ptk).Search(r, func(_ geom.Point, id int64) bool {
+				pres = append(pres, id)
+				return true
+			})
+			if !reflect.DeepEqual(dres, pres) {
+				t.Fatalf("Search diverged: %d vs %d ids", len(dres), len(pres))
+			}
+			if dtk != ptk {
+				t.Fatalf("Search cost diverged: dyn %+v pkd %+v", dtk, ptk)
+			}
+		}
+
+		// Incremental NN streams must emit the same prefix with the same
+		// per-step costs.
+		q := geom.Point{500, 500}
+		var dtk, ptk pagestore.CostTracker
+		di := tr.Reader(&dtk).NewNNIterator(q)
+		pi := ReaderOver(tr, p, &ptk).NewNNIterator(q)
+		for i := 0; i < 200; i++ {
+			dn, dok := di.Next()
+			pn, pok := pi.Next()
+			if dok != pok || !reflect.DeepEqual(dn, pn) {
+				t.Fatalf("NN stream diverged at %d: %v/%v vs %v/%v", i, dn, dok, pn, pok)
+			}
+			if dtk != ptk {
+				t.Fatalf("NN stream cost diverged at %d: dyn %+v pkd %+v", i, dtk, ptk)
+			}
+		}
+		di.Close()
+		pi.Close()
+
+		// All must stream the identical sequence.
+		var dall, pall []int64
+		tr.All(func(_ geom.Point, id int64) bool { dall = append(dall, id); return true })
+		p.All(func(_ geom.Point, id int64) bool { pall = append(pall, id); return true })
+		if !reflect.DeepEqual(dall, pall) {
+			t.Fatal("All order diverged between layouts")
+		}
+	}
+}
+
+// TestPackedInvalidation checks the mutation-invalidation rule: any
+// Insert or Delete makes the snapshot stale and ReaderOver falls back to
+// the dynamic nodes.
+func TestPackedInvalidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := randTree(t, rng, 200, 8, true)
+	p := tr.Pack()
+	if !p.Valid(tr) {
+		t.Fatal("fresh snapshot invalid")
+	}
+	if rd := ReaderOver(tr, p, nil); rd.Packed() != p {
+		t.Fatal("ReaderOver dropped a valid snapshot")
+	}
+	if err := tr.Insert(geom.Point{1, 2}, 999); err != nil {
+		t.Fatal(err)
+	}
+	if p.Valid(tr) {
+		t.Fatal("snapshot still valid after Insert")
+	}
+	if rd := ReaderOver(tr, p, nil); rd.Packed() != nil {
+		t.Fatal("ReaderOver served a stale snapshot")
+	}
+	// Queries through the stale-snapshot ReaderOver must see the new point.
+	got := ReaderOver(tr, p, nil).NearestDF(geom.Point{1, 2}, 1)
+	if len(got) != 1 || got[0].ID != 999 {
+		t.Fatalf("fallback query missed the inserted point: %v", got)
+	}
+	p2 := tr.Pack()
+	if !p2.Valid(tr) {
+		t.Fatal("re-packed snapshot invalid")
+	}
+	if !tr.Delete(geom.Point{1, 2}, 999) {
+		t.Fatal("delete failed")
+	}
+	if p2.Valid(tr) {
+		t.Fatal("snapshot still valid after Delete")
+	}
+	// A snapshot of one tree is never valid for another.
+	other := randTree(t, rng, 50, 8, true)
+	if p.Valid(other) {
+		t.Fatal("snapshot valid for a different tree")
+	}
+	if rd := ReaderOver(other, other.Pack(), nil); rd.Packed() == nil {
+		t.Fatal("ReaderOver rejected a matching snapshot")
+	}
+}
+
+// TestPackedShape spot-checks the arena invariants: ranges partition the
+// slot spaces, levels decrease by one per child hop, pages match the
+// source nodes.
+func TestPackedShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := randTree(t, rng, 1500, 10, false)
+	p := tr.Pack()
+	var walk func(n int32, level int32)
+	seenLeaf := 0
+	walk = func(n int32, level int32) {
+		if p.level[n] != level {
+			t.Fatalf("node %d level %d, expected %d", n, p.level[n], level)
+		}
+		s, e := p.NodeRange(n)
+		if s > e {
+			t.Fatalf("node %d empty-inverted range [%d,%d)", n, s, e)
+		}
+		if p.IsLeaf(n) {
+			seenLeaf += int(e - s)
+			return
+		}
+		for i := s; i < e; i++ {
+			walk(p.ChildOf(i), level-1)
+		}
+	}
+	walk(p.Root(), int32(tr.Height()-1))
+	if seenLeaf != tr.Len() {
+		t.Fatalf("%d leaf slots reachable, want %d", seenLeaf, tr.Len())
+	}
+	if p.NumLeafSlots() != tr.Len() {
+		t.Fatalf("NumLeafSlots %d, want %d", p.NumLeafSlots(), tr.Len())
+	}
+	// Pages must be preserved — same id space as the dynamic nodes.
+	if p.page[p.Root()] != tr.root.page {
+		t.Fatalf("root page %d, want %d", p.page[p.Root()], tr.root.page)
+	}
+	// RectInto must reproduce the routing rectangles bit for bit.
+	var dst geom.Rect
+	rootS, rootE := p.NodeRange(p.Root())
+	if !p.IsLeaf(p.Root()) {
+		for i := rootS; i < rootE; i++ {
+			p.RectInto(i, &dst)
+			if !dst.Equal(tr.root.entries[i-rootS].Rect) {
+				t.Fatalf("RectInto slot %d mismatch", i)
+			}
+		}
+	}
+}

@@ -38,6 +38,31 @@ func SortCands(c []Cand) {
 	}
 }
 
+// PCand is the packed-layout candidate: an int32 PackedRef (leaf slot or
+// ^routing slot) with the same sort keys as Cand. Replacing the copied
+// Entry with a 4-byte ref keeps per-depth candidate buffers within a few
+// cache lines per node.
+type PCand struct {
+	Ref PackedRef
+	D   float64
+	D2  float64
+}
+
+// SortPCands orders packed candidates by ascending (D, D2) with the same
+// insertion sort as SortCands, so both layouts produce identical
+// permutations for identical keys.
+func SortPCands(c []PCand) {
+	for i := 1; i < len(c); i++ {
+		x := c[i]
+		j := i - 1
+		for j >= 0 && (c[j].D > x.D || (c[j].D == x.D && c[j].D2 > x.D2)) {
+			c[j+1] = c[j]
+			j--
+		}
+		c[j+1] = x
+	}
+}
+
 // CandStack hands out one candidate buffer per recursion depth: the
 // parent is still iterating its sorted buffer while the child sorts its
 // own, so depth-first traversals need a buffer per level, not one per
@@ -67,11 +92,36 @@ func (s *CandStack) Reset() {
 	}
 }
 
+// PCandStack is CandStack for packed candidates. PCands hold no pointers,
+// so Reset only rewinds lengths.
+type PCandStack struct {
+	levels [][]PCand
+}
+
+// Level returns the (emptied) buffer of the given recursion depth.
+func (s *PCandStack) Level(depth int) *[]PCand {
+	for len(s.levels) <= depth {
+		s.levels = append(s.levels, nil)
+	}
+	s.levels[depth] = s.levels[depth][:0]
+	return &s.levels[depth]
+}
+
+// Reset rewinds all per-depth buffers.
+func (s *PCandStack) Reset() {
+	for i := range s.levels {
+		s.levels[i] = s.levels[i][:0]
+	}
+}
+
 // nnScratch is the per-query scratch of NearestDF: the per-depth
-// candidate buffers and the bounded result heap.
+// candidate buffers (one stack per layout) and the bounded result heap,
+// plus the fused-kernel distance buffer of the packed path.
 type nnScratch struct {
-	cands CandStack
-	best  pq.BoundedMax[Neighbor]
+	cands  CandStack
+	pcands PCandStack
+	dbuf   []float64
+	best   pq.BoundedMax[Neighbor]
 }
 
 var nnScratchPool = pq.NewPool(func() *nnScratch { return &nnScratch{} })
@@ -79,6 +129,7 @@ var nnScratchPool = pq.NewPool(func() *nnScratch { return &nnScratch{} })
 // release resets the scratch and returns it to the pool.
 func (s *nnScratch) release() {
 	s.cands.Reset()
+	s.pcands.Reset()
 	if s.best.Len() > 0 {
 		s.best.Reset(1) // zeroes retained payloads; next user re-Resets with its own k
 	}

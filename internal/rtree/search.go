@@ -28,6 +28,10 @@ func (rd Reader) Search(r geom.Rect, fn func(p geom.Point, id int64) bool) {
 	if rd.t.size == 0 {
 		return
 	}
+	if rd.p != nil {
+		rd.searchPacked(rd.PackedRoot(), r, fn)
+		return
+	}
 	rd.searchNode(rd.Root(), r, fn)
 }
 
@@ -90,7 +94,11 @@ func (rd Reader) NearestDF(q geom.Point, k int) []Neighbor {
 	}
 	sc := nnScratchPool.Get()
 	sc.best.Reset(k)
-	rd.nearestDF(rd.Root(), q, sc, 0)
+	if rd.p != nil {
+		rd.nearestDFPacked(rd.PackedRoot(), q, sc, 0)
+	} else {
+		rd.nearestDF(rd.Root(), q, sc, 0)
+	}
 	out := neighborsFromSq(&sc.best)
 	sc.release()
 	return out
@@ -175,6 +183,8 @@ type NNIterator struct {
 	rd     Reader
 	q      geom.Point
 	heap   pq.Heap[Entry]
+	ph     pq.Heap[PackedRef] // packed-layout heap: 4-byte refs, fused keys
+	dbuf   []float64          // fused-kernel distance buffer (packed path)
 	closed bool
 }
 
@@ -191,8 +201,13 @@ func (rd Reader) NewNNIterator(q geom.Point) *NNIterator {
 	it := nnIterPool.Get()
 	it.rd, it.q, it.closed = rd, q, false
 	it.heap.Reset()
+	it.ph.Reset()
 	if rd.t.size > 0 {
-		it.pushNode(rd.Root())
+		if rd.p != nil {
+			it.pushNodePacked(rd.PackedRoot())
+		} else {
+			it.pushNode(rd.Root())
+		}
 	}
 	return it
 }
@@ -212,6 +227,9 @@ func (it *NNIterator) pushNode(nd Node) {
 func (it *NNIterator) Next() (Neighbor, bool) {
 	if it.closed {
 		return Neighbor{}, false
+	}
+	if it.rd.p != nil {
+		return it.nextPacked()
 	}
 	for {
 		item, ok := it.heap.Pop()
@@ -235,7 +253,13 @@ func (it *NNIterator) PeekDist() (float64, bool) {
 	if it.closed {
 		return 0, false
 	}
-	d, ok := it.heap.MinPriority()
+	var d float64
+	var ok bool
+	if it.rd.p != nil {
+		d, ok = it.ph.MinPriority()
+	} else {
+		d, ok = it.heap.MinPriority()
+	}
 	if !ok {
 		return 0, false
 	}
@@ -256,5 +280,6 @@ func (it *NNIterator) Close() {
 	it.rd = Reader{}
 	it.q = nil
 	it.heap.Reset()
+	it.ph.Reset()
 	nnIterPool.Put(it)
 }

@@ -13,6 +13,12 @@
 // Query algorithms outside this package (SPM, MBM, F-MBM in internal/core)
 // drive their own traversals through the exported Reader.Root/Reader.Child
 // accessors, so their node accesses are accounted identically.
+//
+// For read-heavy serving, Tree.Pack snapshots the tree into a Packed
+// arena — flat structure-of-arrays node storage traversed through the
+// same Reader abstraction with identical accounting — which the fused
+// kernels in internal/geom turn into streaming passes over contiguous
+// coordinate arrays.
 package rtree
 
 import (
@@ -136,7 +142,14 @@ type Tree struct {
 	size     int
 	height   int // number of levels; 1 = root is a leaf
 	nextPage pagestore.PageID
+	// muts counts structural mutations (Insert/Delete); a Packed snapshot
+	// records the value at build time and is valid only while it matches.
+	muts uint64
 }
+
+// Mutations returns the tree's structural-mutation counter, used to
+// validate Packed snapshots.
+func (t *Tree) Mutations() uint64 { return t.muts }
 
 // New returns an empty tree.
 func New(cfg Config) (*Tree, error) {
@@ -186,8 +199,14 @@ func (t *Tree) Bounds() (geom.Rect, bool) {
 // Create one Reader per query; a Reader itself is a cheap value but must
 // not be shared between goroutines, because the tracker it carries is
 // unsynchronised by design.
+//
+// A Reader traverses either the dynamic nodes (Tree.Reader) or, when it
+// carries a valid Packed snapshot (ReaderOver, Packed.Reader), the flat
+// SoA arena — same pages, same accounting, same results, different memory
+// layout.
 type Reader struct {
 	t  *Tree
+	p  *Packed
 	tk *pagestore.CostTracker
 }
 
@@ -235,6 +254,7 @@ func (t *Tree) Insert(p geom.Point, id int64) error {
 	reinserted := make(map[int]bool)
 	t.insertEntry(e, 0, reinserted)
 	t.size++
+	t.muts++
 	return nil
 }
 
@@ -518,6 +538,7 @@ func (t *Tree) Delete(p geom.Point, id int64) bool {
 	}
 	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
 	t.size--
+	t.muts++
 
 	// Condense: dissolve underflowing nodes bottom-up, collecting orphans.
 	type orphan struct {

@@ -1,0 +1,208 @@
+package gnn_test
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gnn"
+)
+
+func layoutFixture(t *testing.T, n int) (*gnn.Index, [][]gnn.Point) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	pts := make([]gnn.Point, n)
+	for i := range pts {
+		pts[i] = gnn.Point{rng.Float64() * 1000, rng.Float64() * 1000}
+	}
+	ix, err := gnn.BuildIndex(pts, nil, gnn.IndexConfig{NodeCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([][]gnn.Point, 10)
+	for i := range queries {
+		g := make([]gnn.Point, 5)
+		base := rng.Float64() * 800
+		for j := range g {
+			g[j] = gnn.Point{base + rng.Float64()*120, base + rng.Float64()*120}
+		}
+		queries[i] = g
+	}
+	return ix, queries
+}
+
+// TestLayoutEquivalencePublic drives the public API across both layouts
+// and every algorithm, requiring identical results and identical
+// per-query costs.
+func TestLayoutEquivalencePublic(t *testing.T) {
+	ix, queries := layoutFixture(t, 3000)
+	if !ix.IsPacked() {
+		t.Fatal("BuildIndex did not pack the serving layout")
+	}
+	algos := []gnn.Algorithm{gnn.AlgoMQM, gnn.AlgoSPM, gnn.AlgoMBM, gnn.AlgoBruteForce}
+	for _, algo := range algos {
+		for _, q := range queries {
+			dyn, dcost, err := ix.GroupNNWithCost(q,
+				gnn.WithK(4), gnn.WithAlgorithm(algo), gnn.WithLayout(gnn.LayoutDynamic))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkd, pcost, err := ix.GroupNNWithCost(q,
+				gnn.WithK(4), gnn.WithAlgorithm(algo), gnn.WithLayout(gnn.LayoutPacked))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(dyn, pkd) {
+				t.Fatalf("%v: results diverged\ndynamic: %v\npacked:  %v", algo, dyn, pkd)
+			}
+			if dcost != pcost {
+				t.Fatalf("%v: cost diverged: %+v vs %+v", algo, dcost, pcost)
+			}
+		}
+	}
+}
+
+// TestLayoutLifecycle checks the mutation-invalidation contract at the
+// API surface: packed by default, dynamic after a mutation, packed again
+// after Pack, with LayoutPacked failing loudly in the stale window.
+func TestLayoutLifecycle(t *testing.T) {
+	ix, queries := layoutFixture(t, 500)
+	if _, err := ix.GroupNN(queries[0], gnn.WithLayout(gnn.LayoutPacked)); err != nil {
+		t.Fatalf("packed query on fresh index: %v", err)
+	}
+	if err := ix.Insert(gnn.Point{1, 1}, 10_001); err != nil {
+		t.Fatal(err)
+	}
+	if ix.IsPacked() {
+		t.Fatal("index still packed after Insert")
+	}
+	if _, err := ix.GroupNN(queries[0], gnn.WithLayout(gnn.LayoutPacked)); !errors.Is(err, gnn.ErrNotPacked) {
+		t.Fatalf("expected ErrNotPacked on stale index, got %v", err)
+	}
+	// A pinned packed layout cannot serve a region-constrained MBM query
+	// (region pruning lives in the traversal): that combination fails
+	// loudly rather than silently running dynamic.
+	if _, err := ix.GroupNN(queries[0], gnn.WithLayout(gnn.LayoutPacked),
+		gnn.WithRegion(gnn.Point{0, 0}, gnn.Point{1000, 1000})); !errors.Is(err, gnn.ErrPackedRegion) {
+		t.Fatalf("expected ErrPackedRegion, got %v", err)
+	}
+	// Auto layout degrades silently and sees the new point.
+	res, err := ix.GroupNN([]gnn.Point{{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != 10_001 {
+		t.Fatalf("auto-layout query missed the inserted point: %v", res)
+	}
+	ix.Pack()
+	if !ix.IsPacked() {
+		t.Fatal("index not packed after Pack")
+	}
+	res, err = ix.GroupNN([]gnn.Point{{1, 1}}, gnn.WithLayout(gnn.LayoutPacked))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != 10_001 {
+		t.Fatalf("re-packed query missed the inserted point: %v", res)
+	}
+	// Non-mutations must not drop the snapshot: a no-op delete and a
+	// rejected insert leave the tree — and the packed layout — intact.
+	if ix.Delete(gnn.Point{123456, 123456}, -1) {
+		t.Fatal("no-op delete unexpectedly removed something")
+	}
+	if !ix.IsPacked() {
+		t.Fatal("no-op Delete dropped a still-valid packed snapshot")
+	}
+	if err := ix.Insert(gnn.Point{1, 2, 3}, 5); err == nil {
+		t.Fatal("wrong-dimension insert succeeded")
+	}
+	if !ix.IsPacked() {
+		t.Fatal("rejected Insert dropped a still-valid packed snapshot")
+	}
+	if !ix.Delete(gnn.Point{1, 1}, 10_001) {
+		t.Fatal("delete failed")
+	}
+	if ix.IsPacked() {
+		t.Fatal("index still packed after Delete")
+	}
+	// NewIndex + Insert never packs until asked.
+	ix2, err := gnn.NewIndex(gnn.IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix2.Insert(gnn.Point{2, 3}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if ix2.IsPacked() {
+		t.Fatal("incremental index claims to be packed")
+	}
+	ix2.Pack()
+	if !ix2.IsPacked() {
+		t.Fatal("incremental index did not pack on demand")
+	}
+}
+
+// TestLayoutRegionPerAlgorithm checks the per-algorithm region contract:
+// MQM and brute force serve region-constrained queries from the pinned
+// packed layout (with results identical to dynamic), while GCP rejects a
+// pinned packed layout outright.
+func TestLayoutRegionPerAlgorithm(t *testing.T) {
+	ix, queries := layoutFixture(t, 1500)
+	region := []gnn.QueryOption{gnn.WithRegion(gnn.Point{0, 0}, gnn.Point{800, 800})}
+	for _, algo := range []gnn.Algorithm{gnn.AlgoMQM, gnn.AlgoBruteForce} {
+		opts := append([]gnn.QueryOption{gnn.WithK(3), gnn.WithAlgorithm(algo)}, region...)
+		pkd, err := ix.GroupNN(queries[0], append(opts, gnn.WithLayout(gnn.LayoutPacked))...)
+		if err != nil {
+			t.Fatalf("%v: packed region query failed: %v", algo, err)
+		}
+		dyn, err := ix.GroupNN(queries[0], append(opts, gnn.WithLayout(gnn.LayoutDynamic))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(dyn, pkd) {
+			t.Fatalf("%v: region results diverged between layouts", algo)
+		}
+	}
+	qix, err := gnn.BuildIndex([][]float64{{1, 2}, {3, 4}, {5, 6}, {7, 8}}, nil, gnn.IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.GroupNNClosestPairs(qix, 0, gnn.WithLayout(gnn.LayoutPacked)); !errors.Is(err, gnn.ErrNotPacked) {
+		t.Fatalf("GCP with LayoutPacked: expected ErrNotPacked, got %v", err)
+	}
+	if _, err := ix.GroupNNClosestPairs(qix, 0); err != nil {
+		t.Fatalf("GCP with default layout: %v", err)
+	}
+}
+
+// TestLayoutIteratorEquivalence steps the public incremental iterator on
+// both layouts in lockstep.
+func TestLayoutIteratorEquivalence(t *testing.T) {
+	ix, queries := layoutFixture(t, 1500)
+	for _, q := range queries[:3] {
+		di, err := ix.GroupNNIterator(q, gnn.WithLayout(gnn.LayoutDynamic))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pi, err := ix.GroupNNIterator(q, gnn.WithLayout(gnn.LayoutPacked))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			dn, dok := di.Next()
+			pn, pok := pi.Next()
+			if dok != pok || !reflect.DeepEqual(dn, pn) {
+				t.Fatalf("iterator diverged at %d: %v/%v vs %v/%v", i, dn, dok, pn, pok)
+			}
+			if di.Cost() != pi.Cost() {
+				t.Fatalf("iterator cost diverged at %d: %+v vs %+v", i, di.Cost(), pi.Cost())
+			}
+			if !dok {
+				break
+			}
+		}
+		di.Close()
+		pi.Close()
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"gnn/internal/core"
 	"gnn/internal/geom"
 	"gnn/internal/pagestore"
+	"gnn/internal/rtree"
 )
 
 // Algorithm selects the GNN processing method for memory-resident query
@@ -55,6 +56,56 @@ const (
 	MinDist = core.Min
 )
 
+// Layout selects the tree representation a query traverses.
+type Layout int
+
+const (
+	// LayoutAuto (default) uses the packed SoA arena whenever the index
+	// has a valid snapshot and falls back to the dynamic nodes otherwise
+	// (after Insert/Delete, or on an incrementally built index that never
+	// called Pack). Results and node-access counts are identical either
+	// way.
+	LayoutAuto Layout = iota
+	// LayoutDynamic forces the pointer-linked dynamic nodes (benchmarking
+	// and differential testing).
+	LayoutDynamic
+	// LayoutPacked requires the packed arena and fails instead of
+	// silently degrading: ErrNotPacked when no valid snapshot exists,
+	// ErrPackedRegion when combined with WithRegion on an algorithm
+	// whose constrained traversal runs on the dynamic nodes (MBM, SPM,
+	// the iterator, the disk-resident family).
+	LayoutPacked
+)
+
+// String names the layout.
+func (l Layout) String() string {
+	switch l {
+	case LayoutAuto:
+		return "auto"
+	case LayoutDynamic:
+		return "dynamic"
+	case LayoutPacked:
+		return "packed"
+	default:
+		return fmt.Sprintf("Layout(%d)", int(l))
+	}
+}
+
+// ErrNotPacked reports a WithLayout(LayoutPacked) query against an index
+// with no valid packed snapshot (mutated since the last Pack, or built
+// incrementally without one).
+var ErrNotPacked = errors.New("gnn: index has no valid packed layout; call Index.Pack")
+
+// ErrPackedRegion reports a WithLayout(LayoutPacked) query combined with
+// WithRegion on an algorithm whose region pruning lives in the traversal
+// (MBM, SPM, the incremental iterator): their packed kernels are
+// region-free by design, so the constrained query runs on the dynamic
+// nodes and a pinned packed layout cannot be honoured. MQM and brute
+// force filter results point by point and serve constrained queries from
+// the packed layout normally. Use LayoutAuto to get the right layout per
+// algorithm with identical results either way.
+var ErrPackedRegion = errors.New("gnn: this algorithm serves region-constrained queries from the dynamic layout; drop WithLayout(LayoutPacked) or WithRegion")
+
 // QueryOption customises a GroupNN call.
 type QueryOption func(*queryConfig)
 
@@ -66,6 +117,7 @@ type queryConfig struct {
 	weights     []float64
 	region      *geom.Rect
 	parallelism int
+	layout      Layout
 }
 
 // WithK requests the k best group neighbors (default 1).
@@ -100,6 +152,13 @@ func WithRegion(lo, hi Point) QueryOption {
 // GOMAXPROCS). It has no effect on single queries.
 func WithParallelism(n int) QueryOption { return func(c *queryConfig) { c.parallelism = n } }
 
+// WithLayout pins the tree representation the query traverses (default
+// LayoutAuto: packed when available). Both layouts return identical
+// results and node-access counts; the knob exists for benchmarking and
+// for callers that must fail loudly rather than serve the slower dynamic
+// path.
+func WithLayout(l Layout) QueryOption { return func(c *queryConfig) { c.layout = l } }
+
 func buildConfig(opts []QueryOption) queryConfig {
 	c := queryConfig{k: 1}
 	for _, o := range opts {
@@ -114,6 +173,28 @@ func (c queryConfig) coreOptions() core.Options {
 		o.Traversal = core.DepthFirst
 	}
 	return o
+}
+
+// packedForLayout resolves a layout request against the index state: nil
+// for the dynamic nodes, the snapshot for packed, ErrNotPacked when a
+// required snapshot is missing or stale, ErrPackedRegion when a pinned
+// packed layout meets a region constraint it cannot serve.
+func (ix *Index) packedForLayout(l Layout, region *geom.Rect) (*rtree.Packed, error) {
+	switch l {
+	case LayoutDynamic:
+		return nil, nil
+	case LayoutPacked:
+		if region != nil {
+			return nil, ErrPackedRegion
+		}
+		p := ix.servingPacked()
+		if p == nil {
+			return nil, ErrNotPacked
+		}
+		return p, nil
+	default:
+		return ix.servingPacked(), nil
+	}
 }
 
 // GroupNN answers a GNN query for a memory-resident query group: the k
@@ -150,10 +231,18 @@ func (ix *Index) groupNN(query []Point, c queryConfig, tk *pagestore.CostTracker
 	opt := c.coreOptions()
 	opt.Cost = tk
 	opt.Exec = ec
-	var (
-		gs  []core.GroupNeighbor
-		err error
-	)
+	region := c.region
+	if c.algo == AlgoMQM || c.algo == AlgoBruteForce {
+		// These algorithms filter per point, so their packed kernels
+		// serve region-constrained queries; no layout conflict to reject.
+		region = nil
+	}
+	p, err := ix.packedForLayout(c.layout, region)
+	if err != nil {
+		return nil, err
+	}
+	opt.Packed = p
+	var gs []core.GroupNeighbor
 	switch c.algo {
 	case AlgoMQM:
 		gs, err = core.MQM(ix.tree, qs, opt)
@@ -200,6 +289,11 @@ func (ix *Index) GroupNNIterator(query []Point, opts ...QueryOption) (*Iterator,
 	out := &Iterator{}
 	opt := c.coreOptions()
 	opt.Cost = &out.tk
+	p, err := ix.packedForLayout(c.layout, c.region)
+	if err != nil {
+		return nil, err
+	}
+	opt.Packed = p
 	it, err := core.NewGNNIterator(ix.tree, qs, opt)
 	if err != nil {
 		return nil, err
