@@ -1,10 +1,6 @@
 package gnn
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-
 	"gnn/internal/core"
 	"gnn/internal/pagestore"
 )
@@ -37,43 +33,33 @@ func (ix *Index) GroupNNBatch(queries [][]Point, opts ...QueryOption) []BatchRes
 		return out
 	}
 	c := buildConfig(opts)
-	workers := c.parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(queries) {
-		workers = len(queries)
-	}
-	answer := func(i int, ec *core.ExecContext) {
+	core.RunPooled(len(queries), c.parallelism, func(i int, ec *core.ExecContext) {
 		var tk pagestore.CostTracker
 		out[i].Results, out[i].Err = ix.groupNN(queries[i], c, &tk, ec)
 		out[i].Cost = costOf(tk)
-	}
-	if workers == 1 {
-		ec := core.AcquireExec()
-		defer ec.Release()
-		for i := range queries {
-			answer(i, ec)
-		}
+	})
+	return out
+}
+
+// GroupNNBatch answers many GNN queries concurrently against the sharded
+// index with a worker pool of WithParallelism(n) goroutines (default
+// GOMAXPROCS). Each worker answers one query at a time and, by default,
+// scans that query's shards sequentially from its own goroutine — batch
+// throughput comes from concurrent queries, and the shared pruning bound
+// cascades from shard to shard within each query, so later shards start
+// already tightly bounded. WithShards(n) overrides the per-query scatter
+// width when individual query latency matters more than batch density.
+// Results are identical to Index.GroupNNBatch over the same points.
+func (sx *ShardedIndex) GroupNNBatch(queries [][]Point, opts ...QueryOption) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
 		return out
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			ec := core.AcquireExec()
-			defer ec.Release()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(queries) {
-					return
-				}
-				answer(i, ec)
-			}
-		}()
-	}
-	wg.Wait()
+	c := buildConfig(opts)
+	core.RunPooled(len(queries), c.parallelism, func(i int, ec *core.ExecContext) {
+		var tk pagestore.CostTracker
+		out[i].Results, out[i].Err = sx.groupNN(queries[i], c, &tk, ec, 1)
+		out[i].Cost = costOf(tk)
+	})
 	return out
 }

@@ -57,6 +57,8 @@ func main() {
 		budget   = flag.Int64("gcp-budget", 20_000_000, "GCP pair budget before a cell is DNF")
 		parallel = flag.Int("parallel", 0, "throughput mode: sweep batch workers up to N (0 = off)")
 		pout     = flag.String("parallel-out", "", "write the -parallel sweep as JSON to this file")
+		shards   = flag.Int("shards", 0, "sharded mode: sweep shard counts up to N against the unsharded baseline (0 = off)")
+		sout     = flag.String("shards-out", "", "write the -shards sweep as JSON to this file")
 		allocs   = flag.Bool("allocs", false, "allocation mode: ns/op and allocs/op per algorithm×aggregate")
 		aout     = flag.String("allocs-out", "", "write the -allocs snapshot as JSON to this file")
 		abase    = flag.String("allocs-baseline", "", "embed a previous -allocs snapshot as the baseline")
@@ -92,8 +94,21 @@ func main() {
 		}
 		return
 	}
+	if *shards > 0 {
+		if *layout != "" {
+			// Both index kinds serve from their packed default; a pinned
+			// layout would measure something the sweep does not label.
+			fmt.Fprintln(os.Stderr, "gnnbench: -shards measures the serving default; drop -layout")
+			os.Exit(2)
+		}
+		if err := runShards(*shards, *scale, *queries, *seed, *sout); err != nil {
+			fmt.Fprintln(os.Stderr, "gnnbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if !*all && *fig == "" {
-		fmt.Fprintln(os.Stderr, "usage: gnnbench -fig <id> | -all | -list | -parallel N")
+		fmt.Fprintln(os.Stderr, "usage: gnnbench -fig <id> | -all | -list | -parallel N | -shards N")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"gnn"
+)
+
+// shardedSnapshot is the JSON schema of the -shards-out file: the batch
+// throughput of the sharded scatter-gather execution swept over shard
+// counts, against the unsharded Index as the S=0 baseline row.
+type shardedSnapshot struct {
+	Dataset    string         `json:"dataset"`
+	Scale      float64        `json:"scale"`
+	Queries    int            `json:"queries"`
+	GroupSize  int            `json:"group_size"`
+	K          int            `json:"k"`
+	Workers    int            `json:"batch_workers"`
+	NumCPU     int            `json:"num_cpu"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Results    []shardedPoint `json:"results"`
+}
+
+type shardedPoint struct {
+	// Shards is the shard count; 0 is the unsharded Index baseline.
+	Shards     int     `json:"shards"`
+	QueriesSec float64 `json:"queries_per_sec"`
+	Seconds    float64 `json:"seconds"`
+	Speedup    float64 `json:"speedup_vs_unsharded"`
+	// NAPerQuery is the mean node accesses per query — for sharded rows
+	// the exact sum over shards; with sequential per-query scatter the
+	// shared bound cascades, so this may drop below the baseline.
+	NAPerQuery float64 `json:"na_per_query"`
+	// AllocsPerQuery is the steady-state heap allocation count per query
+	// (warm pass). The acceptance bar: sharding must not inflate it.
+	AllocsPerQuery float64 `json:"allocs_per_query"`
+}
+
+// runShards measures the sharded batch engine: shard counts 1/2/4/max
+// (plus the unsharded baseline) answering the same fixed workload.
+func runShards(maxShards int, scale float64, numQueries int, seed int64, outPath string) error {
+	d, ix, batch, err := benchFixture(scale, numQueries, seed)
+	if err != nil {
+		return err
+	}
+	const groupSize, k = benchGroupSize, benchK
+	workers := runtime.GOMAXPROCS(0)
+
+	pts := make([]gnn.Point, 0, ix.Len())
+	for _, p := range d.Points {
+		pts = append(pts, gnn.Point(p))
+	}
+	pts = pts[:ix.Len()]
+
+	sweep := map[int]bool{1: true, 2: true, 4: true, maxShards: true}
+	counts := make([]int, 0, len(sweep))
+	for s := range sweep {
+		if s <= maxShards {
+			counts = append(counts, s)
+		}
+	}
+	sort.Ints(counts)
+
+	snap := shardedSnapshot{
+		Dataset: d.Name, Scale: scale, Queries: len(batch),
+		GroupSize: groupSize, K: k, Workers: workers,
+		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	fmt.Printf("# sharded scatter-gather throughput — %s (%d points), %d queries of n=%d, k=%d, %d batch workers\n\n",
+		d.Name, ix.Len(), len(batch), groupSize, k, workers)
+	fmt.Printf("%-8s  %12s  %10s  %8s  %12s  %14s\n",
+		"shards", "queries/sec", "seconds", "speedup", "NA/query", "allocs/query")
+
+	measure := func(run func() []gnn.BatchResult, resetCost func(), cost func() gnn.Cost) (shardedPoint, error) {
+		run() // warm-up pass
+		resetCost()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		out := run()
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		for _, r := range out {
+			if r.Err != nil {
+				return shardedPoint{}, r.Err
+			}
+		}
+		return shardedPoint{
+			QueriesSec:     float64(len(batch)) / elapsed.Seconds(),
+			Seconds:        elapsed.Seconds(),
+			NAPerQuery:     float64(cost().NodeAccesses) / float64(len(batch)),
+			AllocsPerQuery: float64(after.Mallocs-before.Mallocs) / float64(len(batch)),
+		}, nil
+	}
+	emit := func(shards int, pt shardedPoint, base float64) float64 {
+		if base == 0 {
+			base = pt.QueriesSec
+		}
+		pt.Shards = shards
+		pt.Speedup = pt.QueriesSec / base
+		snap.Results = append(snap.Results, pt)
+		label := fmt.Sprintf("%d", shards)
+		if shards == 0 {
+			label = "none"
+		}
+		fmt.Printf("%-8s  %12.1f  %10.3f  %7.2fx  %12.1f  %14.1f\n",
+			label, pt.QueriesSec, pt.Seconds, pt.Speedup, pt.NAPerQuery, pt.AllocsPerQuery)
+		return base
+	}
+
+	// Unsharded baseline.
+	pt, err := measure(func() []gnn.BatchResult {
+		return ix.GroupNNBatch(batch, gnn.WithK(k), gnn.WithParallelism(workers))
+	}, ix.ResetCost, ix.Cost)
+	if err != nil {
+		return err
+	}
+	base := emit(0, pt, 0)
+
+	for _, s := range counts {
+		sx, err := gnn.BuildShardedIndex(pts, nil, s, gnn.IndexConfig{})
+		if err != nil {
+			return err
+		}
+		pt, err := measure(func() []gnn.BatchResult {
+			return sx.GroupNNBatch(batch, gnn.WithK(k), gnn.WithParallelism(workers))
+		}, sx.ResetCost, sx.Cost)
+		if err != nil {
+			return err
+		}
+		emit(s, pt, base)
+	}
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nsnapshot written to %s\n", outPath)
+	}
+	return nil
+}

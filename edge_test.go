@@ -1,0 +1,247 @@
+// Edge-case tests for the query surface's corners: the DiskAuto
+// algorithm crossover, WithLayout pinning against indexes that have no
+// packed snapshot (or nothing at all), empty indexes, and query groups
+// larger than the data set.
+package gnn_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gnn"
+)
+
+// TestAutoAlgorithmCrossover pins the DiskAuto resolution on both sides
+// of the block threshold, at the exact threshold, with a custom
+// threshold, and with the documented negative override.
+func TestAutoAlgorithmCrossover(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	mk := func(points, blockPoints, threshold int) *gnn.QuerySet {
+		t.Helper()
+		qs, err := gnn.NewQuerySet(randGroup(rng, points), gnn.QuerySetConfig{
+			BlockPoints: blockPoints, AutoBlockThreshold: threshold,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return qs
+	}
+
+	// Default threshold (8): 1 block and 8 blocks resolve to F-MQM, 9 to
+	// F-MBM.
+	if got := mk(50, 100, 0).AutoAlgorithm(); got != gnn.DiskFMQM {
+		t.Fatalf("1 block resolved to %v", got)
+	}
+	if qs := mk(800, 100, 0); qs.Blocks() != 8 || qs.AutoAlgorithm() != gnn.DiskFMQM {
+		t.Fatalf("%d blocks resolved to %v, want 8 → F-MQM", qs.Blocks(), qs.AutoAlgorithm())
+	}
+	if qs := mk(801, 100, 0); qs.Blocks() != 9 || qs.AutoAlgorithm() != gnn.DiskFMBM {
+		t.Fatalf("%d blocks resolved to %v, want 9 → F-MBM", qs.Blocks(), qs.AutoAlgorithm())
+	}
+	// Custom threshold moves the crossover.
+	if got := mk(300, 100, 2).AutoAlgorithm(); got != gnn.DiskFMBM {
+		t.Fatalf("3 blocks over threshold 2 resolved to %v", got)
+	}
+	if got := mk(200, 100, 2).AutoAlgorithm(); got != gnn.DiskFMQM {
+		t.Fatalf("2 blocks at threshold 2 resolved to %v", got)
+	}
+	// Negative threshold forces F-MBM for every set.
+	if got := mk(10, 100, -1).AutoAlgorithm(); got != gnn.DiskFMBM {
+		t.Fatalf("negative threshold resolved to %v", got)
+	}
+
+	// An empty query set is rejected at construction (AutoAlgorithm can
+	// never see zero blocks).
+	if _, err := gnn.NewQuerySet(nil, gnn.QuerySetConfig{}); !errors.Is(err, gnn.ErrEmptyQuery) {
+		t.Fatalf("empty query set: %v, want ErrEmptyQuery", err)
+	}
+}
+
+func randGroup(rng *rand.Rand, n int) []gnn.Point {
+	out := make([]gnn.Point, n)
+	for i := range out {
+		out[i] = gnn.Point{rng.Float64() * 1000, rng.Float64() * 1000}
+	}
+	return out
+}
+
+// TestDiskQueriesEmptyIndex runs the whole disk-resident family against
+// empty indexes — bulk-loaded (packed snapshot of nothing) and
+// incrementally built (no snapshot) — expecting clean empty answers, no
+// panics, under every algorithm including the auto crossover.
+func TestDiskQueriesEmptyIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	qset, err := gnn.NewQuerySet(randGroup(rng, 2500), gnn.QuerySetConfig{BlockPoints: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := gnn.BuildIndex(nil, nil, gnn.IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := gnn.NewIndex(gnn.IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, ix := range map[string]*gnn.Index{"bulk-loaded": built, "incremental": fresh} {
+		for _, algo := range []gnn.DiskAlgorithm{gnn.DiskAuto, gnn.DiskFMQM, gnn.DiskFMBM} {
+			res, err := ix.GroupNNFromSet(qset, algo, gnn.WithK(3))
+			if err != nil {
+				t.Fatalf("%s/%v on empty index: %v", name, algo, err)
+			}
+			if len(res) != 0 {
+				t.Fatalf("%s/%v on empty index returned %v", name, algo, res)
+			}
+		}
+	}
+	// GCP over two indexes, one empty.
+	qix, err := gnn.BuildIndex(randGroup(rng, 200), nil, gnn.IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := built.GroupNNClosestPairs(qix, 0); err != nil || len(res) != 0 {
+		t.Fatalf("GCP with empty data index: %v, %v", res, err)
+	}
+	if res, err := qix.GroupNNClosestPairs(built, 0); err == nil && len(res) != 0 {
+		t.Fatalf("GCP with empty query index returned %v", res)
+	}
+}
+
+// TestQuerySetLargerThanDataset covers the inverted-size regime the
+// paper never measures: the disk-resident query set dwarfs the data set,
+// and k exceeds the data set size.
+func TestQuerySetLargerThanDataset(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	pts := randGroup(rng, 5)
+	ix, err := gnn.BuildIndex(pts, nil, gnn.IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qset, err := gnn.NewQuerySet(randGroup(rng, 3000), gnn.QuerySetConfig{BlockPoints: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []gnn.Result
+	for _, algo := range []gnn.DiskAlgorithm{gnn.DiskFMQM, gnn.DiskFMBM, gnn.DiskAuto} {
+		res, err := ix.GroupNNFromSet(qset, algo, gnn.WithK(9))
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if len(res) != len(pts) {
+			t.Fatalf("%v: k=9 over 5 points returned %d results", algo, len(res))
+		}
+		if want == nil {
+			want = res
+			continue
+		}
+		for i := range want {
+			if res[i].ID != want[i].ID {
+				t.Fatalf("%v diverged from F-MQM at %d: %+v vs %+v", algo, i, res[i], want[i])
+			}
+		}
+	}
+
+	// Memory-resident group larger than the data set, every algorithm.
+	big := randGroup(rng, 200)
+	for _, algo := range []gnn.Algorithm{gnn.AlgoMBM, gnn.AlgoMQM, gnn.AlgoSPM, gnn.AlgoBruteForce} {
+		res, err := ix.GroupNN(big, gnn.WithAlgorithm(algo), gnn.WithK(9))
+		if err != nil {
+			t.Fatalf("%v with oversized group: %v", algo, err)
+		}
+		if len(res) != len(pts) {
+			t.Fatalf("%v with oversized group returned %d results", algo, len(res))
+		}
+	}
+}
+
+// TestLayoutPinningEdges locks the WithLayout contract at the corners:
+// a pinned packed layout must fail with ErrNotPacked on indexes without
+// a valid snapshot (incremental, or mutated since Pack) for every read
+// path, succeed on an empty-but-packed index, and recover after Pack.
+func TestLayoutPinningEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	group := randGroup(rng, 4)
+
+	// Empty bulk-loaded index has a (trivially valid) snapshot: pinned
+	// packed queries answer cleanly with no results.
+	empty, err := gnn.BuildIndex(nil, nil, gnn.IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !empty.IsPacked() {
+		t.Fatal("bulk-loaded empty index reports no packed layout")
+	}
+	for _, algo := range []gnn.Algorithm{gnn.AlgoMBM, gnn.AlgoMQM, gnn.AlgoSPM, gnn.AlgoBruteForce} {
+		res, err := empty.GroupNN(group, gnn.WithAlgorithm(algo), gnn.WithLayout(gnn.LayoutPacked))
+		if err != nil {
+			t.Fatalf("%v pinned-packed on empty index: %v", algo, err)
+		}
+		if len(res) != 0 {
+			t.Fatalf("%v on empty index returned %v", algo, res)
+		}
+	}
+	if it, err := empty.GroupNNIterator(group, gnn.WithLayout(gnn.LayoutPacked)); err != nil {
+		t.Fatalf("iterator pinned-packed on empty index: %v", err)
+	} else {
+		if _, ok := it.Next(); ok {
+			t.Fatal("empty iterator yielded")
+		}
+		it.Close()
+	}
+
+	// An incrementally built index never packs until told to.
+	fresh, err := gnn.NewIndex(gnn.IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range randGroup(rng, 100) {
+		if err := fresh.Insert(p, -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertNotPacked := func(ix *gnn.Index, when string) {
+		t.Helper()
+		for _, algo := range []gnn.Algorithm{gnn.AlgoMBM, gnn.AlgoMQM, gnn.AlgoSPM, gnn.AlgoBruteForce} {
+			if _, err := ix.GroupNN(group, gnn.WithAlgorithm(algo), gnn.WithLayout(gnn.LayoutPacked)); !errors.Is(err, gnn.ErrNotPacked) {
+				t.Fatalf("%s: %v pinned-packed: %v, want ErrNotPacked", when, algo, err)
+			}
+		}
+		if _, err := ix.GroupNNIterator(group, gnn.WithLayout(gnn.LayoutPacked)); !errors.Is(err, gnn.ErrNotPacked) {
+			t.Fatalf("%s: iterator pinned-packed: %v, want ErrNotPacked", when, err)
+		}
+		qset, qerr := gnn.NewQuerySet(randGroup(rng, 50), gnn.QuerySetConfig{})
+		if qerr != nil {
+			t.Fatal(qerr)
+		}
+		if _, err := ix.GroupNNFromSet(qset, gnn.DiskAuto, gnn.WithLayout(gnn.LayoutPacked)); !errors.Is(err, gnn.ErrNotPacked) {
+			t.Fatalf("%s: disk query pinned-packed: %v, want ErrNotPacked", when, err)
+		}
+	}
+	assertNotPacked(fresh, "incremental")
+
+	// Pack restores pinned-packed service; a mutation invalidates again.
+	fresh.Pack()
+	if _, err := fresh.GroupNN(group, gnn.WithLayout(gnn.LayoutPacked)); err != nil {
+		t.Fatalf("pinned-packed after Pack: %v", err)
+	}
+	if err := fresh.Insert(gnn.Point{1, 1}, 999); err != nil {
+		t.Fatal(err)
+	}
+	assertNotPacked(fresh, "mutated")
+
+	// LayoutDynamic and LayoutAuto always serve, snapshot or not.
+	for _, layout := range []gnn.Layout{gnn.LayoutDynamic, gnn.LayoutAuto} {
+		if _, err := fresh.GroupNN(group, gnn.WithLayout(layout)); err != nil {
+			t.Fatalf("%v after mutation: %v", layout, err)
+		}
+	}
+
+	// Layout and algorithm strings stay printable for diagnostics.
+	for _, s := range []fmt.Stringer{gnn.LayoutAuto, gnn.LayoutDynamic, gnn.LayoutPacked, gnn.Layout(42)} {
+		if s.String() == "" {
+			t.Fatal("empty layout string")
+		}
+	}
+}

@@ -23,6 +23,14 @@
 // Insert and Delete mutate the tree and require external synchronisation
 // with no concurrent readers.
 //
+// Scale-out: ShardedIndex Hilbert-partitions the data set into S
+// independent packed R-trees and answers the same query surface by
+// scatter-gather — per-shard kernels share a monotonically tightening
+// best-distance bound and a k-way merge reassembles the answer — with
+// the distances of a single Index rank for rank (exact equal-distance
+// ties may resolve to a different tied point) and per-query costs that
+// are the exact sum of per-shard node accesses.
+//
 // Quick start:
 //
 //	ix, _ := gnn.BuildIndex(places, nil)

@@ -1,0 +1,151 @@
+// Golden-trace regression test: the node-access counts of the fixed seed
+// workloads below are locked in, so a change that silently regresses
+// pruning (looser bounds, reordered candidates, a broken heuristic) fails
+// loudly instead of shipping as a quiet slowdown. The counts are exact,
+// not thresholds: every traversal in this codebase is deterministic for a
+// fixed dataset and query list, and the packed/dynamic layouts are
+// bit-equivalent, so both layouts must land on the same number.
+//
+// If an intentional pruning improvement changes a number, update the
+// table — in its own commit, with the new value justified.
+package gnn_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"gnn"
+)
+
+// goldenNA is the locked-in total of physical node accesses (the paper's
+// NA metric) summed over the 40 queries of the fixed workload.
+var goldenNA = map[string]int64{
+	"MBM-BF/sum":       281,
+	"MBM-DF/sum":       309,
+	"MQM/sum":          7085,
+	"SPM-BF/sum":       504,
+	"SPM-DF/sum":       534,
+	"MBM-BF/max":       251,
+	"MBM-DF/max":       283,
+	"MQM/max":          9612,
+	"sharded-MBM/sum":  583,
+	"sharded-MBM/max":  571,
+	"sharded-MQM/sum":  13568,
+	"iterator-k8/sum":  281,
+	"sharded-iter/sum": 432,
+}
+
+// goldenFixture builds the fixed workload: clustered data and spatially
+// concentrated query groups from a pinned seed.
+func goldenFixture(t *testing.T) (*gnn.Index, *gnn.ShardedIndex, [][]gnn.Point) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(123))
+	pts := clusterPoints(rng, 3000, 1000)
+	ix, err := gnn.BuildIndex(pts, nil, gnn.IndexConfig{NodeCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx, err := gnn.BuildShardedIndex(pts, nil, 4, gnn.IndexConfig{NodeCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([][]gnn.Point, 40)
+	for i := range queries {
+		queries[i] = queryGroup(rng, []int{1, 4, 16, 64}[i%4], 1000)
+	}
+	return ix, sx, queries
+}
+
+func TestGoldenNodeAccesses(t *testing.T) {
+	ix, sx, queries := goldenFixture(t)
+
+	type cell struct {
+		name string
+		run  func(qs []gnn.Point, layout gnn.Layout) (gnn.Cost, error)
+	}
+	q := func(ix *gnn.Index, opts ...gnn.QueryOption) func([]gnn.Point, gnn.Layout) (gnn.Cost, error) {
+		return func(qs []gnn.Point, layout gnn.Layout) (gnn.Cost, error) {
+			_, c, err := ix.GroupNNWithCost(qs, append(opts, gnn.WithK(8), gnn.WithLayout(layout))...)
+			return c, err
+		}
+	}
+	sq := func(opts ...gnn.QueryOption) func([]gnn.Point, gnn.Layout) (gnn.Cost, error) {
+		return func(qs []gnn.Point, layout gnn.Layout) (gnn.Cost, error) {
+			// WithShards(1): the sequential scatter is the deterministic
+			// execution (the bound cascades shard to shard in index order);
+			// concurrent scatter has timing-dependent NA by design.
+			_, c, err := sx.GroupNNWithCost(qs,
+				append(opts, gnn.WithK(8), gnn.WithLayout(layout), gnn.WithShards(1))...)
+			return c, err
+		}
+	}
+	cells := []cell{
+		{"MBM-BF/sum", q(ix, gnn.WithAlgorithm(gnn.AlgoMBM))},
+		{"MBM-DF/sum", q(ix, gnn.WithAlgorithm(gnn.AlgoMBM), gnn.WithDepthFirst())},
+		{"MQM/sum", q(ix, gnn.WithAlgorithm(gnn.AlgoMQM))},
+		{"SPM-BF/sum", q(ix, gnn.WithAlgorithm(gnn.AlgoSPM))},
+		{"SPM-DF/sum", q(ix, gnn.WithAlgorithm(gnn.AlgoSPM), gnn.WithDepthFirst())},
+		{"MBM-BF/max", q(ix, gnn.WithAlgorithm(gnn.AlgoMBM), gnn.WithAggregate(gnn.MaxDist))},
+		{"MBM-DF/max", q(ix, gnn.WithAlgorithm(gnn.AlgoMBM), gnn.WithDepthFirst(), gnn.WithAggregate(gnn.MaxDist))},
+		{"MQM/max", q(ix, gnn.WithAlgorithm(gnn.AlgoMQM), gnn.WithAggregate(gnn.MaxDist))},
+		{"sharded-MBM/sum", sq(gnn.WithAlgorithm(gnn.AlgoMBM))},
+		{"sharded-MBM/max", sq(gnn.WithAlgorithm(gnn.AlgoMBM), gnn.WithAggregate(gnn.MaxDist))},
+		{"sharded-MQM/sum", sq(gnn.WithAlgorithm(gnn.AlgoMQM))},
+		{"iterator-k8/sum", func(qs []gnn.Point, layout gnn.Layout) (gnn.Cost, error) {
+			it, err := ix.GroupNNIterator(qs, gnn.WithLayout(layout))
+			if err != nil {
+				return gnn.Cost{}, err
+			}
+			defer it.Close()
+			for i := 0; i < 8; i++ {
+				if _, ok := it.Next(); !ok {
+					break
+				}
+			}
+			return it.Cost(), nil
+		}},
+		{"sharded-iter/sum", func(qs []gnn.Point, layout gnn.Layout) (gnn.Cost, error) {
+			it, err := sx.GroupNNIterator(qs, gnn.WithLayout(layout))
+			if err != nil {
+				return gnn.Cost{}, err
+			}
+			defer it.Close()
+			for i := 0; i < 8; i++ {
+				if _, ok := it.Next(); !ok {
+					break
+				}
+			}
+			return it.Cost(), nil
+		}},
+	}
+
+	for _, c := range cells {
+		var perLayout [2]int64
+		for li, layout := range []gnn.Layout{gnn.LayoutDynamic, gnn.LayoutPacked} {
+			var total int64
+			for _, qs := range queries {
+				cost, err := c.run(qs, layout)
+				if err != nil {
+					t.Fatalf("%s (%v): %v", c.name, layout, err)
+				}
+				total += cost.NodeAccesses
+			}
+			perLayout[li] = total
+		}
+		if perLayout[0] != perLayout[1] {
+			t.Errorf("%s: NA diverged between layouts: dynamic %d, packed %d",
+				c.name, perLayout[0], perLayout[1])
+			continue
+		}
+		want, ok := goldenNA[c.name]
+		if !ok {
+			t.Errorf("%s: no golden value; measured %d", c.name, perLayout[0])
+			continue
+		}
+		if perLayout[0] != want {
+			t.Errorf("%s: node accesses changed: got %d, golden %d — a pruning regression "+
+				"(or an intentional change that must update the golden table)",
+				c.name, perLayout[0], want)
+		}
+	}
+}

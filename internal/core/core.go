@@ -139,6 +139,14 @@ type Options struct {
 	// between the layouts; only the memory walked differs. A stale or
 	// mismatched snapshot is ignored (dynamic fallback), never an error.
 	Packed *rtree.Packed
+	// Shared, when non-nil, couples this traversal to the other partitions
+	// of one sharded query: MQM, SPM, MBM and BruteForce prune with
+	// min(local k-th best, Shared) and publish their local k-th best into
+	// it whenever it tightens. The per-partition result lists may then be
+	// truncated below K — every truncated candidate provably cannot rank
+	// among the final k — and MergeNeighbors reassembles the exact answer.
+	// nil (the default) is a plain standalone query.
+	Shared *SharedBound
 }
 
 func (o Options) withDefaults() Options {
@@ -273,10 +281,13 @@ func quickPointLB(a Aggregate, p geom.Point, qmbr geom.Rect, n int) float64 {
 
 // kbest maintains the k best (smallest-distance) group neighbors found so
 // far, deduplicated by point ID. It is a small sorted slice rather than a
-// heap because the paper's k ≤ 32.
+// heap because the paper's k ≤ 32. When shared is non-nil the accumulator
+// participates in a sharded query: bound() folds the cross-shard bound in
+// and offer publishes local improvements back (see SharedBound).
 type kbest struct {
-	k     int
-	items []GroupNeighbor
+	k      int
+	items  []GroupNeighbor
+	shared *SharedBound
 }
 
 func newKBest(k int) *kbest {
@@ -284,12 +295,19 @@ func newKBest(k int) *kbest {
 }
 
 // bound returns the current pruning bound best_dist: the k-th best
-// distance, or +Inf while fewer than k neighbors are known.
+// distance — or +Inf while fewer than k neighbors are known — tightened
+// by the cross-shard bound when one is attached.
 func (b *kbest) bound() float64 {
-	if len(b.items) < b.k {
-		return math.Inf(1)
+	local := math.Inf(1)
+	if len(b.items) >= b.k {
+		local = b.items[len(b.items)-1].Dist
 	}
-	return b.items[len(b.items)-1].Dist
+	if b.shared != nil {
+		if s := b.shared.Load(); s < local {
+			return s
+		}
+	}
+	return local
 }
 
 // offer inserts the candidate if it ranks among the k best and its ID is
@@ -316,6 +334,9 @@ func (b *kbest) offer(g GroupNeighbor) bool {
 	if len(b.items) > b.k {
 		b.items = b.items[:b.k]
 	}
+	if b.shared != nil && len(b.items) == b.k {
+		b.shared.Tighten(b.items[len(b.items)-1].Dist)
+	}
 	return true
 }
 
@@ -340,7 +361,7 @@ func BruteForce(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, e
 	}
 	ec, owned := opt.exec()
 	defer releaseIfOwned(ec, owned)
-	best := ec.kbestFor(opt.K)
+	best := ec.kbestShared(opt.K, opt.Shared)
 	if p := opt.packedFor(t, true); p != nil {
 		bruteForcePacked(p, qs, w, opt, best, ec)
 		return best.results(), nil

@@ -1,6 +1,10 @@
 package core
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"gnn/internal/geom"
 	"gnn/internal/pq"
 	"gnn/internal/rtree"
@@ -80,6 +84,46 @@ func (ec *ExecContext) Release() {
 	execPool.Put(ec)
 }
 
+// RunPooled distributes n independent jobs over a pool of the requested
+// number of workers (<= 0 means GOMAXPROCS, capped at n), giving each
+// worker one pooled execution context for its whole share so every job
+// after a worker's first reuses warm scratch. It is the worker-pool
+// primitive behind the public batch engine and the sharded scatter.
+func RunPooled(n, workers int, job func(i int, ec *ExecContext)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		ec := AcquireExec()
+		defer ec.Release()
+		for i := 0; i < n; i++ {
+			job(i, ec)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			ec := AcquireExec()
+			defer ec.Release()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				job(i, ec)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // exec returns the options' context, drawing a pooled one when the caller
 // did not supply any. done reports whether the callee owns it and must
 // Release it on completion.
@@ -142,6 +186,14 @@ func (ec *ExecContext) kbestFor(k int) *kbest {
 	return &ec.best
 }
 
+// kbestShared is kbestFor coupled to a cross-shard pruning bound (nil for
+// a standalone query — the common case — which behaves exactly as before).
+func (ec *ExecContext) kbestShared(k int, s *SharedBound) *kbest {
+	ec.best.reset(k)
+	ec.best.shared = s
+	return &ec.best
+}
+
 // boundingRect computes MBR(qs) into the context's reusable corners.
 func (ec *ExecContext) boundingRect(qs []geom.Point) geom.Rect {
 	ec.qmbr = geom.BoundingRectInto(ec.qmbr, qs)
@@ -196,4 +248,5 @@ func (b *kbest) reset(k int) {
 		b.items = make([]GroupNeighbor, 0, k)
 	}
 	b.k = k
+	b.shared = nil
 }

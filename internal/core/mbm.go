@@ -39,7 +39,7 @@ func MBM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 		if err != nil {
 			return nil, err
 		}
-		best := ec.kbestFor(opt.K)
+		best := ec.kbestShared(opt.K, opt.Shared)
 		st := mbmState{
 			rd:   rtree.ReaderOver(t, opt.packedFor(t, false), opt.Cost),
 			qs:   qs,
@@ -63,8 +63,16 @@ func MBM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 		return nil, err
 	}
 	defer it.Close()
-	best := ec.kbestFor(opt.K)
+	best := ec.kbestShared(opt.K, opt.Shared)
 	for len(best.items) < opt.K {
+		// The iterator emits in ascending order, so once its lower bound
+		// reaches the pruning bound nothing ahead can improve the result.
+		// For a standalone query the bound stays +Inf until k results are
+		// in hand and the check never fires; for a sharded query it stops
+		// the scan as soon as other shards have sealed the answer.
+		if d, ok := it.PeekDist(); !ok || d >= best.bound() {
+			break
+		}
 		g, ok := it.Next()
 		if !ok {
 			break

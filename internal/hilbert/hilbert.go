@@ -112,10 +112,13 @@ func (m *Mapper) Value(x, y float64) uint64 {
 	return Encode(m.order, gx, gy)
 }
 
-// SortByValue sorts items in place by ascending Hilbert value of the
-// coordinates that at(i) reports. It is the single sorting entry point used
-// by MQM, F-MQM, F-MBM and Hilbert bulk-loading.
-func SortByValue(n int, m *Mapper, at func(i int) (x, y float64), swap func(i, j int)) {
+// Perm returns the permutation that orders n items by ascending Hilbert
+// value of the coordinates at(i) reports: Perm(...)[rank] is the index of
+// the item with that rank. Equal values keep their input order (stable),
+// so the permutation is deterministic. It is the partitioning primitive of
+// the sharded index: contiguous runs of the permutation are spatially
+// coherent chunks of the data set.
+func Perm(n int, m *Mapper, at func(i int) (x, y float64)) []int {
 	keys := make([]uint64, n)
 	idx := make([]int, n)
 	for i := 0; i < n; i++ {
@@ -133,6 +136,15 @@ func SortByValue(n int, m *Mapper, at func(i int) (x, y float64), swap func(i, j
 			return 0
 		}
 	})
+	return idx
+}
+
+// SortByValue sorts items in place by ascending Hilbert value of the
+// coordinates that at(i) reports. It is the single sorting entry point used
+// by MQM, F-MQM, F-MBM and Hilbert bulk-loading.
+func SortByValue(n int, m *Mapper, at func(i int) (x, y float64), swap func(i, j int)) {
+	idx := Perm(n, m, at)
+	n = len(idx)
 	// Apply the permutation with the provided swap, tracking positions.
 	pos := make([]int, n)  // pos[item] = current index of item
 	item := make([]int, n) // item[index] = item currently at index

@@ -7,6 +7,7 @@ import (
 
 	"gnn/internal/geom"
 	"gnn/internal/hilbert"
+	"gnn/internal/pagestore"
 )
 
 // BulkLoadSTR builds a tree over the given points with the Sort-Tile-
@@ -82,6 +83,78 @@ func BulkLoadHilbert(cfg Config, pts []geom.Point, ids []int64) (*Tree, error) {
 		func(i, j int) { entries[i], entries[j] = entries[j], entries[i] })
 	t.packLevels(entries)
 	return t, nil
+}
+
+// BulkLoadSTRPartitioned Hilbert-partitions the points into parts
+// contiguous chunks of near-equal size (the classic shard split: sort by
+// Hilbert value, cut the curve into parts runs, so every chunk is
+// spatially coherent) and STR-bulk-loads one independent tree per chunk.
+// All trees share cfg.Accountant (one allocated here when nil) and their
+// page IDs are offset to be disjoint, so they can also share an LRU
+// buffer and the usual node-access accounting stays exactly additive
+// across the partition. Points beyond 2-D are ordered on their first two
+// axes, like BulkLoadHilbert; 1-D points on their single axis.
+func BulkLoadSTRPartitioned(cfg Config, pts []geom.Point, ids []int64, parts int) ([]*Tree, error) {
+	if parts < 1 {
+		return nil, fmt.Errorf("rtree: %d partitions; need at least 1", parts)
+	}
+	cfg, err := cfg.withDefaults() // resolves the shared Accountant once
+	if err != nil {
+		return nil, err
+	}
+	if ids == nil {
+		ids = make([]int64, len(pts))
+		for i := range ids {
+			ids[i] = int64(i)
+		}
+	}
+	if len(ids) != len(pts) {
+		return nil, fmt.Errorf("rtree: %d ids for %d points", len(ids), len(pts))
+	}
+	perm := hilbertPerm(cfg.Dim, pts)
+	trees := make([]*Tree, 0, parts)
+	nextPage := cfg.FirstPage
+	n := len(pts)
+	for s := 0; s < parts; s++ {
+		lo, hi := n*s/parts, n*(s+1)/parts
+		cpts := make([]geom.Point, hi-lo)
+		cids := make([]int64, hi-lo)
+		for i, j := range perm[lo:hi] {
+			cpts[i] = pts[j]
+			cids[i] = ids[j]
+		}
+		scfg := cfg
+		scfg.FirstPage = nextPage
+		t, err := BulkLoadSTR(scfg, cpts, cids)
+		if err != nil {
+			return nil, err
+		}
+		nextPage += pagestore.PageID(t.Pages())
+		trees = append(trees, t)
+	}
+	return trees, nil
+}
+
+// hilbertPerm returns the Hilbert-order permutation of pts over their
+// bounding box (input order for an empty slice).
+func hilbertPerm(dim int, pts []geom.Point) []int {
+	if len(pts) == 0 {
+		return nil
+	}
+	r := geom.BoundingRect(pts)
+	hiX, hiY := r.Hi[0], r.Lo[0]
+	loX, loY := r.Lo[0], r.Lo[0]
+	if dim >= 2 {
+		loY, hiY = r.Lo[1], r.Hi[1]
+	}
+	m := hilbert.NewMapper(hilbert.DefaultOrder, loX, loY, hiX, hiY)
+	return hilbert.Perm(len(pts), m, func(i int) (float64, float64) {
+		y := 0.0
+		if dim >= 2 {
+			y = pts[i][1]
+		}
+		return pts[i][0], y
+	})
 }
 
 func prepareBulk(cfg Config, pts []geom.Point, ids []int64) (*Tree, []geom.Point, []int64, error) {

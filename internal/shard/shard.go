@@ -1,0 +1,295 @@
+// Package shard implements sharded scatter-gather execution of GNN
+// queries, the horizontal-scale twin of the single-tree read path.
+//
+// The data set is Hilbert-partitioned into S independent packed R-trees
+// (rtree.BulkLoadSTRPartitioned): sorting by Hilbert value and cutting
+// the curve into S runs yields spatially coherent shards, so a query
+// group's neighborhood usually concentrates in few shards and the rest
+// prune quickly. A query then runs the same unmodified MQM/SPM/MBM/brute
+// kernel against every shard — scattered over a small worker pool or
+// sequentially — with three pieces of per-shard state:
+//
+//   - its own rtree.Reader (via core.Options.Packed per shard), so
+//     traversals never contend;
+//   - its own pagestore.CostTracker, summed into the query's tracker at
+//     gather time, so reported cost is exactly the sum of per-shard node
+//     accesses (and the shared Accountant keeps the index-wide aggregate
+//     consistent as always);
+//   - the query's core.SharedBound, through which shards exchange their
+//     current k-th best distance and prune each other's search space.
+//
+// The gather half (core.MergeNeighbors) k-way-merges the per-shard
+// ascending result lists into the global k best. The merged answer is
+// provably identical to an unsharded search regardless of worker timing
+// (see core.SharedBound); only per-shard node-access counts vary with
+// when bounds get published, and only under concurrent scatter.
+package shard
+
+import (
+	"fmt"
+
+	"gnn/internal/core"
+	"gnn/internal/geom"
+	"gnn/internal/pagestore"
+	"gnn/internal/rtree"
+)
+
+// Unit is one shard: an independent R-tree over a Hilbert-contiguous
+// slice of the data set, with its immutable packed snapshot.
+type Unit struct {
+	Tree   *rtree.Tree
+	Packed *rtree.Packed
+}
+
+// Set is a Hilbert-partitioned collection of shards built once over a
+// point set. It is immutable after Build, so any number of queries may
+// run against it concurrently.
+type Set struct {
+	units []Unit
+	dim   int
+	size  int
+}
+
+// Build partitions pts (with their ids; nil means slice indexes) into the
+// requested number of shards and bulk-loads plus packs each one. All
+// shards share cfg.Accountant and use disjoint page ID ranges.
+func Build(cfg rtree.Config, pts []geom.Point, ids []int64, shards int) (*Set, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("shard: %d shards; need at least 1", shards)
+	}
+	trees, err := rtree.BulkLoadSTRPartitioned(cfg, pts, ids, shards)
+	if err != nil {
+		return nil, err
+	}
+	s := &Set{units: make([]Unit, len(trees)), dim: trees[0].Dim(), size: len(pts)}
+	for i, t := range trees {
+		s.units[i] = Unit{Tree: t, Packed: t.Pack()}
+	}
+	return s, nil
+}
+
+// NumShards returns the number of shards.
+func (s *Set) NumShards() int { return len(s.units) }
+
+// Len returns the total number of indexed points.
+func (s *Set) Len() int { return s.size }
+
+// Dim returns the dimensionality.
+func (s *Set) Dim() int { return s.dim }
+
+// Shard returns shard i (read-only use; exposed for tests and bounds).
+func (s *Set) Shard(i int) Unit { return s.units[i] }
+
+// Sizes returns the per-shard point counts.
+func (s *Set) Sizes() []int {
+	out := make([]int, len(s.units))
+	for i, u := range s.units {
+		out[i] = u.Tree.Len()
+	}
+	return out
+}
+
+// Kernel is a core query entry point (core.MQM, core.SPM, core.MBM,
+// core.BruteForce) run identically against every shard.
+type Kernel func(t *rtree.Tree, qs []geom.Point, opt core.Options) ([]core.GroupNeighbor, error)
+
+// shardRun is the per-shard slot of one scattered query: its result list
+// and its own cost tracker (kernels must never share one).
+type shardRun struct {
+	list []core.GroupNeighbor
+	tk   pagestore.CostTracker
+	err  error
+}
+
+// Search answers one k-best query by scatter-gather: kernel runs against
+// every shard with a fresh SharedBound wiring the shards together, then
+// the per-shard lists merge into the global k best and the per-shard
+// trackers sum into opt.Cost. workers caps the concurrent shard workers;
+// values < 1 mean one worker, i.e. a sequential scatter, which reuses
+// opt.Exec (the batch engine's warm per-worker context) and carries the
+// bound from shard to shard, while workers > 1 run shards concurrently on
+// pooled contexts for latency. The merged result does not depend on
+// workers or timing.
+//
+// usePacked selects the per-shard layout: the packed snapshot (the
+// serving default — a Set's snapshots are always valid because a Set is
+// immutable) or the dynamic nodes (benchmarking, differential tests).
+func (s *Set) Search(qs []geom.Point, opt core.Options, usePacked bool, workers int, kernel Kernel) ([]core.GroupNeighbor, error) {
+	n := len(s.units)
+	k := opt.K
+	if k == 0 {
+		k = 1
+	}
+	bound := core.NewSharedBound()
+	runs := make([]shardRun, n)
+	runShard := func(i int, ec *core.ExecContext) {
+		o := opt
+		o.Cost = &runs[i].tk
+		o.Exec = ec
+		o.Shared = bound
+		o.Packed = nil
+		if usePacked {
+			o.Packed = s.units[i].Packed
+		}
+		runs[i].list, runs[i].err = kernel(s.units[i].Tree, qs, o)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// Sequential scatter reuses the caller's warm context (the batch
+		// engine's per-worker arena) instead of cycling the pool.
+		ec, owned := execFor(opt)
+		for i := range s.units {
+			runShard(i, ec)
+		}
+		if owned {
+			ec.Release()
+		}
+	} else {
+		core.RunPooled(n, workers, runShard)
+	}
+	lists := make([][]core.GroupNeighbor, n)
+	for i := range runs {
+		if runs[i].err != nil {
+			return nil, runs[i].err
+		}
+		if opt.Cost != nil {
+			opt.Cost.Add(runs[i].tk)
+		}
+		lists[i] = runs[i].list
+	}
+	return core.MergeNeighbors(k, lists), nil
+}
+
+// execFor returns the caller-supplied context or draws a pooled one;
+// owned reports whether the caller of execFor must release it.
+func execFor(opt core.Options) (*core.ExecContext, bool) {
+	if opt.Exec != nil {
+		return opt.Exec, false
+	}
+	return core.AcquireExec(), true
+}
+
+// Iterator merges the per-shard incremental GNN scans into one globally
+// ascending stream — the sharded twin of core.GNNIterator. The merge is
+// lazy: a shard is only advanced when its current lower bound (the peek
+// of its best-first heap) is the smallest among all shards, so far-away
+// shards pay almost no node accesses until the scan actually reaches
+// their territory. Use from a single goroutine, like every iterator; any
+// number of Iterators may run concurrently.
+type Iterator struct {
+	its   []*core.GNNIterator
+	heads []iterHead
+}
+
+// iterHead is the merge state of one shard: either an exact buffered
+// result (exact == true; key is its distance) or a lower bound on
+// whatever the shard yields next (exact == false; key is the peek).
+type iterHead struct {
+	res   core.GroupNeighbor
+	key   float64
+	exact bool
+	done  bool
+}
+
+// NewIterator starts a sharded incremental scan. Every per-shard iterator
+// charges opt.Cost (safe: the merge advances them from the caller's
+// goroutine only), so the iterator's reported cost is exactly the sum of
+// per-shard node accesses. Constructing it reads every shard's root.
+func (s *Set) NewIterator(qs []geom.Point, opt core.Options, usePacked bool) (*Iterator, error) {
+	it := &Iterator{
+		its:   make([]*core.GNNIterator, len(s.units)),
+		heads: make([]iterHead, len(s.units)),
+	}
+	for i, u := range s.units {
+		o := opt
+		o.Packed = nil
+		if usePacked {
+			o.Packed = u.Packed
+		}
+		sub, err := core.NewGNNIterator(u.Tree, qs, o)
+		if err != nil {
+			it.Close()
+			return nil, err
+		}
+		it.its[i] = sub
+		if d, ok := sub.PeekDist(); ok {
+			it.heads[i].key = d
+		} else {
+			it.heads[i].done = true
+		}
+	}
+	return it, nil
+}
+
+// Next returns the next group nearest neighbor across all shards in
+// ascending aggregate distance; ok is false when every shard is
+// exhausted. Ties between shards resolve to the lower shard index, so the
+// stream is deterministic.
+func (it *Iterator) Next() (core.GroupNeighbor, bool) {
+	for {
+		pick := -1
+		var key float64
+		for i := range it.heads {
+			h := &it.heads[i]
+			if h.done {
+				continue
+			}
+			if pick == -1 || h.key < key {
+				pick, key = i, h.key
+			}
+		}
+		if pick == -1 {
+			return core.GroupNeighbor{}, false
+		}
+		h := &it.heads[pick]
+		if h.exact {
+			// Smallest key is an exact result: every other shard's next
+			// result is at least its own key ≥ this one, so emit it and
+			// refill this shard's head with its new lower bound.
+			g := h.res
+			h.res = core.GroupNeighbor{}
+			if d, ok := it.its[pick].PeekDist(); ok {
+				h.key, h.exact = d, false
+			} else {
+				h.done = true
+			}
+			return g, true
+		}
+		// Smallest key is only a bound: advance that shard to an exact
+		// result (its distance may well exceed another shard's key, which
+		// the next pass of the loop then prefers).
+		g, ok := it.its[pick].Next()
+		if !ok {
+			h.done = true
+			continue
+		}
+		h.res, h.key, h.exact = g, g.Dist, true
+	}
+}
+
+// PeekDist returns a lower bound on the distance of the next result; ok
+// is false when the scan is exhausted.
+func (it *Iterator) PeekDist() (float64, bool) {
+	d, ok := 0.0, false
+	for i := range it.heads {
+		h := &it.heads[i]
+		if h.done {
+			continue
+		}
+		if !ok || h.key < d {
+			d, ok = h.key, true
+		}
+	}
+	return d, ok
+}
+
+// Close releases every per-shard iterator's pooled scratch. Idempotent.
+func (it *Iterator) Close() {
+	for i, sub := range it.its {
+		sub.Close() // nil-safe
+		it.its[i] = nil
+		it.heads[i].done = true
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"gnn/internal/geom"
 	"gnn/internal/pagestore"
 	"gnn/internal/rtree"
+	"gnn/internal/shard"
 )
 
 // Algorithm selects the GNN processing method for memory-resident query
@@ -118,6 +119,7 @@ type queryConfig struct {
 	region      *geom.Rect
 	parallelism int
 	layout      Layout
+	shards      int
 }
 
 // WithK requests the k best group neighbors (default 1).
@@ -151,6 +153,16 @@ func WithRegion(lo, hi Point) QueryOption {
 // WithParallelism sets the worker count of GroupNNBatch (default
 // GOMAXPROCS). It has no effect on single queries.
 func WithParallelism(n int) QueryOption { return func(c *queryConfig) { c.parallelism = n } }
+
+// WithShards caps the concurrent per-query shard workers of a
+// ShardedIndex query. The default depends on the call: single queries
+// scatter across all shards in parallel (latency), batch queries scan
+// the shards of each query sequentially from the batch worker's
+// goroutine (throughput — parallelism then comes from concurrent
+// queries, and the shared pruning bound cascades from shard to shard).
+// Results never depend on this knob, only scheduling does. It has no
+// effect on a plain Index.
+func WithShards(n int) QueryOption { return func(c *queryConfig) { c.shards = n } }
 
 // WithLayout pins the tree representation the query traverses (default
 // LayoutAuto: packed when available). Both layouts return identical
@@ -231,34 +243,57 @@ func (ix *Index) groupNN(query []Point, c queryConfig, tk *pagestore.CostTracker
 	opt := c.coreOptions()
 	opt.Cost = tk
 	opt.Exec = ec
-	region := c.region
-	if c.algo == AlgoMQM || c.algo == AlgoBruteForce {
-		// These algorithms filter per point, so their packed kernels
-		// serve region-constrained queries; no layout conflict to reject.
-		region = nil
-	}
-	p, err := ix.packedForLayout(c.layout, region)
+	p, err := ix.packedForLayout(c.layout, c.effectiveRegion())
 	if err != nil {
 		return nil, err
 	}
 	opt.Packed = p
-	var gs []core.GroupNeighbor
-	switch c.algo {
-	case AlgoMQM:
-		gs, err = core.MQM(ix.tree, qs, opt)
-	case AlgoSPM:
-		gs, err = core.SPM(ix.tree, qs, opt)
-	case AlgoBruteForce:
-		gs, err = core.BruteForce(ix.tree, qs, opt)
-	case AlgoAuto, AlgoMBM:
-		gs, err = core.MBM(ix.tree, qs, opt)
-	default:
-		return nil, fmt.Errorf("gnn: unknown algorithm %v", c.algo)
+	kern, err := kernelFor(c.algo)
+	if err != nil {
+		return nil, err
 	}
+	gs, err := kern(ix.tree, qs, opt)
 	if err != nil {
 		return nil, err
 	}
 	return toResults(gs), nil
+}
+
+// kernelFor maps a public algorithm to its core entry point — the single
+// dispatch table shared by the plain and the sharded read paths.
+func kernelFor(a Algorithm) (shard.Kernel, error) {
+	switch a {
+	case AlgoMQM:
+		return core.MQM, nil
+	case AlgoSPM:
+		return core.SPM, nil
+	case AlgoBruteForce:
+		return core.BruteForce, nil
+	case AlgoAuto, AlgoMBM:
+		return core.MBM, nil
+	default:
+		return nil, fmt.Errorf("gnn: unknown algorithm %v", a)
+	}
+}
+
+// effectiveRegion returns the region constraint a layout decision must
+// respect: nil for algorithms that filter per point (MQM, brute force) —
+// their packed kernels serve constrained queries, so there is no
+// packed/region conflict to reject. It is the single demotion rule shared
+// by the plain and the sharded layout resolution.
+func (c queryConfig) effectiveRegion() *geom.Rect {
+	if c.algo == AlgoMQM || c.algo == AlgoBruteForce {
+		return nil
+	}
+	return c.region
+}
+
+// gnnStream is the engine behind a public Iterator: the single-tree
+// incremental scan (core.GNNIterator) or the sharded k-way merge
+// (shard.Iterator). Both emit neighbors in ascending aggregate distance.
+type gnnStream interface {
+	Next() (core.GroupNeighbor, bool)
+	Close()
 }
 
 // Iterator reports group nearest neighbors one at a time in ascending
@@ -268,7 +303,7 @@ func (ix *Index) groupNN(query []Point, c queryConfig, tk *pagestore.CostTracker
 // that stop before exhausting the scan should Close the iterator so its
 // pooled scratch is recycled; forgetting to Close only costs the reuse.
 type Iterator struct {
-	it *core.GNNIterator
+	it gnnStream
 	tk pagestore.CostTracker
 }
 

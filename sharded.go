@@ -1,0 +1,195 @@
+package gnn
+
+import (
+	"fmt"
+	"runtime"
+
+	"gnn/internal/core"
+	"gnn/internal/geom"
+	"gnn/internal/pagestore"
+	"gnn/internal/shard"
+)
+
+// ShardedIndex partitions the data set into S independent packed R-trees
+// (Hilbert partitioning: sort by Hilbert value, cut the curve into S
+// spatially coherent runs) and answers every query by scatter-gather:
+// the chosen algorithm runs against each shard, the shards continuously
+// exchange their best-found aggregate distance so each one prunes the
+// others' search space, and a k-way merge reassembles the global answer.
+//
+// A ShardedIndex returns the results an equally configured Index over
+// the same points returns — sharding is an execution strategy, not an
+// approximation. Aggregate distances match rank for rank, bit for bit;
+// the one latitude is exact ties: when distinct points share exactly the
+// same aggregate distance at the k-th boundary, the representative kept
+// may be a different member of the tie than the single traversal's
+// first-come choice. Its reported per-query cost is exactly the sum of
+// the per-shard node accesses. It is immutable after construction
+// (no Insert/Delete): rebuild to change the data, which keeps every
+// shard's packed snapshot permanently valid and all reads lock-free.
+//
+// Use it when query groups are spatially concentrated relative to the
+// data spread (the common case: a few users in one city, points of
+// interest across a country): the merge then touches one or two shards
+// seriously and the rest are pruned by the shared bound after a handful
+// of node accesses. See the README's "Sharding" section for guidance.
+type ShardedIndex struct {
+	set  *shard.Set
+	acct *pagestore.Accountant
+}
+
+// BuildShardedIndex bulk-loads a sharded index over points with the given
+// shard count. ids[i] identifies points[i]; pass nil to use the slice
+// index. cfg applies to every shard (they share one access accountant
+// and, when cfg.BufferPages > 0, one LRU buffer over disjoint page IDs).
+func BuildShardedIndex(points []Point, ids []int64, shards int, cfg IndexConfig) (*ShardedIndex, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("gnn: %d shards; need at least 1", shards)
+	}
+	acct, rcfg := indexConfig(cfg)
+	pts := make([]geom.Point, len(points))
+	for i, p := range points {
+		pts[i] = geom.Point(p)
+	}
+	set, err := shard.Build(rcfg, pts, ids, shards)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedIndex{set: set, acct: acct}, nil
+}
+
+// NumShards returns the number of shards.
+func (sx *ShardedIndex) NumShards() int { return sx.set.NumShards() }
+
+// ShardSizes returns the per-shard point counts (they differ by at most
+// one: the Hilbert curve is cut into equal runs).
+func (sx *ShardedIndex) ShardSizes() []int { return sx.set.Sizes() }
+
+// Len returns the total number of indexed points.
+func (sx *ShardedIndex) Len() int { return sx.set.Len() }
+
+// Dim returns the index dimensionality.
+func (sx *ShardedIndex) Dim() int { return sx.set.Dim() }
+
+// Cost returns the access counts accumulated across all queries and all
+// shards since the last ResetCost.
+func (sx *ShardedIndex) Cost() Cost { return costOf(sx.acct.Totals()) }
+
+// ResetCost zeroes the counters, keeping any buffer contents warm.
+func (sx *ShardedIndex) ResetCost() { sx.acct.Reset() }
+
+// ResetCostCold zeroes the counters and drops the buffer contents.
+func (sx *ShardedIndex) ResetCostCold() { sx.acct.ResetAll() }
+
+// CheckInvariants validates every shard's R-tree structure.
+func (sx *ShardedIndex) CheckInvariants() error {
+	for i := 0; i < sx.set.NumShards(); i++ {
+		if err := sx.set.Shard(i).Tree.CheckInvariants(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// usePackedLayout resolves a layout request for the sharded read path.
+// Shard snapshots are always valid (the set is immutable), so LayoutAuto
+// and LayoutPacked both serve packed and ErrNotPacked cannot occur; the
+// packed/region conflict follows the same demotion rule
+// (queryConfig.effectiveRegion) as the plain Index.
+func usePackedLayout(c queryConfig) (bool, error) {
+	switch c.layout {
+	case LayoutDynamic:
+		return false, nil
+	case LayoutPacked:
+		if c.effectiveRegion() != nil {
+			return false, ErrPackedRegion
+		}
+		return true, nil
+	default:
+		return true, nil
+	}
+}
+
+// GroupNN answers a GNN query against the sharded index: identical
+// results to Index.GroupNN over the same points, computed by parallel
+// scatter-gather. Safe for unlimited concurrent callers.
+func (sx *ShardedIndex) GroupNN(query []Point, opts ...QueryOption) ([]Result, error) {
+	res, _, err := sx.GroupNNWithCost(query, opts...)
+	return res, err
+}
+
+// GroupNNWithCost is GroupNN returning this query's own I/O cost — the
+// exact sum of all per-shard node accesses — alongside the results. The
+// index-wide aggregate (ShardedIndex.Cost) accrues the same counts.
+func (sx *ShardedIndex) GroupNNWithCost(query []Point, opts ...QueryOption) ([]Result, Cost, error) {
+	c := buildConfig(opts)
+	var tk pagestore.CostTracker
+	// Single queries default to full parallel scatter for latency.
+	res, err := sx.groupNN(query, c, &tk, nil, runtime.GOMAXPROCS(0))
+	return res, costOf(tk), err
+}
+
+// groupNN scatters one query across the shards, charging tk. ec supplies
+// the sequential-scatter scratch arena (the batch engine passes its
+// per-worker context); defaultWorkers applies when WithShards was not
+// given.
+func (sx *ShardedIndex) groupNN(query []Point, c queryConfig, tk *pagestore.CostTracker, ec *core.ExecContext, defaultWorkers int) ([]Result, error) {
+	kern, err := kernelFor(c.algo)
+	if err != nil {
+		return nil, err
+	}
+	usePacked, err := usePackedLayout(c)
+	if err != nil {
+		return nil, err
+	}
+	owned := false
+	if ec == nil {
+		ec = core.AcquireExec()
+		owned = true
+	}
+	qs := ec.Points(len(query))
+	for i, q := range query {
+		qs[i] = geom.Point(q)
+	}
+	opt := c.coreOptions()
+	opt.Cost = tk
+	opt.Exec = ec
+	workers := c.shards
+	if workers == 0 {
+		workers = defaultWorkers
+	}
+	gs, err := sx.set.Search(qs, opt, usePacked, workers, kern)
+	if owned {
+		ec.Release()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return toResults(gs), nil
+}
+
+// GroupNNIterator starts an incremental GNN scan over all shards: the
+// per-shard incremental MBM streams merge lazily into one globally
+// ascending stream, advancing a shard only when its lower bound is the
+// smallest. Results and ordering are identical to Index.GroupNNIterator
+// over the same points; its cost is the exact sum of per-shard accesses.
+func (sx *ShardedIndex) GroupNNIterator(query []Point, opts ...QueryOption) (*Iterator, error) {
+	c := buildConfig(opts)
+	usePacked, err := usePackedLayout(queryConfig{algo: AlgoMBM, layout: c.layout, region: c.region})
+	if err != nil {
+		return nil, err
+	}
+	qs := make([]geom.Point, len(query))
+	for i, q := range query {
+		qs[i] = geom.Point(q)
+	}
+	out := &Iterator{}
+	opt := c.coreOptions()
+	opt.Cost = &out.tk
+	it, err := sx.set.NewIterator(qs, opt, usePacked)
+	if err != nil {
+		return nil, err
+	}
+	out.it = it
+	return out, nil
+}
