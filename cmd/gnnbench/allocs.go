@@ -17,16 +17,10 @@ import (
 // is embedded under "baseline" so the win (or regression) is visible in one
 // file.
 type allocSnapshot struct {
-	Dataset    string      `json:"dataset"`
-	NumPoints  int         `json:"num_points"`
-	Scale      float64     `json:"scale"`
-	Queries    int         `json:"queries"`
-	GroupSize  int         `json:"group_size"`
-	K          int         `json:"k"`
-	NumCPU     int         `json:"num_cpu"`
-	GOMAXPROCS int         `json:"gomaxprocs"`
-	Baseline   []allocCell `json:"baseline,omitempty"`
-	Cells      []allocCell `json:"cells"`
+	benchEnv
+	benchWorkload
+	Baseline []allocCell `json:"baseline,omitempty"`
+	Cells    []allocCell `json:"cells"`
 }
 
 type allocCell struct {
@@ -73,9 +67,8 @@ func runAllocs(scale float64, numQueries int, seed int64, outPath, baselinePath 
 	const groupSize, k = benchGroupSize, benchK
 
 	snap := allocSnapshot{
-		Dataset: d.Name, NumPoints: ix.Len(), Scale: scale,
-		Queries: len(queries), GroupSize: groupSize, K: k,
-		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		benchEnv:      newBenchEnv(d.Name, ix.Len(), scale),
+		benchWorkload: newBenchWorkload(len(queries)),
 	}
 	if baselinePath != "" {
 		data, err := os.ReadFile(baselinePath)
@@ -144,17 +137,7 @@ func runAllocs(scale float64, numQueries int, seed int64, outPath, baselinePath 
 		}
 	}
 	printLayoutComparison(snap.Cells)
-	if outPath != "" {
-		data, err := json.MarshalIndent(snap, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("\nsnapshot written to %s\n", outPath)
-	}
-	return nil
+	return writeBenchJSON(outPath, snap)
 }
 
 // printLayoutComparison renders the packed-vs-dynamic side-by-side table

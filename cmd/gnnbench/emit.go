@@ -1,0 +1,56 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// benchEnv is the environment header shared by every BENCH_*.json
+// snapshot (the -parallel, -allocs, -shards and -snapshot emitters), so
+// the four schemas stay comparable and the metadata is declared once.
+type benchEnv struct {
+	Dataset    string  `json:"dataset"`
+	NumPoints  int     `json:"num_points"`
+	Scale      float64 `json:"scale"`
+	NumCPU     int     `json:"num_cpu"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+}
+
+func newBenchEnv(dataset string, numPoints int, scale float64) benchEnv {
+	return benchEnv{
+		Dataset: dataset, NumPoints: numPoints, Scale: scale,
+		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// benchWorkload is the query-workload header of the modes that replay
+// the paper's default workload (n = 64, M = 8%, k = 8).
+type benchWorkload struct {
+	Queries   int `json:"queries"`
+	GroupSize int `json:"group_size"`
+	K         int `json:"k"`
+}
+
+func newBenchWorkload(queries int) benchWorkload {
+	return benchWorkload{Queries: queries, GroupSize: benchGroupSize, K: benchK}
+}
+
+// writeBenchJSON marshals a snapshot to path (indented, trailing
+// newline) and reports where it went; a "" path is a no-op so callers
+// can emit unconditionally.
+func writeBenchJSON(path string, v any) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nsnapshot written to %s\n", path)
+	return nil
+}

@@ -12,6 +12,7 @@
 //	gnnbench -list                 # available experiment IDs
 //	gnnbench -parallel 8           # batch-engine throughput, 8 workers
 //	gnnbench -allocs               # ns/op + allocs/op per algorithm×aggregate
+//	gnnbench -snapshot             # cold-start: snapshot load vs rebuild
 //
 // Paper-scale runs (default scale 1.0) rebuild PP (24,493 points) and TS
 // (194,971 points) and may take minutes for the disk-resident figures; use
@@ -27,10 +28,15 @@
 // B/op and node accesses per algorithm×aggregate on a warm index, written
 // as JSON with -allocs-out (BENCH_alloc.json); -allocs-baseline embeds a
 // previous snapshot so the trajectory is visible in one file.
+//
+// The -snapshot mode measures cold start: bulk-loading a 100k-point index
+// from raw points versus loading the equivalent persisted snapshot
+// (README "Persistence"), for the plain and the sharded index, verifying
+// bit-identical answers along the way; -snapshot-out writes
+// BENCH_snapshot.json with format/layout provenance.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -63,6 +69,9 @@ func main() {
 		aout     = flag.String("allocs-out", "", "write the -allocs snapshot as JSON to this file")
 		abase    = flag.String("allocs-baseline", "", "embed a previous -allocs snapshot as the baseline")
 		layout   = flag.String("layout", "", "index layout to serve queries from: auto, dynamic, packed, or both (side-by-side; -allocs default)")
+		snapMode = flag.Bool("snapshot", false, "cold-start mode: snapshot load vs rebuild time")
+		snapN    = flag.Int("snapshot-n", 100_000, "points for the -snapshot cold-start index")
+		snout    = flag.String("snapshot-out", "", "write the -snapshot measurement as JSON to this file")
 	)
 	flag.Parse()
 
@@ -74,6 +83,19 @@ func main() {
 
 	if *list {
 		fmt.Println("experiments:", strings.Join(experiments.IDs(), " "))
+		return
+	}
+	if *snapMode {
+		if *layout != "" {
+			// A snapshot always persists (and loads back) the packed
+			// layout; a pinned layout would mislabel the measurement.
+			fmt.Fprintln(os.Stderr, "gnnbench: -snapshot measures the persisted packed layout; drop -layout")
+			os.Exit(2)
+		}
+		if err := runSnapshotBench(*snapN, *seed, *snout); err != nil {
+			fmt.Fprintln(os.Stderr, "gnnbench:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if *allocs {
@@ -163,17 +185,13 @@ func resolveLayouts(flag string, allocsMode bool) ([]gnn.Layout, error) {
 	}
 }
 
-// parallelSnapshot is the JSON schema of the -parallel-out file.
+// parallelSnapshot is the JSON schema of the -parallel-out file; the
+// shared headers live in emit.go.
 type parallelSnapshot struct {
-	Dataset    string          `json:"dataset"`
-	Scale      float64         `json:"scale"`
-	Queries    int             `json:"queries"`
-	GroupSize  int             `json:"group_size"`
-	K          int             `json:"k"`
-	Layout     string          `json:"layout"`
-	NumCPU     int             `json:"num_cpu"`
-	GOMAXPROCS int             `json:"gomaxprocs"`
-	Results    []parallelPoint `json:"results"`
+	benchEnv
+	benchWorkload
+	Layout  string          `json:"layout"`
+	Results []parallelPoint `json:"results"`
 }
 
 type parallelPoint struct {
@@ -251,9 +269,9 @@ func runParallel(maxWorkers int, scale float64, numQueries int, seed int64, outP
 	sort.Ints(workers)
 
 	snap := parallelSnapshot{
-		Dataset: d.Name, Scale: scale, Queries: len(batch),
-		GroupSize: groupSize, K: k, Layout: layout.String(),
-		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		benchEnv:      newBenchEnv(d.Name, ix.Len(), scale),
+		benchWorkload: newBenchWorkload(len(batch)),
+		Layout:        layout.String(),
 	}
 	fmt.Printf("# batch query engine throughput — %s (%d points), %d queries of n=%d, k=%d, layout %v\n\n",
 		d.Name, ix.Len(), len(batch), groupSize, k, layout)
@@ -285,15 +303,5 @@ func runParallel(maxWorkers int, scale float64, numQueries int, seed int64, outP
 		snap.Results = append(snap.Results, pt)
 		fmt.Printf("%-8d  %12.1f  %10.3f  %7.2fx  %14.1f\n", w, qps, pt.Seconds, pt.Speedup, pt.AllocsPerQuery)
 	}
-	if outPath != "" {
-		data, err := json.MarshalIndent(snap, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("\nsnapshot written to %s\n", outPath)
-	}
-	return nil
+	return writeBenchJSON(outPath, snap)
 }

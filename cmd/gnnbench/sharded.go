@@ -1,9 +1,7 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"sort"
 	"time"
@@ -15,15 +13,10 @@ import (
 // throughput of the sharded scatter-gather execution swept over shard
 // counts, against the unsharded Index as the S=0 baseline row.
 type shardedSnapshot struct {
-	Dataset    string         `json:"dataset"`
-	Scale      float64        `json:"scale"`
-	Queries    int            `json:"queries"`
-	GroupSize  int            `json:"group_size"`
-	K          int            `json:"k"`
-	Workers    int            `json:"batch_workers"`
-	NumCPU     int            `json:"num_cpu"`
-	GOMAXPROCS int            `json:"gomaxprocs"`
-	Results    []shardedPoint `json:"results"`
+	benchEnv
+	benchWorkload
+	Workers int            `json:"batch_workers"`
+	Results []shardedPoint `json:"results"`
 }
 
 type shardedPoint struct {
@@ -67,9 +60,9 @@ func runShards(maxShards int, scale float64, numQueries int, seed int64, outPath
 	sort.Ints(counts)
 
 	snap := shardedSnapshot{
-		Dataset: d.Name, Scale: scale, Queries: len(batch),
-		GroupSize: groupSize, K: k, Workers: workers,
-		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		benchEnv:      newBenchEnv(d.Name, ix.Len(), scale),
+		benchWorkload: newBenchWorkload(len(batch)),
+		Workers:       workers,
 	}
 	fmt.Printf("# sharded scatter-gather throughput — %s (%d points), %d queries of n=%d, k=%d, %d batch workers\n\n",
 		d.Name, ix.Len(), len(batch), groupSize, k, workers)
@@ -136,15 +129,5 @@ func runShards(maxShards int, scale float64, numQueries int, seed int64, outPath
 		emit(s, pt, base)
 	}
 
-	if outPath != "" {
-		data, err := json.MarshalIndent(snap, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("\nsnapshot written to %s\n", outPath)
-	}
-	return nil
+	return writeBenchJSON(outPath, snap)
 }

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"time"
+
+	"gnn"
+	"gnn/internal/dataset"
+	"gnn/internal/snapshot"
+	"gnn/internal/workload"
+)
+
+// snapshotBench is the JSON schema of the -snapshot-out file
+// (BENCH_snapshot.json): cold-start serving from a persisted snapshot
+// versus re-bulk-loading the same index from raw points, with full
+// format/layout provenance so the numbers stay attributable across
+// revisions.
+type snapshotBench struct {
+	benchEnv
+	// FormatVersion and Layout record what exactly was persisted: the
+	// snapshot format version and the serving layout it deserialises to.
+	FormatVersion int             `json:"format_version"`
+	Layout        string          `json:"layout"`
+	Results       []snapshotPoint `json:"results"`
+}
+
+type snapshotPoint struct {
+	// Kind is "plain" or "sharded"; Shards is 0 for plain.
+	Kind   string `json:"kind"`
+	Shards int    `json:"shards"`
+	// BuildSeconds rebuilds the index from raw points (bulk load + pack) —
+	// the cold-start path without persistence.
+	BuildSeconds float64 `json:"build_seconds"`
+	// WriteSeconds serialises the index; SnapshotBytes is the file size.
+	WriteSeconds  float64 `json:"write_seconds"`
+	SnapshotBytes int64   `json:"snapshot_bytes"`
+	// LoadSeconds cold-starts from the snapshot file (read + decode +
+	// validate + rebuild dynamic nodes).
+	LoadSeconds float64 `json:"load_seconds"`
+	// SpeedupLoadVsBuild is BuildSeconds / LoadSeconds — the cold-start
+	// win persistence buys.
+	SpeedupLoadVsBuild float64 `json:"speedup_load_vs_build"`
+	// Verified confirms the loaded index answered a query sample with
+	// bit-identical results and costs to the built one.
+	Verified bool `json:"verified"`
+}
+
+// measureSeconds runs fn adaptively (at least minRounds, then until
+// minWall) and returns the mean seconds per run.
+func measureSeconds(fn func() error) (float64, error) {
+	const minRounds, maxRounds, minWall = 3, 25, 1 * time.Second
+	start := time.Now()
+	rounds := 0
+	for rounds < minRounds || (time.Since(start) < minWall && rounds < maxRounds) {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		rounds++
+	}
+	return time.Since(start).Seconds() / float64(rounds), nil
+}
+
+// runSnapshotBench measures cold-start load vs rebuild on a uniform
+// n-point index (the acceptance workload: 100k points, load ≥ 10×
+// faster than rebuild), for the plain index and a 4-shard ShardedIndex.
+func runSnapshotBench(n int, seed int64, outPath string) error {
+	d := dataset.GenerateUniform(fmt.Sprintf("uniform-%d", n), n, seed)
+	pts := make([]gnn.Point, len(d.Points))
+	for i, p := range d.Points {
+		pts[i] = gnn.Point(p)
+	}
+	qs, err := workload.Generate(workload.Spec{
+		N: benchGroupSize, AreaFraction: 0.08, Queries: 20,
+		Workspace: dataset.Workspace(), Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	queries := make([][]gnn.Point, len(qs))
+	for i, q := range qs {
+		g := make([]gnn.Point, len(q.Points))
+		for j, p := range q.Points {
+			g[j] = gnn.Point(p)
+		}
+		queries[i] = g
+	}
+
+	dir, err := os.MkdirTemp("", "gnnbench-snapshot")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	snap := snapshotBench{
+		benchEnv:      newBenchEnv(d.Name, n, 1.0),
+		FormatVersion: snapshot.Version,
+		Layout:        gnn.LayoutPacked.String(),
+	}
+	fmt.Printf("# cold-start: snapshot load vs rebuild — %d uniform points, format v%d\n\n", n, snapshot.Version)
+	fmt.Printf("%-8s  %7s  %10s  %10s  %10s  %10s  %9s\n",
+		"kind", "shards", "build s", "write s", "load s", "bytes", "speedup")
+
+	type indexOps struct {
+		kind   string
+		shards int
+		build  func() (any, error)
+		write  func(ix any, path string) error
+		load   func(path string) (any, error)
+		answer func(ix any, q []gnn.Point) ([]gnn.Result, gnn.Cost, error)
+	}
+	plain := indexOps{
+		kind: "plain",
+		build: func() (any, error) {
+			return gnn.BuildIndex(pts, nil, gnn.IndexConfig{})
+		},
+		write: func(ix any, path string) error { return ix.(*gnn.Index).WriteSnapshotFile(path) },
+		load:  func(path string) (any, error) { return gnn.OpenSnapshotFile(path) },
+		answer: func(ix any, q []gnn.Point) ([]gnn.Result, gnn.Cost, error) {
+			return ix.(*gnn.Index).GroupNNWithCost(q, gnn.WithK(benchK))
+		},
+	}
+	sharded := indexOps{
+		kind: "sharded", shards: 4,
+		build: func() (any, error) {
+			return gnn.BuildShardedIndex(pts, nil, 4, gnn.IndexConfig{})
+		},
+		write: func(ix any, path string) error { return ix.(*gnn.ShardedIndex).WriteSnapshotFile(path) },
+		load:  func(path string) (any, error) { return gnn.OpenShardedSnapshotFile(path) },
+		answer: func(ix any, q []gnn.Point) ([]gnn.Result, gnn.Cost, error) {
+			return ix.(*gnn.ShardedIndex).GroupNNWithCost(q, gnn.WithK(benchK), gnn.WithShards(1))
+		},
+	}
+
+	for _, ops := range []indexOps{plain, sharded} {
+		var built any
+		buildS, err := measureSeconds(func() error {
+			ix, err := ops.build()
+			built = ix
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, ops.kind+".snap")
+		var writeS float64
+		if writeS, err = measureSeconds(func() error { return ops.write(built, path) }); err != nil {
+			return err
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			return err
+		}
+		var loaded any
+		loadS, err := measureSeconds(func() error {
+			ix, err := ops.load(path)
+			loaded = ix
+			return err
+		})
+		if err != nil {
+			return err
+		}
+
+		verified := true
+		for _, q := range queries {
+			br, bc, berr := ops.answer(built, q)
+			lr, lc, lerr := ops.answer(loaded, q)
+			if berr != nil || lerr != nil {
+				return fmt.Errorf("verify: %v / %v", berr, lerr)
+			}
+			if !reflect.DeepEqual(br, lr) || bc != lc {
+				verified = false
+			}
+		}
+		if !verified {
+			return fmt.Errorf("%s: snapshot-loaded index diverged from the built index", ops.kind)
+		}
+
+		pt := snapshotPoint{
+			Kind: ops.kind, Shards: ops.shards,
+			BuildSeconds: buildS, WriteSeconds: writeS, SnapshotBytes: fi.Size(),
+			LoadSeconds: loadS, SpeedupLoadVsBuild: buildS / loadS, Verified: verified,
+		}
+		snap.Results = append(snap.Results, pt)
+		fmt.Printf("%-8s  %7d  %10.4f  %10.4f  %10.4f  %10d  %8.1fx\n",
+			pt.Kind, pt.Shards, pt.BuildSeconds, pt.WriteSeconds, pt.LoadSeconds, pt.SnapshotBytes, pt.SpeedupLoadVsBuild)
+	}
+	return writeBenchJSON(outPath, snap)
+}

@@ -1,43 +1,70 @@
-// Command gnnquery runs an ad-hoc GNN query against a dataset file.
+// Command gnnquery runs an ad-hoc GNN query against a dataset file or a
+// pre-built index snapshot.
 //
-// The data file is in gnngen's binary or CSV format; query points are
-// given inline as "x,y;x,y;..." or read from a second file. Example:
+// The data file is in gnngen's binary or CSV format — rebuilt into an
+// index on every run — or a snapshot emitted by gnngen -format snapshot
+// / the -snapshot flag, which cold-starts without rebuilding (plain and
+// sharded snapshots are detected automatically). Query points are given
+// inline as "x,y;x,y;..." or read from a second file. Examples:
 //
 //	gnngen -dataset PP -out pp.bin
 //	gnnquery -data pp.bin -query "2000,3000;2500,3500;1800,2900" -k 3
 //	gnnquery -data pp.bin -queryfile users.csv -k 5 -algo MQM -agg max
+//	gnnquery -data pp.bin -snapshot pp.snap        # convert once ...
+//	gnnquery -data pp.snap -query "2000,3000" -k 3 # ... serve instantly
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"gnn"
 	"gnn/internal/dataset"
+	"gnn/internal/snapshot"
 )
+
+// server is the query surface gnnquery needs, satisfied by both
+// gnn.Index and gnn.ShardedIndex.
+type server interface {
+	GroupNN(query []gnn.Point, opts ...gnn.QueryOption) ([]gnn.Result, error)
+	Cost() gnn.Cost
+	ResetCost()
+	Stats() gnn.Stats
+	Len() int
+}
 
 func main() {
 	var (
-		dataPath  = flag.String("data", "", "dataset file (bin or csv, required)")
+		dataPath  = flag.String("data", "", "dataset file (bin, csv or snapshot; required)")
 		queryStr  = flag.String("query", "", `inline query points "x,y;x,y;..."`)
 		queryPath = flag.String("queryfile", "", "query points file (bin or csv)")
 		k         = flag.Int("k", 1, "number of neighbors")
 		algoName  = flag.String("algo", "MBM", "MQM | SPM | MBM | brute")
 		aggName   = flag.String("agg", "sum", "sum | max | min")
 		showCost  = flag.Bool("cost", false, "print node-access counts")
+		snapOut   = flag.String("snapshot", "", "write the loaded index as a snapshot to this file")
 	)
 	flag.Parse()
-	if *dataPath == "" || (*queryStr == "" && *queryPath == "") {
-		fmt.Fprintln(os.Stderr, `usage: gnnquery -data pp.bin -query "x,y;x,y" [-k 3]`)
+	if *dataPath == "" || (*queryStr == "" && *queryPath == "" && *snapOut == "") {
+		fmt.Fprintln(os.Stderr, `usage: gnnquery -data pp.bin -query "x,y;x,y" [-k 3] | -data pp.bin -snapshot pp.snap`)
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
 
-	data, err := loadDataset(*dataPath)
+	ix, err := openIndex(*dataPath)
 	fail(err)
+
+	if *snapOut != "" {
+		fail(writeSnapshotOut(ix, *snapOut))
+		if *queryStr == "" && *queryPath == "" {
+			return
+		}
+	}
+
 	var query []gnn.Point
 	if *queryStr != "" {
 		query, err = parseInline(*queryStr)
@@ -50,13 +77,6 @@ func main() {
 			}
 		}
 	}
-	fail(err)
-
-	pts := make([]gnn.Point, len(data.Points))
-	for i, p := range data.Points {
-		pts[i] = gnn.Point(p)
-	}
-	ix, err := gnn.BuildIndex(pts, nil, gnn.IndexConfig{})
 	fail(err)
 
 	opts := []gnn.QueryOption{gnn.WithK(*k)}
@@ -96,6 +116,75 @@ func main() {
 		fmt.Printf("cost: %d node accesses (%d logical, %d buffer hits)\n",
 			c.NodeAccesses, c.LogicalAccesses, c.BufferHits)
 	}
+}
+
+// openIndex loads the data file as an index: snapshot files (detected by
+// sniffing their header) are opened directly — zero rebuild, plain or
+// sharded decided by the header's kind field so the file is decoded
+// exactly once — while dataset files are bulk-loaded as before. For
+// snapshots it prints what was loaded, via Stats.
+func openIndex(path string) (server, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	head := make([]byte, snapshot.SniffLen)
+	n, _ := io.ReadFull(f, head)
+	f.Close()
+	if kind, ok := snapshot.Sniff(head[:n]); ok {
+		var sv server
+		var err error
+		if kind == snapshot.KindSharded {
+			sv, err = gnn.OpenShardedSnapshotFile(path)
+		} else {
+			sv, err = gnn.OpenSnapshotFile(path)
+		}
+		if err != nil {
+			return nil, err
+		}
+		s := sv.Stats()
+		fmt.Printf("loaded snapshot %s: %d points, dim %d, %s, %d nodes, ~%d KiB arena\n",
+			path, s.Points, s.Dim, shardsLabel(s.Shards), s.Nodes, s.ArenaBytes/1024)
+		return sv, nil
+	}
+	data, err := loadDataset(path)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]gnn.Point, len(data.Points))
+	for i, p := range data.Points {
+		pts[i] = gnn.Point(p)
+	}
+	return gnn.BuildIndex(pts, nil, gnn.IndexConfig{})
+}
+
+func shardsLabel(s int) string {
+	if s == 0 {
+		return "unsharded"
+	}
+	return fmt.Sprintf("%d shards", s)
+}
+
+// writeSnapshotOut persists the loaded index.
+func writeSnapshotOut(sv server, path string) error {
+	var err error
+	switch ix := sv.(type) {
+	case *gnn.Index:
+		err = ix.WriteSnapshotFile(path)
+	case *gnn.ShardedIndex:
+		err = ix.WriteSnapshotFile(path)
+	default:
+		err = fmt.Errorf("unknown index kind %T", sv)
+	}
+	if err != nil {
+		return err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("snapshot written to %s (%d bytes)\n", path, fi.Size())
+	return nil
 }
 
 func loadDataset(path string) (*dataset.Dataset, error) {

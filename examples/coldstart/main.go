@@ -1,0 +1,68 @@
+// Example coldstart: persist an index once, then serve from the snapshot
+// without ever re-bulk-loading — the save-then-serve pattern of the
+// README's "Persistence" section.
+//
+//	go run ./examples/coldstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gnn"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "gnn-coldstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	snapPath := filepath.Join(dir, "places.snap")
+
+	// ── Offline: build once, snapshot to disk. ────────────────────────────
+	rng := rand.New(rand.NewSource(1))
+	places := make([]gnn.Point, 200_000)
+	for i := range places {
+		places[i] = gnn.Point{rng.Float64() * 10_000, rng.Float64() * 10_000}
+	}
+	start := time.Now()
+	ix, err := gnn.BuildIndex(places, nil, gnn.IndexConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	buildTime := time.Since(start)
+	if err := ix.WriteSnapshotFile(snapPath); err != nil {
+		log.Fatal(err)
+	}
+	fi, _ := os.Stat(snapPath)
+	fmt.Printf("built %d points in %v, snapshot %d KiB\n", ix.Len(), buildTime.Round(time.Millisecond), fi.Size()/1024)
+
+	// ── Serving process: cold-start from the snapshot. ────────────────────
+	start = time.Now()
+	served, err := gnn.OpenSnapshotFile(snapPath)
+	if err != nil {
+		log.Fatal(err) // errors.Is(err, gnn.ErrSnapshotChecksum) etc. for triage
+	}
+	loadTime := time.Since(start)
+	s := served.Stats()
+	fmt.Printf("cold-started %d points in %v (%.0fx faster than rebuild): %d nodes, ~%d KiB arena\n",
+		s.Points, loadTime.Round(time.Millisecond), buildTime.Seconds()/loadTime.Seconds(), s.Nodes, s.ArenaBytes/1024)
+
+	// Same answers as the index that wrote the snapshot — bit for bit,
+	// node access for node access.
+	group := []gnn.Point{{2500, 2500}, {2600, 2400}, {2450, 2550}}
+	res, cost, err := served.GroupNNWithCost(group, gnn.WithK(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range res {
+		fmt.Printf("%d. meeting point for the group: id=%d at (%.1f, %.1f), total distance %.1f\n",
+			i+1, r.ID, r.Point[0], r.Point[1], r.Dist)
+	}
+	fmt.Printf("answered with %d node accesses\n", cost.NodeAccesses)
+}

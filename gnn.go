@@ -31,6 +31,13 @@
 // ties may resolve to a different tied point) and per-query costs that
 // are the exact sum of per-shard node accesses.
 //
+// Persistence: WriteSnapshot serialises the packed serving arena in a
+// versioned, checksummed binary format (internal/snapshot) and
+// OpenSnapshot cold-starts from it without re-bulk-loading — with
+// results, costs and node accesses bit-identical to the index that
+// wrote it. ShardedIndex snapshots round-trip with their partition
+// intact. See the README's "Persistence" section.
+//
 // Quick start:
 //
 //	ix, _ := gnn.BuildIndex(places, nil)

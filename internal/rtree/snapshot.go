@@ -1,0 +1,224 @@
+package rtree
+
+import (
+	"fmt"
+	"io"
+
+	"gnn/internal/geom"
+	"gnn/internal/pagestore"
+	"gnn/internal/snapshot"
+)
+
+// Snapshot returns the serialisable arena of the packed tree. The
+// returned Tree borrows the snapshot's slices (no copies except the page
+// array, whose element type differs), so it is cheap and must be treated
+// as read-only, valid while p is.
+func (p *Packed) Snapshot() *snapshot.Tree {
+	pages := make([]int64, len(p.page))
+	for i, pg := range p.page {
+		pages[i] = int64(pg)
+	}
+	t := p.src
+	return &snapshot.Tree{
+		Size:       p.size,
+		Height:     p.height,
+		MaxEntries: t.cfg.MaxEntries,
+		MinEntries: t.cfg.MinEntries,
+		FirstPage:  int64(t.cfg.FirstPage),
+		Pages:      t.Pages(),
+		Root:       p.root,
+		Level:      p.level,
+		Page:       pages,
+		Start:      p.start,
+		End:        p.end,
+		Child:      p.child,
+		RectLo:     p.rlo,
+		RectHi:     p.rhi,
+		PointCols:  p.pc,
+		IDs:        p.ids,
+	}
+}
+
+// ArenaBytes returns the approximate in-memory size of the packed arena's
+// flat arrays (node metadata, routing rectangles, coordinate columns,
+// ids) — the payload a snapshot serialises, excluding the dynamic nodes.
+func (p *Packed) ArenaBytes() int64 {
+	nodes := int64(len(p.level))
+	rslots := int64(len(p.child))
+	lslots := int64(len(p.ids))
+	d := int64(p.dim)
+	return nodes*(4+8+4+4) + // level, page, start, end
+		rslots*4 + 2*d*rslots*8 + // child, rlo, rhi
+		d*lslots*8 + lslots*8 + // pc, ids
+		lslots*24 // pts slice headers (coordinates shared with the tree)
+}
+
+// countingWriter tracks bytes written for io.WriterTo bookkeeping.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// WriteTo serialises the packed arena as a single-tree (plain) snapshot
+// in the format of internal/snapshot, implementing io.WriterTo. Sharded
+// snapshots are assembled one layer up (internal/shard) from the same
+// per-tree sections.
+func (p *Packed) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	m := snapshot.Manifest{Kind: snapshot.KindPlain, Dim: p.dim, Points: p.size}
+	err := snapshot.Write(cw, m, []*snapshot.Tree{p.Snapshot()})
+	return cw.n, err
+}
+
+// ReadFrom loads a single-tree snapshot into p, implementing
+// io.ReaderFrom: the receiver (typically zero) is overwritten with the
+// deserialised arena, and p.Tree() returns the reconstructed dynamic
+// tree. The rebuilt index answers every query with bit-identical
+// results, costs and node-access counts to the tree that wrote the
+// snapshot. A fresh unbuffered Accountant is attached; load through the
+// public layer (gnn.OpenSnapshot) to configure buffering.
+func (p *Packed) ReadFrom(r io.Reader) (int64, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return int64(len(data)), err
+	}
+	m, trees, err := snapshot.Decode(data)
+	if err != nil {
+		return int64(len(data)), err
+	}
+	if m.Kind != snapshot.KindPlain {
+		return int64(len(data)), fmt.Errorf("rtree: snapshot kind %v, want %v", m.Kind, snapshot.KindPlain)
+	}
+	loaded, err := PackedFromSnapshot(trees[0], m.Dim, Config{})
+	if err != nil {
+		return int64(len(data)), err
+	}
+	*p = *loaded
+	return int64(len(data)), nil
+}
+
+// PackedFromSnapshot reconstructs a packed arena — and the dynamic tree
+// around it — from a decoded snapshot tree. The arena arrays are adopted
+// directly from st (zero rebuild); the dynamic nodes are materialised in
+// one linear pass over the arena so that Insert, Delete and
+// LayoutDynamic queries work on the loaded index exactly as on the
+// writer's. cfg supplies runtime wiring only (Accountant,
+// ReinsertFraction); the structural parameters (dimension, node
+// capacity, page range) come from the snapshot.
+//
+// Page identifiers are preserved node for node and the entry order
+// inside every node is the writer's, so traversals on the loaded index
+// charge the same accesses in the same order: results, Cost and NA are
+// bit-identical for both layouts.
+func PackedFromSnapshot(st *snapshot.Tree, dim int, cfg Config) (*Packed, error) {
+	cfg.Dim = dim
+	cfg.MaxEntries = st.MaxEntries
+	cfg.MinEntries = st.MinEntries
+	cfg.FirstPage = pagestore.PageID(st.FirstPage)
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, fmt.Errorf("rtree: snapshot config: %w", err)
+	}
+	numNodes := len(st.Level)
+	lslots := len(st.IDs)
+
+	// Leaf points: one coordinate slab in point-major order, gathered from
+	// the snapshot's axis-major columns. The packed arena and the dynamic
+	// leaf entries share these exact slices, as after Tree.Pack.
+	ptSlab := make([]float64, dim*lslots)
+	pts := make([]geom.Point, lslots)
+	for i := 0; i < lslots; i++ {
+		pt := ptSlab[i*dim : (i+1)*dim : (i+1)*dim]
+		for a := 0; a < dim; a++ {
+			pt[a] = st.PointCols[a][i]
+		}
+		pts[i] = pt
+	}
+
+	pages := make([]pagestore.PageID, numNodes)
+	maxPage := cfg.FirstPage + pagestore.PageID(st.Pages) - 1
+	for i, pg := range st.Page {
+		pages[i] = pagestore.PageID(pg)
+		if pages[i] > maxPage {
+			maxPage = pages[i]
+		}
+	}
+
+	t := &Tree{
+		cfg:      cfg,
+		size:     st.Size,
+		height:   st.Height,
+		nextPage: maxPage + 1,
+	}
+	t.root = buildNodes(st, dim, pages, pts)
+
+	p := &Packed{
+		src: t, muts: t.muts, dim: dim, size: st.Size, height: st.Height,
+		acct:  cfg.Accountant,
+		root:  st.Root,
+		level: st.Level,
+		page:  pages,
+		start: st.Start,
+		end:   st.End,
+		child: st.Child,
+		rlo:   st.RectLo,
+		rhi:   st.RectHi,
+		pc:    st.PointCols,
+		pts:   pts,
+		ids:   st.IDs,
+	}
+	return p, nil
+}
+
+// buildNodes materialises the dynamic node structs from the arena and
+// returns the root. The nodes and their entry/rectangle storage come
+// from per-kind slabs: a handful of large allocations instead of one per
+// node, which keeps cold-start loading fast. Entry slices are
+// capacity-clipped, so a post-load Insert that overflows a node
+// reallocates instead of clobbering its slab neighbour.
+func buildNodes(st *snapshot.Tree, dim int, pages []pagestore.PageID, pts []geom.Point) *node {
+	numNodes := len(st.Level)
+	rslots := len(st.Child)
+	lslots := len(st.IDs)
+
+	nodes := make([]node, numNodes)
+	entrySlab := make([]Entry, rslots+lslots)
+	rectSlab := make([]float64, 2*dim*rslots) // lo+hi corners of every routing rect
+	nextEntry := 0
+
+	for i := 0; i < numNodes; i++ {
+		n := &nodes[i]
+		n.page = pages[i]
+		n.level = int(st.Level[i])
+		s, e := st.Start[i], st.End[i]
+		cnt := int(e - s)
+		ents := entrySlab[nextEntry : nextEntry+cnt : nextEntry+cnt]
+		nextEntry += cnt
+		if n.level == 0 {
+			for j := 0; j < cnt; j++ {
+				slot := s + int32(j)
+				pt := pts[slot]
+				ents[j] = Entry{Rect: geom.Rect{Lo: pt, Hi: pt}, Point: pt, ID: st.IDs[slot]}
+			}
+		} else {
+			for j := 0; j < cnt; j++ {
+				slot := s + int32(j)
+				lo := rectSlab[2*dim*int(slot) : 2*dim*int(slot)+dim : 2*dim*int(slot)+dim]
+				hi := rectSlab[2*dim*int(slot)+dim : 2*dim*int(slot)+2*dim : 2*dim*int(slot)+2*dim]
+				for a := 0; a < dim; a++ {
+					lo[a] = st.RectLo[a][slot]
+					hi[a] = st.RectHi[a][slot]
+				}
+				ents[j] = Entry{Rect: geom.Rect{Lo: lo, Hi: hi}, child: &nodes[st.Child[slot]]}
+			}
+		}
+		n.entries = ents
+	}
+	return &nodes[st.Root]
+}

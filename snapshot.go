@@ -1,0 +1,195 @@
+package gnn
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"gnn/internal/pagestore"
+	"gnn/internal/rtree"
+	"gnn/internal/shard"
+	"gnn/internal/snapshot"
+)
+
+// Snapshot errors. The decoder sentinels re-export internal/snapshot's
+// typed errors so callers can errors.Is them; every Open* failure wraps
+// one of these (or an I/O error from the reader).
+var (
+	// ErrSnapshotBadMagic reports input that is not a snapshot file.
+	ErrSnapshotBadMagic = snapshot.ErrBadMagic
+	// ErrSnapshotVersion reports a snapshot written by an unknown format
+	// version; re-snapshot from the source data to upgrade.
+	ErrSnapshotVersion = snapshot.ErrVersion
+	// ErrSnapshotChecksum reports a section whose CRC-32 check failed.
+	ErrSnapshotChecksum = snapshot.ErrChecksum
+	// ErrSnapshotTruncated reports a snapshot that ends prematurely.
+	ErrSnapshotTruncated = snapshot.ErrTruncated
+	// ErrSnapshotCorrupt reports structurally invalid snapshot contents.
+	ErrSnapshotCorrupt = snapshot.ErrCorrupt
+	// ErrSnapshotKind reports opening a snapshot with the wrong function:
+	// OpenSnapshot on a sharded file or OpenShardedSnapshot on a plain one.
+	ErrSnapshotKind = errors.New("gnn: snapshot holds a different index kind")
+)
+
+// SnapshotOption customises how a snapshot is opened.
+type SnapshotOption func(*snapshotConfig)
+
+type snapshotConfig struct {
+	bufferPages int
+}
+
+// WithSnapshotBuffer attaches an LRU buffer of that many pages to the
+// loaded index's access accounting (the analogue of
+// IndexConfig.BufferPages; buffer contents are runtime state and are
+// never part of a snapshot). 0 — the default — disables buffering.
+func WithSnapshotBuffer(pages int) SnapshotOption {
+	return func(c *snapshotConfig) { c.bufferPages = pages }
+}
+
+// WriteSnapshot serialises the index to w in the versioned binary format
+// of internal/snapshot: the packed SoA arena, page identifiers included,
+// so an index loaded from the snapshot (OpenSnapshot) answers every
+// query with bit-identical results, Cost and node-access counts to this
+// one. The index must not be mutated during the write (the same
+// contract as a query); concurrent queries are fine. An index without a
+// valid packed layout (after Insert/Delete, or built incrementally) is
+// packed transiently for the write — the serving state is not changed.
+func (ix *Index) WriteSnapshot(w io.Writer) error {
+	p := ix.servingPacked()
+	if p == nil {
+		p = ix.tree.Pack()
+	}
+	_, err := p.WriteTo(w)
+	return err
+}
+
+// WriteSnapshotFile is WriteSnapshot to a file created at path.
+func (ix *Index) WriteSnapshotFile(path string) error {
+	return writeSnapshotFile(path, ix.WriteSnapshot)
+}
+
+// OpenSnapshot loads an index from a snapshot written by WriteSnapshot.
+// The packed arena is adopted directly — no re-bulk-loading — and the
+// dynamic tree is rebuilt around it in one linear pass, so the loaded
+// index serves every algorithm (including LayoutDynamic queries,
+// mutations and re-packing) exactly like the index that wrote it.
+// Opening a sharded snapshot fails with ErrSnapshotKind; use
+// OpenShardedSnapshot.
+func OpenSnapshot(r io.Reader, opts ...SnapshotOption) (*Index, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return openSnapshotBytes(data, opts)
+}
+
+// OpenSnapshotFile is OpenSnapshot on the file at path.
+func OpenSnapshotFile(path string, opts ...SnapshotOption) (*Index, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return openSnapshotBytes(data, opts)
+}
+
+func openSnapshotBytes(data []byte, opts []SnapshotOption) (*Index, error) {
+	c := buildSnapshotConfig(opts)
+	m, trees, err := snapshot.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if m.Kind != snapshot.KindPlain {
+		return nil, fmt.Errorf("%w: %v (use OpenShardedSnapshot)", ErrSnapshotKind, m.Kind)
+	}
+	acct := pagestore.NewAccountant(c.bufferPages)
+	p, err := rtree.PackedFromSnapshot(trees[0], m.Dim, rtree.Config{Accountant: acct})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{tree: p.Tree(), acct: acct, packed: p}, nil
+}
+
+// WriteSnapshot serialises the sharded index to w: one arena section
+// group per shard plus the sharded manifest (Hilbert-cut metadata), so
+// OpenShardedSnapshot restores the index with its partition — per-shard
+// point assignment, page ranges and node structure — intact.
+func (sx *ShardedIndex) WriteSnapshot(w io.Writer) error {
+	m, trees := sx.set.Snapshot()
+	return snapshot.Write(w, m, trees)
+}
+
+// WriteSnapshotFile is WriteSnapshot to a file created at path.
+func (sx *ShardedIndex) WriteSnapshotFile(path string) error {
+	return writeSnapshotFile(path, sx.WriteSnapshot)
+}
+
+// OpenShardedSnapshot loads a sharded index from a snapshot written by
+// ShardedIndex.WriteSnapshot. Every shard's packed arena is adopted
+// directly; all shards share one accountant (and, with
+// WithSnapshotBuffer, one LRU buffer over their disjoint page ranges),
+// so results, Cost and node-access counts are bit-identical to the
+// index that wrote it. Opening a plain snapshot fails with
+// ErrSnapshotKind; use OpenSnapshot.
+func OpenShardedSnapshot(r io.Reader, opts ...SnapshotOption) (*ShardedIndex, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return openShardedSnapshotBytes(data, opts)
+}
+
+// OpenShardedSnapshotFile is OpenShardedSnapshot on the file at path.
+func OpenShardedSnapshotFile(path string, opts ...SnapshotOption) (*ShardedIndex, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return openShardedSnapshotBytes(data, opts)
+}
+
+func openShardedSnapshotBytes(data []byte, opts []SnapshotOption) (*ShardedIndex, error) {
+	c := buildSnapshotConfig(opts)
+	m, trees, err := snapshot.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if m.Kind != snapshot.KindSharded {
+		return nil, fmt.Errorf("%w: %v (use OpenSnapshot)", ErrSnapshotKind, m.Kind)
+	}
+	acct := pagestore.NewAccountant(c.bufferPages)
+	set, err := shard.SetFromSnapshot(m, trees, rtree.Config{Accountant: acct})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedIndex{set: set, acct: acct}, nil
+}
+
+func buildSnapshotConfig(opts []SnapshotOption) snapshotConfig {
+	var c snapshotConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// writeSnapshotFile writes via fn into a buffered file at path,
+// surfacing close/flush errors (a snapshot with a silent short write
+// would fail its checksums on load, but the writer should say so).
+func writeSnapshotFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := fn(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

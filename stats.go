@@ -1,0 +1,62 @@
+package gnn
+
+// Stats is a point-in-time summary of an index's shape and serving
+// state, independent of query traffic (cost counters live in Cost).
+// gnnquery prints it after loading a snapshot; it is equally useful for
+// operational logging.
+type Stats struct {
+	// Points is the number of indexed data points.
+	Points int
+	// Dim is the point dimensionality.
+	Dim int
+	// Packed reports whether queries are currently served from the packed
+	// SoA arena (false after Insert/Delete until Pack).
+	Packed bool
+	// Shards is the shard count of a ShardedIndex; 0 for a plain Index.
+	Shards int
+	// Height is the R-tree height in levels (the maximum across shards).
+	Height int
+	// Nodes is the total R-tree node count across the packed arena(s);
+	// 0 when no packed layout is live (the dynamic tree does not keep a
+	// node counter).
+	Nodes int
+	// ArenaBytes approximates the in-memory size of the packed arena(s) —
+	// the payload a snapshot serialises; 0 when no packed layout is live.
+	ArenaBytes int64
+}
+
+// Stats reports the index's current shape and serving state.
+func (ix *Index) Stats() Stats {
+	s := Stats{
+		Points: ix.Len(),
+		Dim:    ix.Dim(),
+		Height: ix.tree.Height(),
+	}
+	if p := ix.servingPacked(); p != nil {
+		s.Packed = true
+		s.Nodes = p.Nodes()
+		s.ArenaBytes = p.ArenaBytes()
+	}
+	return s
+}
+
+// Stats reports the sharded index's shape. A ShardedIndex always serves
+// from its packed shards, so Packed is always true; Height is the
+// maximum shard height and Nodes/ArenaBytes sum over the shards.
+func (sx *ShardedIndex) Stats() Stats {
+	s := Stats{
+		Points: sx.Len(),
+		Dim:    sx.Dim(),
+		Packed: true,
+		Shards: sx.NumShards(),
+	}
+	for i := 0; i < sx.set.NumShards(); i++ {
+		p := sx.set.Shard(i).Packed
+		s.Nodes += p.Nodes()
+		s.ArenaBytes += p.ArenaBytes()
+		if h := p.Height(); h > s.Height {
+			s.Height = h
+		}
+	}
+	return s
+}
