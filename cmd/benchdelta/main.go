@@ -1,0 +1,133 @@
+// Command benchdelta gates snapshot open-time regressions: it compares
+// the cold-start cells of a freshly measured BENCH_snapshot.json
+// against a committed baseline and fails when the current numbers
+// regress beyond a tolerance.
+//
+// Two kinds of checks run per result cell (matched by kind):
+//
+//   - Absolute: current load_seconds (and mapped.open_seconds when both
+//     files carry mapped cells) must not exceed the baseline by more
+//     than -tolerance ×. Absolute times vary across machines, so the
+//     default tolerance is generous; tighten it for same-machine runs.
+//   - Relative: when the current file has mapped cells, the mapped open
+//     must stay at or below -max-open-fraction of the copying load of
+//     the same file (default 0.10 — the zero-copy open's contract).
+//     This ratio is machine-independent, so it holds even when the
+//     baseline was measured elsewhere.
+//
+// Usage:
+//
+//	benchdelta -baseline BENCH_snapshot.json -current /tmp/new.json
+//	benchdelta -baseline BENCH_snapshot.json -current new.json -tolerance 1.5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// deltaFile mirrors the BENCH_snapshot.json cells this gate reads; the
+// full schema lives in cmd/gnnbench.
+type deltaFile struct {
+	NumPoints int    `json:"num_points"`
+	NumCPU    int    `json:"num_cpu"`
+	Results   []cell `json:"results"`
+}
+
+type cell struct {
+	Kind        string  `json:"kind"`
+	LoadSeconds float64 `json:"load_seconds"`
+	Mapped      *struct {
+		OpenSeconds float64 `json:"open_seconds"`
+	} `json:"mapped"`
+}
+
+func readDelta(path string) (*deltaFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f deltaFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func main() {
+	var (
+		basePath  = flag.String("baseline", "BENCH_snapshot.json", "committed baseline snapshot")
+		currPath  = flag.String("current", "", "freshly measured snapshot to gate")
+		tolerance = flag.Float64("tolerance", 2.0, "max allowed current/baseline ratio for absolute open times")
+		openFrac  = flag.Float64("max-open-fraction", 0.10, "max allowed mapped-open / copying-load ratio in the current file")
+	)
+	flag.Parse()
+	if *currPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdelta: -current is required")
+		os.Exit(2)
+	}
+	base, err := readDelta(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdelta:", err)
+		os.Exit(1)
+	}
+	curr, err := readDelta(*currPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdelta:", err)
+		os.Exit(1)
+	}
+	if base.NumPoints != curr.NumPoints {
+		// Absolute comparisons only make sense on the same workload; the
+		// relative gate below still runs.
+		fmt.Printf("note: baseline measured %d points, current %d — skipping absolute checks\n",
+			base.NumPoints, curr.NumPoints)
+	}
+
+	byKind := map[string]cell{}
+	for _, c := range base.Results {
+		byKind[c.Kind] = c
+	}
+
+	fmt.Printf("%-8s  %-22s  %12s  %12s  %9s  %s\n", "kind", "check", "baseline", "current", "ratio", "verdict")
+	failed := false
+	check := func(kind, name string, baseV, currV, limit float64) {
+		ratio := currV / baseV
+		verdict := "ok"
+		if ratio > limit {
+			verdict = fmt.Sprintf("FAIL (> %.2f)", limit)
+			failed = true
+		}
+		fmt.Printf("%-8s  %-22s  %12.6f  %12.6f  %8.2fx  %s\n", kind, name, baseV, currV, ratio, verdict)
+	}
+	for _, c := range curr.Results {
+		b, ok := byKind[c.Kind]
+		if !ok {
+			fmt.Printf("%-8s  no baseline cell — skipped\n", c.Kind)
+			continue
+		}
+		if base.NumPoints == curr.NumPoints {
+			check(c.Kind, "load_seconds", b.LoadSeconds, c.LoadSeconds, *tolerance)
+			if b.Mapped != nil && c.Mapped != nil {
+				check(c.Kind, "mapped.open_seconds", b.Mapped.OpenSeconds, c.Mapped.OpenSeconds, *tolerance)
+			}
+		}
+		if c.Mapped != nil {
+			// The machine-independent contract: mapped open stays a small
+			// fraction of the copying load measured in the same run.
+			frac := c.Mapped.OpenSeconds / c.LoadSeconds
+			verdict := "ok"
+			if frac > *openFrac {
+				verdict = fmt.Sprintf("FAIL (> %.2f)", *openFrac)
+				failed = true
+			}
+			fmt.Printf("%-8s  %-22s  %12s  %12.6f  %8.4f   %s\n", c.Kind, "open/load fraction", "-", frac, frac, verdict)
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchdelta: open-time regression detected")
+		os.Exit(1)
+	}
+	fmt.Println("benchdelta: all open-time cells within tolerance")
+}

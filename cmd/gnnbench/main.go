@@ -33,7 +33,10 @@
 // from raw points versus loading the equivalent persisted snapshot
 // (README "Persistence"), for the plain and the sharded index, verifying
 // bit-identical answers along the way; -snapshot-out writes
-// BENCH_snapshot.json with format/layout provenance.
+// BENCH_snapshot.json with format/layout provenance. Adding -mmap also
+// measures the zero-copy open path (OpenSnapshotMapped): open latency,
+// retained-heap footprint and serving throughput against the copying
+// load of the same files.
 package main
 
 import (
@@ -72,6 +75,7 @@ func main() {
 		snapMode = flag.Bool("snapshot", false, "cold-start mode: snapshot load vs rebuild time")
 		snapN    = flag.Int("snapshot-n", 100_000, "points for the -snapshot cold-start index")
 		snout    = flag.String("snapshot-out", "", "write the -snapshot measurement as JSON to this file")
+		snapMmap = flag.Bool("mmap", false, "with -snapshot: also measure the zero-copy mmap open path")
 	)
 	flag.Parse()
 
@@ -85,6 +89,10 @@ func main() {
 		fmt.Println("experiments:", strings.Join(experiments.IDs(), " "))
 		return
 	}
+	if *snapMmap && !*snapMode {
+		fmt.Fprintln(os.Stderr, "gnnbench: -mmap modifies -snapshot; add -snapshot")
+		os.Exit(2)
+	}
 	if *snapMode {
 		if *layout != "" {
 			// A snapshot always persists (and loads back) the packed
@@ -92,7 +100,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "gnnbench: -snapshot measures the persisted packed layout; drop -layout")
 			os.Exit(2)
 		}
-		if err := runSnapshotBench(*snapN, *seed, *snout); err != nil {
+		if err := runSnapshotBench(*snapN, *seed, *snout, *snapMmap); err != nil {
 			fmt.Fprintln(os.Stderr, "gnnbench:", err)
 			os.Exit(1)
 		}

@@ -129,8 +129,13 @@ func openIndex(path string) (server, error) {
 		return nil, err
 	}
 	head := make([]byte, snapshot.SniffLen)
-	n, _ := io.ReadFull(f, head)
+	n, err := io.ReadFull(f, head)
 	f.Close()
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		// A short file is just not a snapshot (the dataset path decides
+		// what it is), but a real read error must not be mistaken for one.
+		return nil, fmt.Errorf("sniffing %s: %w", path, err)
+	}
 	if kind, ok := snapshot.Sniff(head[:n]); ok {
 		var sv server
 		var err error

@@ -131,6 +131,9 @@ func (ix *Index) GroupNNFromSetWithCost(qs *QuerySet, algo DiskAlgorithm, opts .
 	if c.aggregate != SumDist {
 		return nil, Cost{}, ErrUnsupportedAggregate
 	}
+	if err := ix.prepare(); err != nil {
+		return nil, Cost{}, err
+	}
 	dopt := core.DiskOptions{Options: c.coreOptions()}
 	var tk pagestore.CostTracker
 	dopt.Cost = &tk
@@ -179,6 +182,13 @@ func (ix *Index) GroupNNClosestPairsWithCost(queryIndex *Index, pairBudget int64
 		// has no packed form, and LayoutPacked promises to fail rather
 		// than silently degrade.
 		return nil, Cost{}, fmt.Errorf("gnn: GCP traverses two dynamic trees: %w", ErrNotPacked)
+	}
+	if ix.tree.IsShell() || queryIndex.tree.IsShell() {
+		// Mapped indexes have no dynamic nodes for GCP to pair-traverse.
+		return nil, Cost{}, fmt.Errorf("gnn: GCP traverses two dynamic trees: %w", ErrMappedDynamic)
+	}
+	if err := ix.prepare(); err != nil {
+		return nil, Cost{}, err
 	}
 	gopt := core.GCPOptions{
 		Options:    c.coreOptions(),

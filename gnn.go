@@ -50,6 +50,7 @@ import (
 
 	"gnn/internal/core"
 	"gnn/internal/geom"
+	"gnn/internal/mmapfile"
 	"gnn/internal/pagestore"
 	"gnn/internal/rtree"
 )
@@ -94,6 +95,27 @@ type Index struct {
 	tree   *rtree.Tree
 	acct   *pagestore.Accountant
 	packed *rtree.Packed
+
+	// mapped is the file view backing a zero-copy open
+	// (OpenSnapshotMapped); nil for every other construction. closed
+	// flips when Close unmaps it, after which queries fail fast instead
+	// of touching unmapped memory.
+	mapped *mmapfile.File
+	closed bool
+}
+
+// prepare readies the index for a traversal: it fails fast on a closed
+// mapping and forces the deferred verification of a mapped open (lazy
+// checksum + structure validation, run once). A no-op for built or
+// copy-loaded indexes.
+func (ix *Index) prepare() error {
+	if ix.closed {
+		return ErrSnapshotClosed
+	}
+	if ix.packed != nil {
+		return ix.packed.Prepare()
+	}
+	return nil
 }
 
 // NewIndex returns an empty index.
@@ -162,6 +184,9 @@ func (ix *Index) Delete(p Point, id int64) bool {
 // on an incrementally built or mutated index. Like the mutations
 // themselves, Pack requires that no queries run concurrently with it.
 func (ix *Index) Pack() {
+	if ix.tree.IsShell() {
+		return // a mapped index's arena is permanently valid
+	}
 	ix.packed = ix.tree.Pack()
 }
 
@@ -186,6 +211,9 @@ func (ix *Index) Dim() int { return ix.tree.Dim() }
 // Bounds returns the MBR of the indexed points as (lo, hi); ok is false
 // when the index is empty.
 func (ix *Index) Bounds() (lo, hi Point, ok bool) {
+	if ix.prepare() != nil {
+		return nil, nil, false // corrupt or closed mapping; opens/queries report why
+	}
 	r, ok := ix.tree.Bounds()
 	if !ok {
 		return nil, nil, false
@@ -232,8 +260,14 @@ func (ix *Index) ResetCost() { ix.acct.Reset() }
 func (ix *Index) ResetCostCold() { ix.acct.ResetAll() }
 
 // CheckInvariants validates the underlying R*-tree structure (exposed for
-// tests and diagnostics).
-func (ix *Index) CheckInvariants() error { return ix.tree.CheckInvariants() }
+// tests and diagnostics). On a mapped index it runs the arena's checksum
+// and structural validation instead (there are no dynamic nodes).
+func (ix *Index) CheckInvariants() error {
+	if err := ix.prepare(); err != nil {
+		return err
+	}
+	return ix.tree.CheckInvariants()
+}
 
 // NearestNeighbors answers a classical point-NN query (k nearest indexed
 // points to q) with the best-first algorithm of [HS99] — the n = 1 special
@@ -251,6 +285,9 @@ func (ix *Index) NearestNeighborsWithCost(q Point, k int) ([]Result, Cost, error
 	}
 	if k < 1 {
 		return nil, Cost{}, core.ErrBadK
+	}
+	if err := ix.prepare(); err != nil {
+		return nil, Cost{}, err
 	}
 	var tk pagestore.CostTracker
 	nbs := rtree.ReaderOver(ix.tree, ix.servingPacked(), &tk).NearestBF(geom.Point(q), k)

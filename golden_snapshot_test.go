@@ -16,9 +16,9 @@ import (
 var updateGolden = flag.Bool("update", false, "regenerate the golden snapshot fixtures and locked query traces")
 
 const (
-	goldenSnapPath        = "testdata/golden_v1.snap"
-	goldenShardedSnapPath = "testdata/golden_v1_sharded.snap"
-	goldenTracePath       = "testdata/golden_v1_trace.json"
+	goldenSnapPath        = "testdata/golden_v2.snap"
+	goldenShardedSnapPath = "testdata/golden_v2_sharded.snap"
+	goldenTracePath       = "testdata/golden_v2_trace.json"
 )
 
 // goldenPoints derives the fixture data set from a hand-rolled LCG, so
@@ -133,7 +133,7 @@ func toGoldenResults(rs []gnn.Result) []goldenResult {
 const goldenN, goldenCap, goldenShards = 420, 8, 3
 
 // TestSnapshotGoldenCompat is the format-compatibility gate: it loads
-// the checked-in version-1 fixtures and verifies a locked query trace
+// the checked-in version-2 fixtures and verifies a locked query trace
 // bit for bit. If a format change breaks this test, the change is
 // incompatible — bump snapshot.Version consciously, regenerate the
 // fixtures with `go test -run TestSnapshotGoldenCompat -update .`, and
@@ -198,6 +198,30 @@ func TestSnapshotGoldenCompat(t *testing.T) {
 		t.Error("re-written snapshot differs from the golden bytes (format drift)")
 	}
 
+	// Mapped open: the zero-copy path must reproduce the same locked
+	// trace — results, NA and logical accesses bit for bit — from the
+	// same fixture bytes.
+	mx, err := gnn.OpenSnapshotMapped(goldenSnapPath)
+	if err != nil {
+		t.Fatalf("golden fixture no longer maps: %v", err)
+	}
+	defer mx.Close()
+	for _, want := range trace.Answers {
+		c := byName[want.Case]
+		res, cost, err := mx.GroupNNWithCost(queries[want.Query], goldenOptions(c)...)
+		if err != nil {
+			t.Fatalf("mapped %s/q%d: %v", want.Case, want.Query, err)
+		}
+		got := goldenAnswer{
+			Case: want.Case, Query: want.Query,
+			Results: toGoldenResults(res),
+			NA:      cost.NodeAccesses, Logical: cost.LogicalAccesses,
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("mapped %s/q%d: locked trace diverged\n got %+v\nwant %+v", want.Case, want.Query, got, want)
+		}
+	}
+
 	// Sharded fixture: the partition must survive.
 	sx, err := gnn.OpenShardedSnapshotFile(goldenShardedSnapPath)
 	if err != nil {
@@ -216,6 +240,23 @@ func TestSnapshotGoldenCompat(t *testing.T) {
 	}
 	if !reflect.DeepEqual(srs, prs) {
 		t.Fatalf("sharded fixture answers diverge from plain: %v vs %v", srs, prs)
+	}
+
+	// And the sharded fixture maps too, partition and answers intact.
+	smx, err := gnn.OpenShardedSnapshotMapped(goldenShardedSnapPath)
+	if err != nil {
+		t.Fatalf("golden sharded fixture no longer maps: %v", err)
+	}
+	defer smx.Close()
+	if got := smx.ShardSizes(); !reflect.DeepEqual(got, trace.ShardSizes) {
+		t.Fatalf("mapped sharded fixture partition %v, trace locks %v", got, trace.ShardSizes)
+	}
+	mrs, err := smx.GroupNN(queries[4], gnn.WithK(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mrs, prs) {
+		t.Fatalf("mapped sharded fixture answers diverge from plain: %v vs %v", mrs, prs)
 	}
 }
 
@@ -248,7 +289,7 @@ func writeGoldenFixtures(t *testing.T, pts []gnn.Point) {
 		t.Fatal(err)
 	}
 	trace := goldenTrace{
-		FormatVersion: 1, Points: loaded.Len(), NodeCapacity: goldenCap,
+		FormatVersion: 2, Points: loaded.Len(), NodeCapacity: goldenCap,
 		ShardSizes: sx.ShardSizes(),
 	}
 	for _, c := range goldenCases() {

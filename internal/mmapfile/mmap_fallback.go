@@ -1,0 +1,26 @@
+//go:build !unix
+
+package mmapfile
+
+import "os"
+
+// Open reads the file at path into a heap buffer: the portable fallback
+// for platforms without mmap. Same API as the mapped form, but pages are
+// private to this process and the whole file is read up front.
+func Open(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &File{data: data, mapped: false}, nil
+}
+
+// Close releases the buffer for garbage collection. Safe on a nil
+// receiver and when called repeatedly.
+func (f *File) Close() error {
+	if f == nil {
+		return nil
+	}
+	f.data = nil
+	return nil
+}

@@ -1,0 +1,53 @@
+//go:build unix
+
+package mmapfile
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// Open maps the file at path read-only and shared (MAP_SHARED: pages are
+// the page cache itself, so concurrent processes mapping the same file
+// share physical memory). The file descriptor is closed before Open
+// returns — the mapping outlives it.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		// mmap rejects zero-length mappings; an empty view needs no pages.
+		return &File{data: []byte{}, mapped: true}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("mmapfile: %s is %d bytes, exceeds address space", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmapfile: mmap %s: %w", path, err)
+	}
+	return &File{data: data, mapped: true}, nil
+}
+
+// Close unmaps the view. Any slice still aliasing Data faults on touch
+// afterwards; the caller must order Close after the last reader. Safe
+// on a nil receiver and when called repeatedly.
+func (f *File) Close() error {
+	if f == nil || f.data == nil {
+		return nil
+	}
+	data := f.data
+	f.data = nil
+	if len(data) == 0 {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,64 @@
+package mmapfile
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenReadsFileContents(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	want := bytes.Repeat([]byte{0xab, 0xcd, 0x01}, 5000)
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f.Data(), want) {
+		t.Fatalf("mapped %d bytes, mismatch with file contents", f.Len())
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if f.Data() != nil {
+		t.Fatal("Data must be nil after Close")
+	}
+}
+
+func TestOpenEmptyFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 0 {
+		t.Fatalf("empty file mapped to %d bytes", f.Len())
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestCloseNil(t *testing.T) {
+	var f *File
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

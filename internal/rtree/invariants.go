@@ -21,6 +21,12 @@ import (
 //  6. every data point lies inside all its ancestors' rectangles.
 func (t *Tree) CheckInvariants() error {
 	if t.root == nil {
+		if t.shellOf != nil {
+			// Borrowed-arena shell: no dynamic nodes exist. Prepare runs
+			// the arena's full checksum and structural validation, which
+			// subsumes the node-level checks below.
+			return t.shellOf.Prepare()
+		}
 		return fmt.Errorf("rtree: nil root")
 	}
 	if t.height != t.root.level+1 {

@@ -2,6 +2,7 @@ package rtree
 
 import (
 	"math"
+	"sync"
 
 	"gnn/internal/geom"
 	"gnn/internal/pagestore"
@@ -58,6 +59,50 @@ type Packed struct {
 	pc  [][]float64 // pc[axis][slot]
 	pts []geom.Point
 	ids []int64
+
+	// prep, when non-nil, holds the deferred verification and
+	// materialisation of a borrowed arena (PackedFromSnapshotBorrowed);
+	// Prepare must succeed before the arena is traversed. nil for arenas
+	// built by Pack or copied by PackedFromSnapshot, which are complete
+	// at construction.
+	prep *packedPrep
+
+	// mbr is the root MBR of a borrowed arena, set by Prepare (the shell
+	// tree has no dynamic nodes to compute it from).
+	mbr geom.Rect
+}
+
+// packedPrep defers a borrowed arena's expensive open work — checksum
+// verification, structural validation, point materialisation — to first
+// use, exactly once, safely under concurrency.
+type packedPrep struct {
+	once sync.Once
+	fn   func() error
+	err  error
+}
+
+// Prepare runs the deferred verification and materialisation of a
+// borrowed arena: section checksums over the backing buffer, structural
+// validation of the node graph, the point-major coordinate view and the
+// root MBR. It is idempotent, safe for concurrent callers (the first
+// outcome is cached) and a no-op on arenas that were complete at
+// construction. Every traversal requires a prior successful Prepare;
+// the public layer calls it on each query entry, so a corrupt mapping
+// surfaces as this error on first use, never as a fault mid-traversal.
+func (p *Packed) Prepare() error {
+	if p.prep == nil {
+		return nil
+	}
+	p.prep.once.Do(func() { p.prep.err = p.prep.fn() })
+	return p.prep.err
+}
+
+// bounds serves the shell tree's Bounds from the prepared arena.
+func (p *Packed) bounds() (geom.Rect, bool) {
+	if p.size == 0 || p.Prepare() != nil {
+		return geom.Rect{}, false
+	}
+	return p.mbr, true
 }
 
 // Pack builds the packed query-time snapshot of the tree's current state.
@@ -312,6 +357,9 @@ func (rd Reader) searchPacked(n int32, r geom.Rect, fn func(geom.Point, int64) b
 // streaming pass over the flat leaf arrays, without charging node accesses
 // (matching Tree.All's bookkeeping-scan semantics).
 func (p *Packed) All(fn func(pt geom.Point, id int64) bool) {
+	if p.Prepare() != nil {
+		return // unverifiable borrowed arena; opens surfaced the error
+	}
 	for i := range p.pts {
 		if !fn(p.pts[i], p.ids[i]) {
 			return

@@ -57,6 +57,10 @@ func (t *Tree) All(fn func(p geom.Point, id int64) bool) {
 	if t.size == 0 {
 		return
 	}
+	if t.root == nil {
+		t.shellOf.All(fn) // same depth-first slot order as the dynamic scan
+		return
+	}
 	t.allNode(t.root, fn)
 }
 

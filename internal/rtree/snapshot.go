@@ -3,6 +3,8 @@ package rtree
 import (
 	"fmt"
 	"io"
+	"math"
+	"unsafe"
 
 	"gnn/internal/geom"
 	"gnn/internal/pagestore"
@@ -174,6 +176,116 @@ func PackedFromSnapshot(st *snapshot.Tree, dim int, cfg Config) (*Packed, error)
 		ids:   st.IDs,
 	}
 	return p, nil
+}
+
+// PackedFromSnapshotBorrowed is the zero-copy sibling of
+// PackedFromSnapshot: the arena arrays alias st's slices (which for a
+// mapped open alias the file mapping itself), no dynamic nodes are
+// materialised, and the expensive open work is deferred. The returned
+// arena's Tree() is a metadata shell — immutable (Insert returns
+// rtree.ErrImmutable, Delete reports false) and serving Bounds/All from
+// the arena — so only packed-layout traversals are possible.
+//
+// verify runs the caller's deferred validation of st's backing bytes
+// (checksums and structural checks, e.g. snapshot.Adopted.Verify); it is
+// invoked exactly once, from Packed.Prepare, before the first traversal.
+// After verify succeeds, Prepare materialises the one representation the
+// snapshot's axis-major columns cannot alias — the point-major
+// geom.Point view used when emitting results — and the root MBR.
+//
+// The caller owns the backing buffer's lifetime: it must stay alive and
+// unmodified until the returned arena is unreachable or closed one
+// layer up.
+func PackedFromSnapshotBorrowed(st *snapshot.Tree, dim int, cfg Config, verify func() error) (*Packed, error) {
+	cfg.Dim = dim
+	cfg.MaxEntries = st.MaxEntries
+	cfg.MinEntries = st.MinEntries
+	cfg.FirstPage = pagestore.PageID(st.FirstPage)
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, fmt.Errorf("rtree: snapshot config: %w", err)
+	}
+
+	// pagestore.PageID is int64 under a different name, so the page
+	// column is adopted in place rather than copied like
+	// PackedFromSnapshot does. nextPage comes from the writer-declared
+	// page range — verify confirms every node page lies inside it.
+	var pages []pagestore.PageID
+	if len(st.Page) > 0 {
+		pages = unsafe.Slice((*pagestore.PageID)(unsafe.Pointer(unsafe.SliceData(st.Page))), len(st.Page))
+	}
+
+	t := &Tree{
+		cfg:      cfg,
+		size:     st.Size,
+		height:   st.Height,
+		nextPage: cfg.FirstPage + pagestore.PageID(st.Pages),
+	}
+	p := &Packed{
+		src: t, muts: t.muts, dim: dim, size: st.Size, height: st.Height,
+		acct:  cfg.Accountant,
+		root:  st.Root,
+		level: st.Level,
+		page:  pages,
+		start: st.Start,
+		end:   st.End,
+		child: st.Child,
+		rlo:   st.RectLo,
+		rhi:   st.RectHi,
+		pc:    st.PointCols,
+		ids:   st.IDs,
+	}
+	t.shellOf = p
+	p.prep = &packedPrep{fn: func() error {
+		if err := verify(); err != nil {
+			return err
+		}
+		// Point-major view of the leaf coordinates, shared by the packed
+		// emit paths and the shell tree's All — the only copied column.
+		lslots := len(st.IDs)
+		ptSlab := make([]float64, dim*lslots)
+		pts := make([]geom.Point, lslots)
+		for i := 0; i < lslots; i++ {
+			pt := ptSlab[i*dim : (i+1)*dim : (i+1)*dim]
+			for a := 0; a < dim; a++ {
+				pt[a] = st.PointCols[a][i]
+			}
+			pts[i] = pt
+		}
+		p.pts = pts
+		p.mbr = p.rootMBR()
+		return nil
+	}}
+	return p, nil
+}
+
+// rootMBR computes the arena root's bounding rectangle (the validated
+// arena makes every slot range in bounds).
+func (p *Packed) rootMBR() geom.Rect {
+	lo := make(geom.Point, p.dim)
+	hi := make(geom.Point, p.dim)
+	s, e := p.start[p.root], p.end[p.root]
+	if s >= e {
+		return geom.Rect{Lo: lo, Hi: hi}
+	}
+	if p.level[p.root] == 0 {
+		for a := 0; a < p.dim; a++ {
+			lo[a], hi[a] = p.pc[a][s], p.pc[a][s]
+			for i := s + 1; i < e; i++ {
+				lo[a] = math.Min(lo[a], p.pc[a][i])
+				hi[a] = math.Max(hi[a], p.pc[a][i])
+			}
+		}
+	} else {
+		for a := 0; a < p.dim; a++ {
+			lo[a], hi[a] = p.rlo[a][s], p.rhi[a][s]
+			for i := s + 1; i < e; i++ {
+				lo[a] = math.Min(lo[a], p.rlo[a][i])
+				hi[a] = math.Max(hi[a], p.rhi[a][i])
+			}
+		}
+	}
+	return geom.Rect{Lo: lo, Hi: hi}
 }
 
 // buildNodes materialises the dynamic node structs from the arena and

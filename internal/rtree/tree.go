@@ -22,6 +22,7 @@
 package rtree
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"slices"
@@ -145,11 +146,26 @@ type Tree struct {
 	// muts counts structural mutations (Insert/Delete); a Packed snapshot
 	// records the value at build time and is valid only while it matches.
 	muts uint64
+	// shellOf, when non-nil, marks this tree as the metadata shell of a
+	// borrowed packed arena (PackedFromSnapshotBorrowed): root is nil, no
+	// dynamic nodes exist, the structure is immutable (Insert fails,
+	// Delete reports false), and reads that would walk the dynamic nodes
+	// are served from the arena instead.
+	shellOf *Packed
 }
+
+// ErrImmutable reports a mutation on the shell tree of a borrowed packed
+// arena: the nodes live in a read-only (typically memory-mapped) buffer.
+var ErrImmutable = errors.New("rtree: tree borrows a read-only arena and cannot be mutated; rebuild the index to change the data")
 
 // Mutations returns the tree's structural-mutation counter, used to
 // validate Packed snapshots.
 func (t *Tree) Mutations() uint64 { return t.muts }
+
+// IsShell reports whether the tree is the immutable metadata shell of a
+// borrowed packed arena: it has no dynamic nodes, so only packed-layout
+// traversals can serve it.
+func (t *Tree) IsShell() bool { return t.root == nil && t.shellOf != nil }
 
 // New returns an empty tree.
 func New(cfg Config) (*Tree, error) {
@@ -189,6 +205,9 @@ func (t *Tree) Pages() int64 { return int64(t.nextPage - t.cfg.FirstPage) }
 func (t *Tree) Bounds() (geom.Rect, bool) {
 	if t.size == 0 {
 		return geom.Rect{}, false
+	}
+	if t.root == nil {
+		return t.shellOf.bounds()
 	}
 	return t.nodeMBR(t.root), true
 }
@@ -247,6 +266,9 @@ func (t *Tree) nodeMBR(n *node) geom.Rect {
 // Insert adds a point with its identifier. Duplicate points (and duplicate
 // ids) are allowed, matching real spatial data.
 func (t *Tree) Insert(p geom.Point, id int64) error {
+	if t.root == nil {
+		return ErrImmutable
+	}
 	if len(p) != t.cfg.Dim {
 		return fmt.Errorf("rtree: point dimension %d, tree dimension %d", len(p), t.cfg.Dim)
 	}
@@ -528,7 +550,7 @@ func mbrOf(es []Entry) geom.Rect {
 // false when no matching entry exists. Underflowing nodes are dissolved and
 // their entries reinserted at the same level (condense-tree).
 func (t *Tree) Delete(p geom.Point, id int64) bool {
-	if t.size == 0 || len(p) != t.cfg.Dim {
+	if t.size == 0 || len(p) != t.cfg.Dim || t.root == nil {
 		return false
 	}
 	var path []*node

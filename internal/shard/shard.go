@@ -27,6 +27,8 @@ package shard
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"gnn/internal/core"
 	"gnn/internal/geom"
@@ -48,6 +50,58 @@ type Set struct {
 	units []Unit
 	dim   int
 	size  int
+
+	// Shard-per-core scatter executor, started lazily by the first fully
+	// parallel scatter and stopped by Close (or by a GC cleanup when the
+	// Set becomes unreachable without one).
+	engMu  sync.Mutex
+	eng    *engine
+	closed bool
+}
+
+// engine returns the running scatter executor, starting it on first
+// use; nil after Close (callers then fall back to pooled scatter).
+func (s *Set) engine() *engine {
+	s.engMu.Lock()
+	defer s.engMu.Unlock()
+	if s.closed {
+		return nil
+	}
+	if s.eng == nil {
+		s.eng = newEngine(len(s.units))
+		// Backstop for callers that drop the Set without Close: the
+		// cleanup must not reference s (it would never become
+		// unreachable), only the engine.
+		runtime.AddCleanup(s, func(e *engine) { e.close() }, s.eng)
+	}
+	return s.eng
+}
+
+// Close stops the pinned scatter workers. Optional — a dropped Set's
+// workers are stopped by a GC cleanup — but deterministic shutdown needs
+// it. Idempotent. Like a mutation, it must not run concurrently with
+// queries; queries issued after Close still work, on pooled workers.
+func (s *Set) Close() {
+	s.engMu.Lock()
+	defer s.engMu.Unlock()
+	s.closed = true
+	if s.eng != nil {
+		s.eng.close()
+		s.eng = nil
+	}
+}
+
+// Prepare forces the deferred verification and materialisation of every
+// borrowed shard arena (SetFromSnapshotBorrowed); a no-op on built or
+// copy-loaded sets. Queries require a prior successful Prepare on
+// borrowed sets; the public layer calls it on each query entry.
+func (s *Set) Prepare() error {
+	for i := range s.units {
+		if err := s.units[i].Packed.Prepare(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Build partitions pts (with their ids; nil means slice indexes) into the
@@ -80,6 +134,13 @@ func (s *Set) Dim() int { return s.dim }
 // Shard returns shard i (read-only use; exposed for tests and bounds).
 func (s *Set) Shard(i int) Unit { return s.units[i] }
 
+// Borrowed reports whether the shards borrow their arenas from an
+// external buffer (SetFromSnapshotBorrowed): no dynamic nodes exist, so
+// only packed-layout traversals can serve the set.
+func (s *Set) Borrowed() bool {
+	return len(s.units) > 0 && s.units[0].Tree.IsShell()
+}
+
 // Sizes returns the per-shard point counts.
 func (s *Set) Sizes() []int {
 	out := make([]int, len(s.units))
@@ -94,11 +155,15 @@ func (s *Set) Sizes() []int {
 type Kernel func(t *rtree.Tree, qs []geom.Point, opt core.Options) ([]core.GroupNeighbor, error)
 
 // shardRun is the per-shard slot of one scattered query: its result list
-// and its own cost tracker (kernels must never share one).
+// and its own cost tracker (kernels must never share one). The slots sit
+// in one slice written by concurrent shard workers, so each is padded
+// out to its own cache line — a worker bumping its tracker must not
+// bounce the line under its neighbour.
 type shardRun struct {
 	list []core.GroupNeighbor
 	tk   pagestore.CostTracker
 	err  error
+	_    [64]byte
 }
 
 // Search answers one k-best query by scatter-gather: kernel runs against
@@ -136,7 +201,8 @@ func (s *Set) Search(qs []geom.Point, opt core.Options, usePacked bool, workers 
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 {
+	switch {
+	case workers <= 1:
 		// Sequential scatter reuses the caller's warm context (the batch
 		// engine's per-worker arena) instead of cycling the pool.
 		ec, owned := execFor(opt)
@@ -146,7 +212,31 @@ func (s *Set) Search(qs []geom.Point, opt core.Options, usePacked bool, workers 
 		if owned {
 			ec.Release()
 		}
-	} else {
+	case workers >= n:
+		// Full-parallel scatter — the serving default — runs on the
+		// shard-per-core engine: shard i always executes on pinned worker
+		// i with that worker's private context, so the fan-out shares
+		// nothing but the pruning bound.
+		if eng := s.engine(); eng != nil {
+			eng.scatter(qs, runs, s.units, kernel, func(i int) core.Options {
+				o := opt
+				o.Cost = &runs[i].tk
+				o.Exec = nil // the pinned worker supplies its own
+				o.Shared = bound
+				o.Packed = nil
+				if usePacked {
+					o.Packed = s.units[i].Packed
+				}
+				return o
+			})
+			break
+		}
+		// Closed set: serve on transient pooled workers instead.
+		core.RunPooled(n, workers, runShard)
+	default:
+		// A caller-capped worker count below the shard count keeps the
+		// pooled work-stealing scatter: the engine's 1:1 shard-worker
+		// assignment cannot honour the cap.
 		core.RunPooled(n, workers, runShard)
 	}
 	lists := make([][]core.GroupNeighbor, n)

@@ -76,3 +76,32 @@ func SetFromSnapshot(m snapshot.Manifest, trees []*snapshot.Tree, cfg rtree.Conf
 	}
 	return s, nil
 }
+
+// SetFromSnapshotBorrowed is the zero-copy sibling of SetFromSnapshot:
+// every shard's arena borrows the decoded snapshot's slices (for a
+// mapped open, the file mapping itself) via
+// rtree.PackedFromSnapshotBorrowed. verify is the whole-snapshot
+// deferred validation (snapshot.Adopted.Verify — internally once-only,
+// so sharing it across all shards costs one verification); it must
+// succeed, through Set.Prepare, before the first query. The caller owns
+// the backing buffer's lifetime.
+func SetFromSnapshotBorrowed(m snapshot.Manifest, trees []*snapshot.Tree, cfg rtree.Config, verify func() error) (*Set, error) {
+	if m.Kind != snapshot.KindSharded {
+		return nil, fmt.Errorf("shard: snapshot kind %v, want %v", m.Kind, snapshot.KindSharded)
+	}
+	if len(trees) < 1 {
+		return nil, fmt.Errorf("shard: sharded snapshot with no trees")
+	}
+	if cfg.Accountant == nil {
+		cfg.Accountant = pagestore.NewAccountant(0)
+	}
+	s := &Set{units: make([]Unit, len(trees)), dim: m.Dim, size: m.Points}
+	for i, st := range trees {
+		p, err := rtree.PackedFromSnapshotBorrowed(st, m.Dim, cfg, verify)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.units[i] = Unit{Tree: p.Tree(), Packed: p}
+	}
+	return s, nil
+}

@@ -7,13 +7,13 @@
 // bit-identical results, costs and node-access counts to the index that
 // wrote it, without re-bulk-loading anything.
 //
-// # Format (version 1)
+// # Format (version 2)
 //
 // All integers are little-endian; floats are IEEE 754 bit patterns.
 //
 //	offset  size  field
 //	     0     8  magic "GNNSNAP\x00"
-//	     8     4  format version (uint32, currently 1)
+//	     8     4  format version (uint32, currently 2)
 //	    12     4  index kind (uint32: 0 plain, 1 sharded)
 //	    16     4  dimensionality (uint32, >= 1)
 //	    20     4  tree count (uint32: 1 for plain, S for sharded)
@@ -21,7 +21,8 @@
 //	    32     4  section count (uint32)
 //	    36     4  reserved (0)
 //	    40     …  section table: 28 bytes per section
-//	     …     …  section payloads, contiguous, in table order
+//	     …     …  section payloads, in table order, each padded to start
+//	              on a 64-byte boundary (pad bytes are zero)
 //
 // Each section-table entry is {kind uint32, tree uint32, offset uint64,
 // length uint64, crc uint32}: offset/length locate the payload from the
@@ -33,14 +34,22 @@
 // section carrying the Hilbert-cut provenance (curve order, partition
 // bounding box, per-shard cut sizes).
 //
+// The 64-byte section alignment (new in version 2, along with the slot
+// ranges section storing all start slots followed by all end slots
+// instead of interleaved pairs) exists so a decoder may adopt the
+// numeric columns directly from an mmap'd file: every []int32, []int64
+// and []float64 payload sits cache-line aligned, and a page-aligned
+// mapping makes the in-file arrays valid Go slices without a copy. See
+// DecodeAdopted.
+//
 // # Version and compatibility policy
 //
 // The version is bumped on ANY change to the byte layout, section set or
 // semantics — there are no minor versions and no in-place migrations.
-// Decoders accept exactly the versions they know (currently: 1) and
+// Decoders accept exactly the versions they know (currently: 2) and
 // return ErrVersion otherwise; re-snapshot from the source data to
-// upgrade. The checked-in golden fixture (testdata/golden_v1.snap at the
-// repository root) locks version 1: a format change that forgets to bump
+// upgrade. The checked-in golden fixture (testdata/golden_v2.snap at the
+// repository root) locks version 2: a format change that forgets to bump
 // the version fails its compatibility test.
 //
 // The decoder is strictly validating: it returns typed errors
@@ -66,7 +75,7 @@ const Magic = "GNNSNAP\x00"
 
 // Version is the current format version. See the package comment for the
 // compatibility policy.
-const Version = 1
+const Version = 2
 
 // Typed decode errors. Wrapped errors add context; match with errors.Is.
 var (
@@ -112,7 +121,7 @@ const (
 	secTreeMeta = 2  // fixed-size per-tree counters
 	secLevels   = 3  // []int32, per node
 	secPages    = 4  // []int64 page IDs, per node
-	secRanges   = 5  // []int32 start/end pairs, 2 per node
+	secRanges   = 5  // []int32, start column then end column, 2 per node
 	secChildren = 6  // []int32, per routing slot
 	secRectLo   = 7  // []float64, axis-major, dim × routing slots
 	secRectHi   = 8  // []float64, axis-major, dim × routing slots
@@ -120,12 +129,19 @@ const (
 	secIDs      = 10 // []int64, per leaf slot
 )
 
-// headerSize and tableEntrySize are the fixed framing sizes.
+// headerSize and tableEntrySize are the fixed framing sizes;
+// sectionAlign is the byte alignment of every section payload.
 const (
 	headerSize     = 40
 	tableEntrySize = 28
 	treeMetaSize   = 56
+	sectionAlign   = 64
 )
+
+// alignUp rounds n up to the next multiple of sectionAlign.
+func alignUp(n uint64) uint64 {
+	return (n + sectionAlign - 1) &^ uint64(sectionAlign-1)
+}
 
 // MaxDim bounds the dimensionality a snapshot may declare. It is far
 // beyond any real spatial workload; its purpose is to keep every
@@ -274,9 +290,13 @@ func encodeSection(buf []byte, kind uint32, m Manifest, trees []*Tree, t *Tree) 
 			buf = appendU64(buf, uint64(v))
 		}
 	case secRanges:
-		for i := range t.Start {
-			buf = appendU32(buf, uint32(t.Start[i]))
-			buf = appendU32(buf, uint32(t.End[i]))
+		// Start column then end column (not interleaved pairs), so a
+		// zero-copy decoder can adopt both as whole slices.
+		for _, v := range t.Start {
+			buf = appendU32(buf, uint32(v))
+		}
+		for _, v := range t.End {
+			buf = appendU32(buf, uint32(v))
 		}
 	case secChildren:
 		for _, v := range t.Child {
@@ -333,14 +353,16 @@ func Write(w io.Writer, m Manifest, trees []*Tree) error {
 
 	// First pass: compute offsets, lengths and CRCs. Payloads are encoded
 	// into a reusable buffer; the bytes written in the second pass are the
-	// exact same encoding, so the table is correct by construction.
+	// exact same encoding, so the table is correct by construction. Every
+	// payload starts on a sectionAlign boundary (zero padding in between)
+	// so mmap'd decoders can adopt the arrays in place.
 	offset := uint64(headerSize + tableEntrySize*len(secs))
 	scratch := make([]byte, 0, 1<<16)
 	for i := range secs {
 		s := &secs[i]
-		s.offset = offset
+		s.offset = alignUp(offset)
 		s.length = sectionLength(s.kind, m, trees, treeOf[i])
-		offset += s.length
+		offset = s.offset + s.length
 		scratch = encodeSection(scratch[:0], s.kind, m, trees, treeOf[i])
 		if uint64(len(scratch)) != s.length {
 			return fmt.Errorf("snapshot: internal error: section %d encoded %d bytes, declared %d",
@@ -370,12 +392,21 @@ func Write(w io.Writer, m Manifest, trees []*Tree) error {
 		return err
 	}
 
-	// Second pass: stream the payloads.
+	// Second pass: stream the payloads, zero-padding up to each section's
+	// aligned offset.
+	var pad [sectionAlign]byte
+	cursor := uint64(headerSize + tableEntrySize*len(secs))
 	for i := range secs {
+		if gap := secs[i].offset - cursor; gap > 0 {
+			if _, err := w.Write(pad[:gap]); err != nil {
+				return err
+			}
+		}
 		scratch = encodeSection(scratch[:0], secs[i].kind, m, trees, treeOf[i])
 		if _, err := w.Write(scratch); err != nil {
 			return err
 		}
+		cursor = secs[i].offset + secs[i].length
 	}
 	return nil
 }
@@ -461,141 +492,160 @@ func corruptf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
 }
 
-// Decode parses and fully validates a snapshot. Corrupt or truncated
-// input yields a typed error (ErrBadMagic, ErrVersion, ErrChecksum,
-// ErrTruncated, ErrCorrupt) — never a panic — and allocations are
-// bounded by the actual input size, not by declared counts.
-func Decode(data []byte) (Manifest, []*Tree, error) {
+// frame is the parsed, frame-checked skeleton of a snapshot: header
+// fields plus the section table, grouped per tree. Section payloads are
+// NOT yet checksummed or interpreted.
+type frame struct {
+	m        Manifest // Kind and Dim set; Points/Hilbert not yet
+	numTrees int
+	points   uint64
+	secs     []section
+	byTree   []map[uint32][]byte
+	hilbert  []byte
+}
+
+// parseFrame validates the header and section table of data: magic,
+// version, counts, contiguous aligned section layout ending exactly at
+// the end of input, zero padding between sections, every payload in
+// bounds, each section kind exactly once per tree. After parseFrame, any
+// slice of any section payload is in bounds — but the payload bytes are
+// unverified until their CRCs are checked.
+func parseFrame(data []byte) (*frame, error) {
 	if len(data) < len(Magic) {
-		return Manifest{}, nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(data))
+		return nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(data))
 	}
 	if string(data[:len(Magic)]) != Magic {
-		return Manifest{}, nil, ErrBadMagic
+		return nil, ErrBadMagic
 	}
 	if len(data) < headerSize {
-		return Manifest{}, nil, fmt.Errorf("%w: header needs %d bytes, have %d", ErrTruncated, headerSize, len(data))
+		return nil, fmt.Errorf("%w: header needs %d bytes, have %d", ErrTruncated, headerSize, len(data))
 	}
 	u32 := func(off int) uint32 { return binary.LittleEndian.Uint32(data[off:]) }
 	u64 := func(off int) uint64 { return binary.LittleEndian.Uint64(data[off:]) }
 
 	if v := u32(8); v != Version {
-		return Manifest{}, nil, fmt.Errorf("%w: %d (this build reads %d)", ErrVersion, v, Version)
+		return nil, fmt.Errorf("%w: %d (this build reads %d)", ErrVersion, v, Version)
 	}
-	m := Manifest{Kind: Kind(u32(12)), Dim: int(u32(16))}
-	numTrees := int(u32(20))
-	points := u64(24)
+	f := &frame{
+		m:        Manifest{Kind: Kind(u32(12)), Dim: int(u32(16))},
+		numTrees: int(u32(20)),
+		points:   u64(24),
+	}
 	numSecs := int(u32(32))
 
-	if m.Kind != KindPlain && m.Kind != KindSharded {
-		return Manifest{}, nil, corruptf("unknown index kind %d", uint32(m.Kind))
+	if f.m.Kind != KindPlain && f.m.Kind != KindSharded {
+		return nil, corruptf("unknown index kind %d", uint32(f.m.Kind))
 	}
-	if m.Dim < 1 || m.Dim > MaxDim {
-		return Manifest{}, nil, corruptf("dimension %d", m.Dim)
+	if f.m.Dim < 1 || f.m.Dim > MaxDim {
+		return nil, corruptf("dimension %d", f.m.Dim)
 	}
-	if numTrees < 1 {
-		return Manifest{}, nil, corruptf("%d trees", numTrees)
+	if f.numTrees < 1 {
+		return nil, corruptf("%d trees", f.numTrees)
 	}
-	if m.Kind == KindPlain && numTrees != 1 {
-		return Manifest{}, nil, corruptf("plain snapshot with %d trees", numTrees)
+	if f.m.Kind == KindPlain && f.numTrees != 1 {
+		return nil, corruptf("plain snapshot with %d trees", f.numTrees)
 	}
-	wantSecs := numTrees * len(treeSectionKinds)
-	if m.Kind == KindSharded {
+	wantSecs := f.numTrees * len(treeSectionKinds)
+	if f.m.Kind == KindSharded {
 		wantSecs++
 	}
 	if numSecs != wantSecs {
-		return Manifest{}, nil, corruptf("%d sections for %d trees (want %d)", numSecs, numTrees, wantSecs)
+		return nil, corruptf("%d sections for %d trees (want %d)", numSecs, f.numTrees, wantSecs)
 	}
 	tableEnd := headerSize + tableEntrySize*numSecs
 	if len(data) < tableEnd {
-		return Manifest{}, nil, fmt.Errorf("%w: section table needs %d bytes, have %d", ErrTruncated, tableEnd, len(data))
+		return nil, fmt.Errorf("%w: section table needs %d bytes, have %d", ErrTruncated, tableEnd, len(data))
 	}
 
 	// Parse and frame-check the section table: payloads must be laid out
-	// contiguously in table order, ending exactly at end of input.
-	secs := make([]section, numSecs)
+	// in table order at ascending aligned offsets (zero padding between),
+	// ending exactly at end of input.
+	f.secs = make([]section, numSecs)
 	next := uint64(tableEnd)
-	for i := range secs {
+	for i := range f.secs {
 		off := headerSize + tableEntrySize*i
-		secs[i] = section{
+		f.secs[i] = section{
 			kind:   u32(off),
 			tree:   u32(off + 4),
 			offset: u64(off + 8),
 			length: u64(off + 16),
 			crc:    u32(off + 24),
 		}
-		if secs[i].offset != next {
-			return Manifest{}, nil, corruptf("section %d at offset %d, expected %d", i, secs[i].offset, next)
+		if want := alignUp(next); f.secs[i].offset != want {
+			return nil, corruptf("section %d at offset %d, expected %d", i, f.secs[i].offset, want)
 		}
-		if secs[i].length > uint64(len(data))-next {
-			return Manifest{}, nil, fmt.Errorf("%w: section %d needs %d bytes at offset %d, have %d",
-				ErrTruncated, i, secs[i].length, next, uint64(len(data))-next)
+		if f.secs[i].offset > uint64(len(data)) {
+			return nil, fmt.Errorf("%w: section %d starts at %d, have %d bytes",
+				ErrTruncated, i, f.secs[i].offset, len(data))
 		}
-		next += secs[i].length
+		for _, b := range data[next:f.secs[i].offset] {
+			if b != 0 {
+				return nil, corruptf("nonzero padding before section %d", i)
+			}
+		}
+		next = f.secs[i].offset
+		if f.secs[i].length > uint64(len(data))-next {
+			return nil, fmt.Errorf("%w: section %d needs %d bytes at offset %d, have %d",
+				ErrTruncated, i, f.secs[i].length, next, uint64(len(data))-next)
+		}
+		next += f.secs[i].length
 	}
 	if next != uint64(len(data)) {
-		return Manifest{}, nil, corruptf("%d trailing bytes after last section", uint64(len(data))-next)
-	}
-
-	// Verify every section's checksum before interpreting any payload.
-	for i, s := range secs {
-		payload := data[s.offset : s.offset+s.length]
-		if crc := crc32.ChecksumIEEE(payload); crc != s.crc {
-			return Manifest{}, nil, fmt.Errorf("%w: section %d (kind %d): %08x != %08x", ErrChecksum, i, s.kind, crc, s.crc)
-		}
+		return nil, corruptf("%d trailing bytes after last section", uint64(len(data))-next)
 	}
 
 	// Group the sections: manifest extension plus one group per tree, each
 	// kind exactly once.
-	byTree := make([]map[uint32][]byte, numTrees)
-	for i := range byTree {
-		byTree[i] = make(map[uint32][]byte, len(treeSectionKinds))
+	f.byTree = make([]map[uint32][]byte, f.numTrees)
+	for i := range f.byTree {
+		f.byTree[i] = make(map[uint32][]byte, len(treeSectionKinds))
 	}
-	var hilbertPayload []byte
-	for i, s := range secs {
+	for i, s := range f.secs {
 		payload := data[s.offset : s.offset+s.length]
 		if s.kind == secHilbert {
-			if m.Kind != KindSharded || hilbertPayload != nil {
-				return Manifest{}, nil, corruptf("unexpected Hilbert section %d", i)
+			if f.m.Kind != KindSharded || f.hilbert != nil {
+				return nil, corruptf("unexpected Hilbert section %d", i)
 			}
-			hilbertPayload = payload
+			f.hilbert = payload
 			continue
 		}
-		if int(s.tree) >= numTrees {
-			return Manifest{}, nil, corruptf("section %d references tree %d of %d", i, s.tree, numTrees)
+		if int(s.tree) >= f.numTrees {
+			return nil, corruptf("section %d references tree %d of %d", i, s.tree, f.numTrees)
 		}
-		if _, dup := byTree[s.tree][s.kind]; dup {
-			return Manifest{}, nil, corruptf("duplicate section kind %d for tree %d", s.kind, s.tree)
+		if _, dup := f.byTree[s.tree][s.kind]; dup {
+			return nil, corruptf("duplicate section kind %d for tree %d", s.kind, s.tree)
 		}
-		byTree[s.tree][s.kind] = payload
+		f.byTree[s.tree][s.kind] = payload
 	}
-	if m.Kind == KindSharded {
-		if hilbertPayload == nil {
-			return Manifest{}, nil, corruptf("sharded snapshot without Hilbert section")
-		}
-		h, err := decodeHilbert(hilbertPayload, numTrees)
-		if err != nil {
-			return Manifest{}, nil, err
-		}
-		m.Hilbert = h
+	if f.m.Kind == KindSharded && f.hilbert == nil {
+		return nil, corruptf("sharded snapshot without Hilbert section")
 	}
+	return f, nil
+}
 
-	trees := make([]*Tree, numTrees)
-	total := uint64(0)
-	for ti := range trees {
-		t, err := decodeTree(byTree[ti], m.Dim, ti)
-		if err != nil {
-			return Manifest{}, nil, err
+// verifyChecksums checks every section's CRC against its payload.
+func (f *frame) verifyChecksums(data []byte) error {
+	for i, s := range f.secs {
+		payload := data[s.offset : s.offset+s.length]
+		if crc := crc32.ChecksumIEEE(payload); crc != s.crc {
+			return fmt.Errorf("%w: section %d (kind %d): %08x != %08x", ErrChecksum, i, s.kind, crc, s.crc)
 		}
-		trees[ti] = t
+	}
+	return nil
+}
+
+// crossCheck validates the whole-snapshot invariants that span trees:
+// the declared point total, disjoint per-tree page ranges (the trees of
+// a sharded snapshot share one accountant and possibly one LRU buffer,
+// which is only sound over disjoint pages) and the Hilbert cut sizes.
+func crossCheck(m *Manifest, trees []*Tree, points uint64) error {
+	total := uint64(0)
+	for _, t := range trees {
 		total += uint64(t.Size)
 	}
 	if total != points {
-		return Manifest{}, nil, corruptf("manifest declares %d points, trees hold %d", points, total)
+		return corruptf("manifest declares %d points, trees hold %d", points, total)
 	}
-	// The trees of a sharded snapshot share one accountant (and possibly
-	// one LRU buffer), which is only sound over disjoint page ranges —
-	// exactly how the builder assigns them. Each tree's pages were already
-	// confirmed to lie inside its own [FirstPage, FirstPage+Pages).
 	if len(trees) > 1 {
 		order := make([]*Tree, len(trees))
 		copy(order, trees)
@@ -611,18 +661,55 @@ func Decode(data []byte) (Manifest, []*Tree, error) {
 		})
 		for i := 1; i < len(order); i++ {
 			if order[i].FirstPage < order[i-1].FirstPage+order[i-1].Pages {
-				return Manifest{}, nil, corruptf("tree page ranges overlap at page %d", order[i].FirstPage)
+				return corruptf("tree page ranges overlap at page %d", order[i].FirstPage)
 			}
 		}
 	}
 	if m.Hilbert != nil {
 		for i, c := range m.Hilbert.CutSizes {
 			if c != int64(trees[i].Size) {
-				return Manifest{}, nil, corruptf("Hilbert cut %d declares %d points, tree holds %d", i, c, trees[i].Size)
+				return corruptf("Hilbert cut %d declares %d points, tree holds %d", i, c, trees[i].Size)
 			}
 		}
 	}
 	m.Points = int(points)
+	return nil
+}
+
+// Decode parses and fully validates a snapshot. Corrupt or truncated
+// input yields a typed error (ErrBadMagic, ErrVersion, ErrChecksum,
+// ErrTruncated, ErrCorrupt) — never a panic — and allocations are
+// bounded by the actual input size, not by declared counts. The returned
+// trees own their memory (nothing aliases data); for the zero-copy
+// variant see DecodeAdopted.
+func Decode(data []byte) (Manifest, []*Tree, error) {
+	f, err := parseFrame(data)
+	if err != nil {
+		return Manifest{}, nil, err
+	}
+	// Verify every section's checksum before interpreting any payload.
+	if err := f.verifyChecksums(data); err != nil {
+		return Manifest{}, nil, err
+	}
+	m := f.m
+	if m.Kind == KindSharded {
+		h, err := decodeHilbert(f.hilbert, f.numTrees)
+		if err != nil {
+			return Manifest{}, nil, err
+		}
+		m.Hilbert = h
+	}
+	trees := make([]*Tree, f.numTrees)
+	for ti := range trees {
+		t, err := decodeTree(f.byTree[ti], m.Dim, ti)
+		if err != nil {
+			return Manifest{}, nil, err
+		}
+		trees[ti] = t
+	}
+	if err := crossCheck(&m, trees, f.points); err != nil {
+		return Manifest{}, nil, err
+	}
 	return m, trees, nil
 }
 
@@ -647,18 +734,21 @@ func decodeHilbert(p []byte, numTrees int) (*Hilbert, error) {
 	return h, nil
 }
 
-// decodeTree parses and structurally validates one tree's section group.
-func decodeTree(secs map[uint32][]byte, dim, ti int) (*Tree, error) {
-	meta, ok := secs[secTreeMeta]
-	if !ok {
-		return nil, corruptf("tree %d: missing meta section", ti)
+// parseTreeMeta parses one tree's fixed-size meta section and checks the
+// counters for internal consistency. The meta counters must agree with
+// the actual section lengths (checked by the callers' per-section
+// decode/adopt helpers) before anything is allocated, so a forged count
+// cannot over-allocate.
+func parseTreeMeta(meta []byte, ti int) (t *Tree, nodes, rslots, lslots int, err error) {
+	if meta == nil {
+		return nil, 0, 0, 0, corruptf("tree %d: missing meta section", ti)
 	}
 	if len(meta) != treeMetaSize {
-		return nil, corruptf("tree %d: meta section is %d bytes, want %d", ti, len(meta), treeMetaSize)
+		return nil, 0, 0, 0, corruptf("tree %d: meta section is %d bytes, want %d", ti, len(meta), treeMetaSize)
 	}
 	u32 := func(off int) uint32 { return binary.LittleEndian.Uint32(meta[off:]) }
 	u64 := func(off int) uint64 { return binary.LittleEndian.Uint64(meta[off:]) }
-	t := &Tree{
+	t = &Tree{
 		Size:       int(u64(0)),
 		Height:     int(u32(8)),
 		MaxEntries: int(u32(12)),
@@ -667,30 +757,35 @@ func decodeTree(secs map[uint32][]byte, dim, ti int) (*Tree, error) {
 		FirstPage:  int64(u64(40)),
 		Pages:      int64(u64(48)),
 	}
-	nodes := int(u32(24))
-	rslots := int(u32(28))
-	lslots := int(u32(32))
+	nodes = int(u32(24))
+	rslots = int(u32(28))
+	lslots = int(u32(32))
 
-	// The meta counters must agree with the actual section lengths before
-	// anything is allocated, so a forged count cannot over-allocate.
 	if t.Size < 0 || t.Height < 1 || nodes < 1 || rslots < 0 || lslots < 0 {
-		return nil, corruptf("tree %d: impossible counters (size %d, height %d, %d nodes, %d/%d slots)",
+		return nil, 0, 0, 0, corruptf("tree %d: impossible counters (size %d, height %d, %d nodes, %d/%d slots)",
 			ti, t.Size, t.Height, nodes, rslots, lslots)
 	}
 	if t.Size != lslots {
-		return nil, corruptf("tree %d: size %d != %d leaf slots", ti, t.Size, lslots)
+		return nil, 0, 0, 0, corruptf("tree %d: size %d != %d leaf slots", ti, t.Size, lslots)
 	}
 	if t.FirstPage < 0 || t.Pages < int64(nodes) || t.FirstPage > math.MaxInt64-t.Pages {
-		return nil, corruptf("tree %d: %d pages for %d nodes (first page %d)", ti, t.Pages, nodes, t.FirstPage)
+		return nil, 0, 0, 0, corruptf("tree %d: %d pages for %d nodes (first page %d)", ti, t.Pages, nodes, t.FirstPage)
 	}
 	if t.Root < 0 || int(t.Root) >= nodes {
-		return nil, corruptf("tree %d: root %d of %d nodes", ti, t.Root, nodes)
+		return nil, 0, 0, 0, corruptf("tree %d: root %d of %d nodes", ti, t.Root, nodes)
 	}
 	if t.MaxEntries < 4 || t.MinEntries < 1 || t.MinEntries > t.MaxEntries/2 {
-		return nil, corruptf("tree %d: node capacity %d/%d", ti, t.MinEntries, t.MaxEntries)
+		return nil, 0, 0, 0, corruptf("tree %d: node capacity %d/%d", ti, t.MinEntries, t.MaxEntries)
 	}
+	return t, nodes, rslots, lslots, nil
+}
 
-	var err error
+// decodeTree parses and structurally validates one tree's section group.
+func decodeTree(secs map[uint32][]byte, dim, ti int) (*Tree, error) {
+	t, nodes, rslots, lslots, err := parseTreeMeta(secs[secTreeMeta], ti)
+	if err != nil {
+		return nil, err
+	}
 	if t.Level, err = decodeI32s(secs[secLevels], nodes, ti, "levels"); err != nil {
 		return nil, err
 	}
@@ -701,11 +796,8 @@ func decodeTree(secs map[uint32][]byte, dim, ti int) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.Start = make([]int32, nodes)
-	t.End = make([]int32, nodes)
-	for i := 0; i < nodes; i++ {
-		t.Start[i], t.End[i] = ranges[2*i], ranges[2*i+1]
-	}
+	t.Start = ranges[:nodes:nodes]
+	t.End = ranges[nodes:]
 	if t.Child, err = decodeI32s(secs[secChildren], rslots, ti, "children"); err != nil {
 		return nil, err
 	}

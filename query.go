@@ -97,6 +97,13 @@ func (l Layout) String() string {
 // incrementally without one).
 var ErrNotPacked = errors.New("gnn: index has no valid packed layout; call Index.Pack")
 
+// ErrMappedDynamic reports a WithLayout(LayoutDynamic) query against a
+// mapped snapshot (OpenSnapshotMapped/OpenShardedSnapshotMapped): a
+// mapped index borrows the packed arena straight from the file and never
+// materialises dynamic nodes. Use the default layout, or open with
+// OpenSnapshotFile to serve both layouts from heap memory.
+var ErrMappedDynamic = errors.New("gnn: a mapped snapshot serves only the packed layout; drop WithLayout(LayoutDynamic)")
+
 // ErrPackedRegion reports a WithLayout(LayoutPacked) query combined with
 // WithRegion on an algorithm whose region pruning lives in the traversal
 // (MBM, SPM, the incremental iterator): their packed kernels are
@@ -194,6 +201,9 @@ func (c queryConfig) coreOptions() core.Options {
 func (ix *Index) packedForLayout(l Layout, region *geom.Rect) (*rtree.Packed, error) {
 	switch l {
 	case LayoutDynamic:
+		if ix.tree.IsShell() {
+			return nil, ErrMappedDynamic
+		}
 		return nil, nil
 	case LayoutPacked:
 		if region != nil {
@@ -232,6 +242,9 @@ func (ix *Index) GroupNNWithCost(query []Point, opts ...QueryOption) ([]Result, 
 // duration of the call (the batch engine passes one per worker so a whole
 // batch reuses the same warm scratch).
 func (ix *Index) groupNN(query []Point, c queryConfig, tk *pagestore.CostTracker, ec *core.ExecContext) ([]Result, error) {
+	if err := ix.prepare(); err != nil {
+		return nil, err
+	}
 	if ec == nil {
 		ec = core.AcquireExec()
 		defer ec.Release()
@@ -316,6 +329,9 @@ func (it *Iterator) iterDone() bool { return it.it == nil }
 
 // GroupNNIterator starts an incremental GNN scan.
 func (ix *Index) GroupNNIterator(query []Point, opts ...QueryOption) (*Iterator, error) {
+	if err := ix.prepare(); err != nil {
+		return nil, err
+	}
 	c := buildConfig(opts)
 	qs := make([]geom.Point, len(query))
 	for i, q := range query {

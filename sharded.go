@@ -6,6 +6,7 @@ import (
 
 	"gnn/internal/core"
 	"gnn/internal/geom"
+	"gnn/internal/mmapfile"
 	"gnn/internal/pagestore"
 	"gnn/internal/shard"
 )
@@ -36,6 +37,22 @@ import (
 type ShardedIndex struct {
 	set  *shard.Set
 	acct *pagestore.Accountant
+
+	// mapped is the file view backing a zero-copy open
+	// (OpenShardedSnapshotMapped); nil otherwise. closed flips when Close
+	// unmaps it, after which queries fail fast.
+	mapped *mmapfile.File
+	closed bool
+}
+
+// prepare readies the sharded index for a traversal: it fails fast on a
+// closed mapping and forces the deferred verification of a mapped open
+// (once for the whole snapshot). A no-op for built or copy-loaded sets.
+func (sx *ShardedIndex) prepare() error {
+	if sx.closed {
+		return ErrSnapshotClosed
+	}
+	return sx.set.Prepare()
 }
 
 // BuildShardedIndex bulk-loads a sharded index over points with the given
@@ -81,8 +98,13 @@ func (sx *ShardedIndex) ResetCost() { sx.acct.Reset() }
 // ResetCostCold zeroes the counters and drops the buffer contents.
 func (sx *ShardedIndex) ResetCostCold() { sx.acct.ResetAll() }
 
-// CheckInvariants validates every shard's R-tree structure.
+// CheckInvariants validates every shard's R-tree structure. On a mapped
+// index it runs the snapshot's checksum and structural validation
+// instead (there are no dynamic nodes).
 func (sx *ShardedIndex) CheckInvariants() error {
+	if err := sx.prepare(); err != nil {
+		return err
+	}
 	for i := 0; i < sx.set.NumShards(); i++ {
 		if err := sx.set.Shard(i).Tree.CheckInvariants(); err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
@@ -95,10 +117,14 @@ func (sx *ShardedIndex) CheckInvariants() error {
 // Shard snapshots are always valid (the set is immutable), so LayoutAuto
 // and LayoutPacked both serve packed and ErrNotPacked cannot occur; the
 // packed/region conflict follows the same demotion rule
-// (queryConfig.effectiveRegion) as the plain Index.
-func usePackedLayout(c queryConfig) (bool, error) {
+// (queryConfig.effectiveRegion) as the plain Index, and LayoutDynamic is
+// rejected on a mapped open (no dynamic nodes exist).
+func (sx *ShardedIndex) usePackedLayout(c queryConfig) (bool, error) {
 	switch c.layout {
 	case LayoutDynamic:
+		if sx.set.Borrowed() {
+			return false, ErrMappedDynamic
+		}
 		return false, nil
 	case LayoutPacked:
 		if c.effectiveRegion() != nil {
@@ -138,8 +164,11 @@ func (sx *ShardedIndex) groupNN(query []Point, c queryConfig, tk *pagestore.Cost
 	if err != nil {
 		return nil, err
 	}
-	usePacked, err := usePackedLayout(c)
+	usePacked, err := sx.usePackedLayout(c)
 	if err != nil {
+		return nil, err
+	}
+	if err := sx.prepare(); err != nil {
 		return nil, err
 	}
 	owned := false
@@ -175,8 +204,11 @@ func (sx *ShardedIndex) groupNN(query []Point, c queryConfig, tk *pagestore.Cost
 // over the same points; its cost is the exact sum of per-shard accesses.
 func (sx *ShardedIndex) GroupNNIterator(query []Point, opts ...QueryOption) (*Iterator, error) {
 	c := buildConfig(opts)
-	usePacked, err := usePackedLayout(queryConfig{algo: AlgoMBM, layout: c.layout, region: c.region})
+	usePacked, err := sx.usePackedLayout(queryConfig{algo: AlgoMBM, layout: c.layout, region: c.region})
 	if err != nil {
+		return nil, err
+	}
+	if err := sx.prepare(); err != nil {
 		return nil, err
 	}
 	qs := make([]geom.Point, len(query))

@@ -2,11 +2,13 @@ package gnn
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
 	"os"
 
+	"gnn/internal/mmapfile"
 	"gnn/internal/pagestore"
 	"gnn/internal/rtree"
 	"gnn/internal/shard"
@@ -31,6 +33,9 @@ var (
 	// ErrSnapshotKind reports opening a snapshot with the wrong function:
 	// OpenSnapshot on a sharded file or OpenShardedSnapshot on a plain one.
 	ErrSnapshotKind = errors.New("gnn: snapshot holds a different index kind")
+	// ErrSnapshotClosed reports a query against a mapped index whose
+	// Close has already unmapped the backing file.
+	ErrSnapshotClosed = errors.New("gnn: mapped snapshot is closed")
 )
 
 // SnapshotOption customises how a snapshot is opened.
@@ -38,6 +43,7 @@ type SnapshotOption func(*snapshotConfig)
 
 type snapshotConfig struct {
 	bufferPages int
+	eagerVerify bool
 }
 
 // WithSnapshotBuffer attaches an LRU buffer of that many pages to the
@@ -46,6 +52,18 @@ type snapshotConfig struct {
 // never part of a snapshot). 0 — the default — disables buffering.
 func WithSnapshotBuffer(pages int) SnapshotOption {
 	return func(c *snapshotConfig) { c.bufferPages = pages }
+}
+
+// WithEagerVerify makes a mapped open (OpenSnapshotMapped,
+// OpenShardedSnapshotMapped) run the full checksum and structural
+// validation before returning, instead of deferring it to the first
+// query. Eager verification touches every mapped page — paying the read
+// I/O the lazy default avoids — in exchange for the v1 guarantee that a
+// successfully opened index cannot later fail a query with
+// ErrSnapshotChecksum. The copying opens (OpenSnapshot and friends)
+// always verify eagerly; the option is a no-op there.
+func WithEagerVerify() SnapshotOption {
+	return func(c *snapshotConfig) { c.eagerVerify = true }
 }
 
 // WriteSnapshot serialises the index to w in the versioned binary format
@@ -57,6 +75,12 @@ func WithSnapshotBuffer(pages int) SnapshotOption {
 // valid packed layout (after Insert/Delete, or built incrementally) is
 // packed transiently for the write — the serving state is not changed.
 func (ix *Index) WriteSnapshot(w io.Writer) error {
+	// A mapped index must verify its borrowed bytes before re-serialising
+	// them under fresh checksums, or a corrupt mapping would be laundered
+	// into a snapshot that passes its CRCs.
+	if err := ix.prepare(); err != nil {
+		return err
+	}
 	p := ix.servingPacked()
 	if p == nil {
 		p = ix.tree.Pack()
@@ -78,7 +102,7 @@ func (ix *Index) WriteSnapshotFile(path string) error {
 // Opening a sharded snapshot fails with ErrSnapshotKind; use
 // OpenShardedSnapshot.
 func OpenSnapshot(r io.Reader, opts ...SnapshotOption) (*Index, error) {
-	data, err := io.ReadAll(r)
+	data, err := readAllSized(r)
 	if err != nil {
 		return nil, err
 	}
@@ -116,6 +140,11 @@ func openSnapshotBytes(data []byte, opts []SnapshotOption) (*Index, error) {
 // OpenShardedSnapshot restores the index with its partition — per-shard
 // point assignment, page ranges and node structure — intact.
 func (sx *ShardedIndex) WriteSnapshot(w io.Writer) error {
+	// Same laundering guard as Index.WriteSnapshot: verify a mapped
+	// set's borrowed bytes before re-checksumming them.
+	if err := sx.prepare(); err != nil {
+		return err
+	}
 	m, trees := sx.set.Snapshot()
 	return snapshot.Write(w, m, trees)
 }
@@ -133,7 +162,7 @@ func (sx *ShardedIndex) WriteSnapshotFile(path string) error {
 // index that wrote it. Opening a plain snapshot fails with
 // ErrSnapshotKind; use OpenSnapshot.
 func OpenShardedSnapshot(r io.Reader, opts ...SnapshotOption) (*ShardedIndex, error) {
-	data, err := io.ReadAll(r)
+	data, err := readAllSized(r)
 	if err != nil {
 		return nil, err
 	}
@@ -166,12 +195,191 @@ func openShardedSnapshotBytes(data []byte, opts []SnapshotOption) (*ShardedIndex
 	return &ShardedIndex{set: set, acct: acct}, nil
 }
 
+// OpenSnapshotMapped memory-maps the snapshot file at path and serves
+// queries directly from the mapping: the arena's coordinate columns,
+// child indices, entry ranges and page identifiers are adopted from the
+// mapped bytes without copying, so open latency and private resident
+// set stay near zero regardless of index size, and concurrent processes
+// mapping the same file share its page-cache pages. Results, Cost and
+// node-access counts are bit-identical to OpenSnapshot on the same
+// file.
+//
+// Header and section-table validation run eagerly — a truncated or
+// structurally broken file fails here with a typed error — while the
+// per-section checksums are verified lazily on the first query (a
+// failure surfaces there as ErrSnapshotChecksum, never as a fault);
+// WithEagerVerify moves all of it to the open.
+//
+// The mapped index serves the packed layout only: Insert returns an
+// immutability error, Delete reports false, and WithLayout(LayoutDynamic)
+// or GCP fail with ErrMappedDynamic. Call Close when done to unmap the
+// file; queries after Close fail with ErrSnapshotClosed. On platforms
+// without mmap support (or when the mapping cannot be adopted in place)
+// the function transparently degrades to a read-and-copy open that
+// behaves exactly like OpenSnapshotFile.
+func OpenSnapshotMapped(path string, opts ...SnapshotOption) (*Index, error) {
+	c := buildSnapshotConfig(opts)
+	mf, err := mmapfile.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := openMappedPlain(mf, c)
+	if err != nil {
+		mf.Close()
+		return nil, err
+	}
+	return ix, nil
+}
+
+func openMappedPlain(mf *mmapfile.File, c snapshotConfig) (*Index, error) {
+	ad, err := snapshot.DecodeAdopted(mf.Data())
+	if err != nil {
+		return nil, err
+	}
+	if ad.Manifest.Kind != snapshot.KindPlain {
+		return nil, fmt.Errorf("%w: %v (use OpenShardedSnapshotMapped)", ErrSnapshotKind, ad.Manifest.Kind)
+	}
+	acct := pagestore.NewAccountant(c.bufferPages)
+	if !ad.ZeroCopy {
+		// Adoption fell back to a fully verified copying decode (non-mmap
+		// platform, big-endian host or misaligned buffer); the mapping is
+		// no longer needed.
+		p, err := rtree.PackedFromSnapshot(ad.Trees[0], ad.Manifest.Dim, rtree.Config{Accountant: acct})
+		if err != nil {
+			return nil, err
+		}
+		mf.Close()
+		return &Index{tree: p.Tree(), acct: acct, packed: p}, nil
+	}
+	p, err := rtree.PackedFromSnapshotBorrowed(ad.Trees[0], ad.Manifest.Dim, rtree.Config{Accountant: acct}, ad.Verify)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{tree: p.Tree(), acct: acct, packed: p, mapped: mf}
+	if c.eagerVerify {
+		if err := ix.prepare(); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// Close releases the file mapping of an index opened with
+// OpenSnapshotMapped; it is a no-op (returning nil) on every other
+// construction. Close requires that no queries are in flight and none
+// start afterwards — subsequent queries fail with ErrSnapshotClosed
+// rather than touching unmapped memory, under the same external
+// synchronisation contract as Insert. Closing twice is safe.
+func (ix *Index) Close() error {
+	if ix.mapped == nil {
+		return nil
+	}
+	ix.closed = true
+	m := ix.mapped
+	ix.mapped = nil
+	return m.Close()
+}
+
+// OpenShardedSnapshotMapped is OpenSnapshotMapped for sharded
+// snapshots: every shard's arena is adopted zero-copy from one shared
+// mapping, the Hilbert partition metadata is decoded eagerly, and the
+// deferred verification covers all shards at once on the first query.
+// The same serving restrictions and Close semantics apply as for
+// OpenSnapshotMapped.
+func OpenShardedSnapshotMapped(path string, opts ...SnapshotOption) (*ShardedIndex, error) {
+	c := buildSnapshotConfig(opts)
+	mf, err := mmapfile.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	sx, err := openMappedSharded(mf, c)
+	if err != nil {
+		mf.Close()
+		return nil, err
+	}
+	return sx, nil
+}
+
+func openMappedSharded(mf *mmapfile.File, c snapshotConfig) (*ShardedIndex, error) {
+	ad, err := snapshot.DecodeAdopted(mf.Data())
+	if err != nil {
+		return nil, err
+	}
+	if ad.Manifest.Kind != snapshot.KindSharded {
+		return nil, fmt.Errorf("%w: %v (use OpenSnapshotMapped)", ErrSnapshotKind, ad.Manifest.Kind)
+	}
+	acct := pagestore.NewAccountant(c.bufferPages)
+	if !ad.ZeroCopy {
+		set, err := shard.SetFromSnapshot(ad.Manifest, ad.Trees, rtree.Config{Accountant: acct})
+		if err != nil {
+			return nil, err
+		}
+		mf.Close()
+		return &ShardedIndex{set: set, acct: acct}, nil
+	}
+	set, err := shard.SetFromSnapshotBorrowed(ad.Manifest, ad.Trees, rtree.Config{Accountant: acct}, ad.Verify)
+	if err != nil {
+		return nil, err
+	}
+	sx := &ShardedIndex{set: set, acct: acct, mapped: mf}
+	if c.eagerVerify {
+		if err := sx.prepare(); err != nil {
+			return nil, err
+		}
+	}
+	return sx, nil
+}
+
+// Close stops the index's resident scatter workers and, when the index
+// was opened with OpenShardedSnapshotMapped, releases the file mapping.
+// The same contract as Index.Close applies: no queries in flight, none
+// afterwards (they fail with ErrSnapshotClosed on a mapped index);
+// closing twice is safe. On a built or copy-loaded index Close only
+// stops the workers — later queries still succeed on transient ones.
+func (sx *ShardedIndex) Close() error {
+	sx.set.Close()
+	if sx.mapped == nil {
+		return nil
+	}
+	sx.closed = true
+	m := sx.mapped
+	sx.mapped = nil
+	return m.Close()
+}
+
 func buildSnapshotConfig(opts []SnapshotOption) snapshotConfig {
 	var c snapshotConfig
 	for _, o := range opts {
 		o(&c)
 	}
 	return c
+}
+
+// readAllSized reads r to EOF like io.ReadAll but, when r is a regular
+// file, stats it first and allocates the full buffer up front — one
+// allocation instead of the doubling growth of io.ReadAll, which both
+// over-allocates (~2x the file size transiently) and copies the data
+// log(n) times on multi-hundred-megabyte snapshots.
+func readAllSized(r io.Reader) ([]byte, error) {
+	f, ok := r.(*os.File)
+	if !ok {
+		return io.ReadAll(r)
+	}
+	fi, err := f.Stat()
+	if err != nil || !fi.Mode().IsRegular() {
+		return io.ReadAll(r)
+	}
+	size := fi.Size()
+	if size <= 0 || int64(int(size)) != size {
+		return io.ReadAll(r)
+	}
+	// One spare byte so the final read returns (0, io.EOF) without
+	// triggering a growth step when the size was exact.
+	buf := bytes.NewBuffer(make([]byte, 0, int(size)+1))
+	if _, err := buf.ReadFrom(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // writeSnapshotFile writes via fn into a buffered file at path,
