@@ -76,6 +76,11 @@ func main() {
 		snapN    = flag.Int("snapshot-n", 100_000, "points for the -snapshot cold-start index")
 		snout    = flag.String("snapshot-out", "", "write the -snapshot measurement as JSON to this file")
 		snapMmap = flag.Bool("mmap", false, "with -snapshot: also measure the zero-copy mmap open path")
+		serveB   = flag.Bool("serve-bench", false, "serving mode: drive HTTP load against gnnserve, sweeping client counts")
+		serveURL = flag.String("serve-url", "", "with -serve-bench: target a live gnnserve (default: in-process daemon over a generated snapshot)")
+		serveC   = flag.Int("serve-clients", 16, "with -serve-bench: max concurrent clients (sweeps powers of two up to this)")
+		serveDur = flag.Duration("serve-duration", 2*time.Second, "with -serve-bench: measurement window per client count")
+		svout    = flag.String("serve-out", "", "write the -serve-bench sweep as JSON to this file")
 	)
 	flag.Parse()
 
@@ -92,6 +97,13 @@ func main() {
 	if *snapMmap && !*snapMode {
 		fmt.Fprintln(os.Stderr, "gnnbench: -mmap modifies -snapshot; add -snapshot")
 		os.Exit(2)
+	}
+	if *serveB {
+		if err := runServeBench(*serveURL, *serveC, *serveDur, *scale, *queries, *seed, *svout); err != nil {
+			fmt.Fprintln(os.Stderr, "gnnbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *snapMode {
 		if *layout != "" {

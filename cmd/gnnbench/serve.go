@@ -1,0 +1,206 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"gnn/internal/server"
+	"gnn/internal/stats"
+)
+
+// serveBenchOut is the JSON schema of the -serve-out file
+// (BENCH_serve.json): serving throughput and client-observed latency
+// percentiles of the HTTP daemon at each swept concurrency level.
+type serveBenchOut struct {
+	benchEnv
+	benchWorkload
+	// Target is the benched endpoint: "in-process" (a daemon stood up
+	// inside the bench over a freshly generated snapshot — the
+	// reproducible default) or the -serve-url of a live gnnserve.
+	Target string `json:"target"`
+	// DurationSeconds is the measurement window per concurrency level.
+	DurationSeconds float64          `json:"duration_seconds"`
+	Results         []serveLoadPoint `json:"results"`
+}
+
+// serveLoadPoint is one concurrency level of the sweep.
+type serveLoadPoint struct {
+	Clients  int `json:"clients"`
+	Requests int `json:"requests"`
+	// Errors counts non-200 responses (429s under overload land here;
+	// they are part of the daemon's contract, not a bench failure).
+	Errors int     `json:"errors"`
+	QPS    float64 `json:"qps"`
+	// Client-observed request latency, milliseconds.
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	P999MS float64 `json:"p999_ms"`
+}
+
+// runServeBench drives query load against a gnnserve HTTP endpoint and
+// emits qps + p50/p99/p999 per concurrency level. With -serve-url it
+// targets a live daemon; otherwise it stands one up in-process over a
+// snapshot generated from the TS dataset at -scale, so the bench is
+// self-contained and comparable across revisions.
+func runServeBench(url string, maxClients int, dur time.Duration, scale float64, numQueries int, seed int64, outPath string) error {
+	_, ix, queries, err := benchFixture(scale, numQueries, seed)
+	if err != nil {
+		return err
+	}
+	target := url
+	if url == "" {
+		dir, err := os.MkdirTemp("", "gnnserve-bench")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		snap := filepath.Join(dir, "bench.snap")
+		if err := ix.WriteSnapshotFile(snap); err != nil {
+			return err
+		}
+		srv, err := server.New(server.Config{
+			SnapshotPath: snap,
+			// Plenty of head-room: this sweep measures serving capacity,
+			// not the admission contract (faults_test covers that).
+			MaxInflight: 4 * maxClients,
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		url = "http://" + ln.Addr().String()
+		target = "in-process"
+	}
+
+	// Pre-marshal the request bodies: the bench must measure the
+	// daemon, not the client's JSON encoder.
+	bodies := make([][]byte, len(queries))
+	for i, q := range queries {
+		raw := make([][]float64, len(q))
+		for j, p := range q {
+			raw[j] = p
+		}
+		b, err := json.Marshal(map[string]any{"query": raw, "k": benchK, "timeout_ms": 30_000})
+		if err != nil {
+			return err
+		}
+		bodies[i] = b
+	}
+
+	out := serveBenchOut{
+		benchEnv:        newBenchEnv("TS", ix.Len(), scale),
+		benchWorkload:   newBenchWorkload(numQueries),
+		Target:          target,
+		DurationSeconds: dur.Seconds(),
+	}
+	fmt.Printf("serve bench: %s, %d points, %d query groups, %v per level\n",
+		target, ix.Len(), len(queries), dur)
+	fmt.Printf("%8s %10s %10s %9s %9s %9s %7s\n",
+		"clients", "requests", "qps", "p50 ms", "p99 ms", "p999 ms", "errors")
+
+	for _, clients := range sweepClients(maxClients) {
+		pt, err := driveLoad(url, bodies, clients, dur)
+		if err != nil {
+			return err
+		}
+		out.Results = append(out.Results, pt)
+		fmt.Printf("%8d %10d %10.0f %9.3f %9.3f %9.3f %7d\n",
+			pt.Clients, pt.Requests, pt.QPS, pt.P50MS, pt.P99MS, pt.P999MS, pt.Errors)
+	}
+	return writeBenchJSON(outPath, out)
+}
+
+// sweepClients yields the swept concurrency levels: powers of two up to
+// max, max itself included.
+func sweepClients(max int) []int {
+	var out []int
+	for c := 1; c < max; c *= 2 {
+		out = append(out, c)
+	}
+	return append(out, max)
+}
+
+// driveLoad hammers the endpoint with `clients` concurrent loops for
+// the window and aggregates client-observed latencies.
+func driveLoad(url string, bodies [][]byte, clients int, dur time.Duration) (serveLoadPoint, error) {
+	transport := &http.Transport{MaxIdleConns: clients * 2, MaxIdleConnsPerHost: clients * 2}
+	defer transport.CloseIdleConnections()
+	client := &http.Client{Transport: transport, Timeout: time.Minute}
+
+	// Warm the connection pool and the daemon's first-query verify
+	// outside the measured window.
+	if resp, err := client.Post(url+"/v1/groupnn", "application/json", bytes.NewReader(bodies[0])); err != nil {
+		return serveLoadPoint{}, fmt.Errorf("warm-up query: %w", err)
+	} else {
+		resp.Body.Close()
+	}
+
+	type clientTally struct {
+		latencies []float64 // milliseconds
+		errors    int
+	}
+	tallies := make([]clientTally, clients)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tally := &tallies[c]
+			for i := c; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				resp, err := client.Post(url+"/v1/groupnn", "application/json",
+					bytes.NewReader(bodies[i%len(bodies)]))
+				if err != nil {
+					tally.errors++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					tally.errors++
+					continue
+				}
+				tally.latencies = append(tally.latencies, float64(time.Since(t0).Microseconds())/1000)
+			}
+		}(c)
+	}
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	var all []float64
+	pt := serveLoadPoint{Clients: clients}
+	for _, tl := range tallies {
+		all = append(all, tl.latencies...)
+		pt.Errors += tl.errors
+	}
+	pt.Requests = len(all)
+	pt.QPS = float64(len(all)) / elapsed
+	pt.P50MS = stats.Percentile(all, 50)
+	pt.P99MS = stats.Percentile(all, 99)
+	pt.P999MS = stats.Percentile(all, 99.9)
+	return pt, nil
+}

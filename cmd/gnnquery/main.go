@@ -15,6 +15,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -231,9 +232,19 @@ func parseInline(s string) ([]gnn.Point, error) {
 	return out, nil
 }
 
+// fail exits non-zero on error. Corruption gets its own message and
+// exit code (3), so operators and scripts can tell a damaged snapshot
+// from a usage error: a checksum/truncation failure means the file must
+// be regenerated, not the command line fixed.
 func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "gnnquery:", err)
-		os.Exit(1)
+	if err == nil {
+		return
 	}
+	if errors.Is(err, gnn.ErrSnapshotChecksum) || errors.Is(err, gnn.ErrSnapshotTruncated) || errors.Is(err, gnn.ErrSnapshotCorrupt) {
+		fmt.Fprintf(os.Stderr, "gnnquery: snapshot is corrupt: %v\n", err)
+		fmt.Fprintln(os.Stderr, "gnnquery: the file is damaged or was cut short mid-write; regenerate it (gnngen -format snapshot, or gnnquery -snapshot) — do not retry with different flags")
+		os.Exit(3)
+	}
+	fmt.Fprintln(os.Stderr, "gnnquery:", err)
+	os.Exit(1)
 }

@@ -1,0 +1,114 @@
+// Command gnnserve is the GNN query daemon: it memory-maps an index
+// snapshot (plain or sharded, detected from the header) and serves
+// group nearest neighbor queries over an HTTP JSON API.
+//
+//	gnngen -dataset PP -n 500000 -format snapshot -out pp.snap
+//	gnnserve -snapshot pp.snap -addr :8080
+//
+//	curl -s localhost:8080/v1/groupnn -d '{"query":[[2000,3000],[2500,3500]],"k":3}'
+//
+// Endpoints: POST /v1/groupnn (one query group), POST /v1/batch (many
+// groups, one deadline), GET /v1/stats (counters, latency percentiles,
+// reload health), GET /healthz (process liveness), GET /readyz (serving
+// readiness; flips 503 during drain), POST /admin/reload (hot snapshot
+// swap; also on SIGHUP).
+//
+// Failure behavior: requests carry a deadline (timeout_ms, clamped to
+// -max-timeout) that propagates into the traversal kernels — slow or
+// disconnected clients get 504/499 within a bounded number of node
+// visits; load beyond -max-inflight waits at most -queue-wait then gets
+// 429 + Retry-After; a reload of a corrupt snapshot is rejected (409)
+// while the live index keeps serving; SIGTERM flips /readyz, drains
+// inflight requests up to -drain-timeout, then unmaps and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gnn/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		snap        = flag.String("snapshot", "", "index snapshot file to serve (required)")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrently executing queries (0 = 2×GOMAXPROCS)")
+		queueWait   = flag.Duration("queue-wait", 100*time.Millisecond, "max wait for an execution slot before 429")
+		defTimeout  = flag.Duration("timeout", 2*time.Second, "default per-request deadline")
+		maxTimeout  = flag.Duration("max-timeout", 30*time.Second, "upper clamp on request timeout_ms")
+		drain       = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain bound")
+		bufferPages = flag.Int("buffer", 0, "LRU buffer pages for access accounting (0 = none)")
+		eager       = flag.Bool("eager-verify", false, "verify the initial snapshot open eagerly")
+	)
+	flag.Parse()
+	if *snap == "" {
+		fmt.Fprintln(os.Stderr, "usage: gnnserve -snapshot pp.snap [-addr :8080]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	srv, err := server.New(server.Config{
+		SnapshotPath:   *snap,
+		MaxInflight:    *maxInflight,
+		QueueWait:      *queueWait,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		DrainTimeout:   *drain,
+		BufferPages:    *bufferPages,
+		EagerVerify:    *eager,
+	})
+	if err != nil {
+		log.Fatalf("gnnserve: opening %s: %v", *snap, err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("gnnserve: serving %s on %s", *snap, *addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT, syscall.SIGHUP)
+	for {
+		select {
+		case err := <-errc:
+			if err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Fatalf("gnnserve: %v", err)
+			}
+			return
+		case sig := <-sigc:
+			switch sig {
+			case syscall.SIGHUP:
+				if h, err := srv.Reload(""); err != nil {
+					log.Printf("gnnserve: reload rejected, serving previous snapshot: %v", err)
+				} else {
+					log.Printf("gnnserve: reloaded generation %d", h.Generation())
+				}
+				continue
+			default: // SIGTERM / SIGINT: graceful drain
+				log.Printf("gnnserve: %v: draining (up to %v)", sig, srv.DrainTimeout())
+				srv.NotReady()
+				ctx, cancel := context.WithTimeout(context.Background(), srv.DrainTimeout())
+				if err := hs.Shutdown(ctx); err != nil {
+					log.Printf("gnnserve: drain cut short: %v", err)
+				}
+				cancel()
+				if err := srv.Close(); err != nil {
+					log.Printf("gnnserve: closing index: %v", err)
+				}
+				log.Printf("gnnserve: stopped")
+				return
+			}
+		}
+	}
+}

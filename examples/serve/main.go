@@ -1,0 +1,187 @@
+// Example serve: the full lifecycle of the README's "Serving" section
+// in one program — build a snapshot, stand up the query daemon over
+// it, query it over HTTP with a deadline, hot-reload a new snapshot
+// under load, watch a corrupt reload get rejected, and drain.
+//
+// It uses the same internal/server engine as cmd/gnnserve, in-process
+// so the walkthrough is self-contained; against a real daemon every
+// curl in the comments works verbatim.
+//
+//	go run ./examples/serve
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"gnn"
+	"gnn/internal/server"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "gnn-serve")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// ── Offline: build two generations of the index. ──────────────────────
+	snapV1 := filepath.Join(dir, "places_v1.snap")
+	snapV2 := filepath.Join(dir, "places_v2.snap")
+	writeSnapshot(snapV1, 100_000, 1)
+	writeSnapshot(snapV2, 120_000, 2) // "tonight's rebuild"
+
+	// ── Start the daemon. cmd/gnnserve does exactly this behind its
+	// flags; -max-inflight and -queue-wait bound concurrent execution.
+	srv, err := server.New(server.Config{SnapshotPath: snapV1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	url := "http://" + ln.Addr().String()
+	fmt.Printf("daemon serving %s at %s\n\n", filepath.Base(snapV1), url)
+
+	// ── Query: POST /v1/groupnn. The group is three meeting attendees;
+	// the answer is the point minimising the sum of their distances.
+	//
+	//	curl -s $URL/v1/groupnn -d '{"query":[[2000,3000],[2500,3500],[1800,2900]],"k":3,"timeout_ms":500}'
+	var q1 struct {
+		Results []struct {
+			ID   int64     `json:"id"`
+			Dist float64   `json:"dist"`
+			Pt   []float64 `json:"point"`
+		} `json:"results"`
+		Generation uint64 `json:"generation"`
+	}
+	post(url+"/v1/groupnn",
+		`{"query":[[2000,3000],[2500,3500],[1800,2900]],"k":3,"timeout_ms":500}`, &q1)
+	fmt.Printf("generation %d answered k=3:\n", q1.Generation)
+	for i, r := range q1.Results {
+		fmt.Printf("  %d. id=%-7d (%.1f, %.1f)  sum-dist=%.1f\n",
+			i+1, r.ID, r.Pt[0], r.Pt[1], r.Dist)
+	}
+
+	// ── A corrupt reload is rejected; the daemon keeps serving v1. ────────
+	//
+	//	curl -s $URL/admin/reload -d '{"path":"broken.snap"}'   # → 409
+	broken := filepath.Join(dir, "broken.snap")
+	raw, _ := os.ReadFile(snapV2)
+	raw[len(raw)/2] ^= 0x40 // one flipped bit, deep in the payload
+	os.WriteFile(broken, raw, 0o644)
+	resp := postRaw(url+"/admin/reload", fmt.Sprintf(`{"path":%q}`, broken))
+	fmt.Printf("\nreload of bit-flipped snapshot: HTTP %d (still serving v1)\n", resp)
+
+	// ── The good reload swaps atomically; in-flight v1 queries finish
+	// on v1, the old mapping unmaps after the last one releases it.
+	//
+	//	curl -s $URL/admin/reload -d '{"path":"places_v2.snap"}'
+	var rl struct {
+		Generation uint64 `json:"generation"`
+		Points     int    `json:"points"`
+	}
+	post(url+"/admin/reload", fmt.Sprintf(`{"path":%q}`, snapV2), &rl)
+	fmt.Printf("reloaded: generation %d, %d points\n", rl.Generation, rl.Points)
+
+	// ── Stats: counters, reload health, latency percentiles. ──────────────
+	//
+	//	curl -s $URL/v1/stats
+	var st struct {
+		Requests struct {
+			Served uint64 `json:"served"`
+		} `json:"requests"`
+		Reload struct {
+			OK     uint64 `json:"ok"`
+			Failed uint64 `json:"failed"`
+		} `json:"reload"`
+	}
+	get(url+"/v1/stats", &st)
+	fmt.Printf("stats: %d served, reloads ok=%d failed=%d\n",
+		st.Requests.Served, st.Reload.OK, st.Reload.Failed)
+
+	// ── Drain: what SIGTERM does in cmd/gnnserve. readyz flips to 503
+	// so load balancers stop routing, in-flight queries finish, then
+	// the mapping is released.
+	srv.NotReady()
+	fmt.Printf("draining: readyz now %d, query now %d\n",
+		getStatus(url+"/readyz"), postRaw(url+"/v1/groupnn", `{"query":[[1,1]]}`))
+}
+
+// writeSnapshot builds an index over n clustered points and persists it.
+func writeSnapshot(path string, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]gnn.Point, n)
+	for i := range pts {
+		cx, cy := float64(rng.Intn(10))*1000, float64(rng.Intn(10))*1000
+		pts[i] = gnn.Point{cx + rng.Float64()*800, cy + rng.Float64()*800}
+	}
+	ix, err := gnn.BuildIndex(pts, nil, gnn.IndexConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ix.WriteSnapshotFile(path); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func post(url, body string, into any) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		log.Fatalf("POST %s: HTTP %d: %s", url, resp.StatusCode, msg)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// postRaw posts and returns just the status code (for requests whose
+// failure is the point).
+func postRaw(url, body string) int {
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode
+}
+
+func get(url string, into any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func getStatus(url string) int {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode
+}

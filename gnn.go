@@ -47,6 +47,9 @@ package gnn
 
 import (
 	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
 
 	"gnn/internal/core"
 	"gnn/internal/geom"
@@ -98,10 +101,12 @@ type Index struct {
 
 	// mapped is the file view backing a zero-copy open
 	// (OpenSnapshotMapped); nil for every other construction. closed
-	// flips when Close unmaps it, after which queries fail fast instead
-	// of touching unmapped memory.
+	// flips when Close starts, after which new queries fail fast with
+	// ErrSnapshotClosed; refs counts the reads still inflight, which
+	// Close drains before unmapping (see acquire/release).
 	mapped *mmapfile.File
-	closed bool
+	closed atomic.Bool
+	refs   atomic.Int64
 }
 
 // prepare readies the index for a traversal: it fails fast on a closed
@@ -109,13 +114,43 @@ type Index struct {
 // checksum + structure validation, run once). A no-op for built or
 // copy-loaded indexes.
 func (ix *Index) prepare() error {
-	if ix.closed {
+	if ix.closed.Load() {
 		return ErrSnapshotClosed
 	}
 	if ix.packed != nil {
 		return ix.packed.Prepare()
 	}
 	return nil
+}
+
+// acquire registers an inflight read against the index lifecycle so a
+// concurrent Close drains it before unmapping. The order — increment,
+// then check closed — pairs with Close's flip-then-wait: a reader that
+// saw closed == false has already published its reference, so Close
+// cannot observe a drained count before that reader releases.
+func (ix *Index) acquire() error {
+	ix.refs.Add(1)
+	if ix.closed.Load() {
+		ix.refs.Add(-1)
+		return ErrSnapshotClosed
+	}
+	return nil
+}
+
+// release retires a reference taken by acquire.
+func (ix *Index) release() { ix.refs.Add(-1) }
+
+// drainRefs spins until every inflight read has released: briefly yielding
+// the processor, then backing off to short sleeps. Queries are bounded
+// (iterators release on Close or exhaustion), so the wait is too.
+func drainRefs(refs *atomic.Int64) {
+	for i := 0; refs.Load() != 0; i++ {
+		if i < 128 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
 }
 
 // NewIndex returns an empty index.
@@ -211,8 +246,12 @@ func (ix *Index) Dim() int { return ix.tree.Dim() }
 // Bounds returns the MBR of the indexed points as (lo, hi); ok is false
 // when the index is empty.
 func (ix *Index) Bounds() (lo, hi Point, ok bool) {
+	if ix.acquire() != nil {
+		return nil, nil, false // closed mapping; opens/queries report why
+	}
+	defer ix.release()
 	if ix.prepare() != nil {
-		return nil, nil, false // corrupt or closed mapping; opens/queries report why
+		return nil, nil, false // corrupt mapping; opens/queries report why
 	}
 	r, ok := ix.tree.Bounds()
 	if !ok {
@@ -263,6 +302,10 @@ func (ix *Index) ResetCostCold() { ix.acct.ResetAll() }
 // tests and diagnostics). On a mapped index it runs the arena's checksum
 // and structural validation instead (there are no dynamic nodes).
 func (ix *Index) CheckInvariants() error {
+	if err := ix.acquire(); err != nil {
+		return err
+	}
+	defer ix.release()
 	if err := ix.prepare(); err != nil {
 		return err
 	}
@@ -286,6 +329,10 @@ func (ix *Index) NearestNeighborsWithCost(q Point, k int) ([]Result, Cost, error
 	if k < 1 {
 		return nil, Cost{}, core.ErrBadK
 	}
+	if err := ix.acquire(); err != nil {
+		return nil, Cost{}, err
+	}
+	defer ix.release()
 	if err := ix.prepare(); err != nil {
 		return nil, Cost{}, err
 	}

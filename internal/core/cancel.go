@@ -1,0 +1,132 @@
+package core
+
+import (
+	"context"
+	"fmt"
+)
+
+// Cancellation errors. Both wrap their context counterpart, so callers can
+// match either the typed sentinel (errors.Is(err, ErrCanceled)) or the
+// standard library's (errors.Is(err, context.Canceled)).
+var (
+	// ErrCanceled reports a query abandoned because its context was
+	// canceled (a disconnected client, an aborted batch).
+	ErrCanceled = fmt.Errorf("core: query canceled: %w", context.Canceled)
+	// ErrDeadlineExceeded reports a query abandoned because its context's
+	// deadline passed mid-traversal.
+	ErrDeadlineExceeded = fmt.Errorf("core: query deadline exceeded: %w", context.DeadlineExceeded)
+)
+
+// cancelStride is how many Stop calls pass between context polls. Every
+// call site sits in a per-node or per-point loop, so a canceled query
+// unwinds within a few hundred node visits — microseconds — while the
+// steady-state cost of an armed check stays one predictable-branch
+// decrement per iteration.
+const cancelStride = 256
+
+// CancelCheck polls a context at bounded intervals from inside the
+// traversal loops of the query kernels, so a query whose caller has gone
+// away (closed connection, expired deadline) stops pinning its worker.
+// Once the context fires, the failure latches: every subsequent Stop
+// returns true immediately and the whole recursion unwinds fast.
+//
+// A CancelCheck belongs to exactly one traversal goroutine — like
+// Options.Cost it is unsynchronised by design. A scattered (sharded)
+// query gives each shard its own Fork over the same context. All methods
+// are nil-receiver safe; a nil *CancelCheck is an uncancellable query
+// with zero overhead beyond the nil test.
+type CancelCheck struct {
+	ctx       context.Context
+	countdown int
+	failed    error
+}
+
+// NewCancelCheck arms a check over ctx. It returns nil — the free
+// always-run-to-completion check — when the context can never fire.
+func NewCancelCheck(ctx context.Context) *CancelCheck {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return &CancelCheck{ctx: ctx, countdown: cancelStride}
+}
+
+// Fork returns an independent check over the same context, for a
+// concurrent branch of the same query (one per shard of a scatter).
+func (c *CancelCheck) Fork() *CancelCheck {
+	if c == nil {
+		return nil
+	}
+	return &CancelCheck{ctx: c.ctx, countdown: cancelStride}
+}
+
+// Stop reports whether the traversal should unwind. It polls the context
+// every cancelStride calls and latches the first failure.
+func (c *CancelCheck) Stop() bool {
+	if c == nil {
+		return false
+	}
+	if c.failed != nil {
+		return true
+	}
+	c.countdown--
+	if c.countdown > 0 {
+		return false
+	}
+	c.countdown = cancelStride
+	if err := c.ctx.Err(); err != nil {
+		c.failed = mapContextErr(err)
+		return true
+	}
+	return false
+}
+
+// Check polls the context immediately (entry points, between batch
+// queries) and latches and returns the typed failure, or nil.
+func (c *CancelCheck) Check() error {
+	if c == nil {
+		return nil
+	}
+	if c.failed != nil {
+		return c.failed
+	}
+	if err := c.ctx.Err(); err != nil {
+		c.failed = mapContextErr(err)
+	}
+	return c.failed
+}
+
+// Failure returns the latched typed error, or nil when the traversal ran
+// to completion. Kernels call it once after their loops: a canceled query
+// returns (nil, ErrCanceled/ErrDeadlineExceeded) with whatever cost its
+// tracker accrued up to the stop — partial cost accounting is exact.
+func (c *CancelCheck) Failure() error {
+	if c == nil {
+		return nil
+	}
+	return c.failed
+}
+
+// mapContextErr converts a context error into the package's typed
+// sentinels (any other value passes through unchanged).
+func mapContextErr(err error) error {
+	switch err {
+	case context.Canceled:
+		return ErrCanceled
+	case context.DeadlineExceeded:
+		return ErrDeadlineExceeded
+	default:
+		return err
+	}
+}
+
+// ContextErr is mapContextErr over ctx.Err(): nil while ctx is live, the
+// typed sentinel once it fires. The batch engines use it between queries.
+func ContextErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return mapContextErr(err)
+	}
+	return nil
+}

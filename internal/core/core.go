@@ -147,6 +147,14 @@ type Options struct {
 	// among the final k — and MergeNeighbors reassembles the exact answer.
 	// nil (the default) is a plain standalone query.
 	Shared *SharedBound
+	// Cancel, when non-nil, is polled at bounded intervals inside the
+	// MQM/SPM/MBM/BruteForce traversal loops; once its context fires the
+	// kernel unwinds and returns ErrCanceled/ErrDeadlineExceeded, with the
+	// cost accrued so far intact in Cost (partial cost accounting). Like
+	// Cost and Exec it must not be shared by concurrent traversals — the
+	// sharded scatter Forks it per shard. nil (the default) runs the query
+	// to completion unconditionally.
+	Cancel *CancelCheck
 }
 
 func (o Options) withDefaults() Options {
@@ -364,14 +372,23 @@ func BruteForce(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, e
 	best := ec.kbestShared(opt.K, opt.Shared)
 	if p := opt.packedFor(t, true); p != nil {
 		bruteForcePacked(p, qs, w, opt, best, ec)
+		if err := opt.Cancel.Failure(); err != nil {
+			return nil, err
+		}
 		return best.results(), nil
 	}
 	t.All(func(p geom.Point, id int64) bool {
+		if opt.Cancel.Stop() {
+			return false
+		}
 		if regionAllows(opt.Region, p) {
 			best.offer(GroupNeighbor{Point: p, ID: id, Dist: aggDistW(opt.Aggregate, p, qs, w)})
 		}
 		return true
 	})
+	if err := opt.Cancel.Failure(); err != nil {
+		return nil, err
+	}
 	return best.results(), nil
 }
 
@@ -390,6 +407,13 @@ func bruteForcePacked(p *rtree.Packed, qs []geom.Point, w *weightCtx, opt Option
 		ws = w.w
 	}
 	for s := 0; s < n; s += chunk {
+		// A direct poll per chunk, not the strided Stop: each chunk is
+		// already hundreds of points × the group size in distance work,
+		// so one context read per chunk is noise — while a 256-chunk
+		// stride would let a canceled scan run for another 128k points.
+		if opt.Cancel.Check() != nil {
+			return
+		}
 		e := s + chunk
 		if e > n {
 			e = n

@@ -56,6 +56,9 @@ func MBM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 		} else {
 			st.df(st.rd.Root(), 0)
 		}
+		if err := opt.Cancel.Failure(); err != nil {
+			return nil, err
+		}
 		return best.results(), nil
 	}
 	it, err := NewGNNIterator(t, qs, opt)
@@ -78,6 +81,10 @@ func MBM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 			break
 		}
 		best.offer(g)
+	}
+	// A canceled iterator reports exhaustion; surface the latched error.
+	if err := opt.Cancel.Failure(); err != nil {
+		return nil, err
 	}
 	return best.results(), nil
 }
@@ -105,6 +112,9 @@ type mbmState struct {
 // instead of the seed's fresh slice, sort.Slice closure and second mindist
 // computation per entry.
 func (st *mbmState) df(nd rtree.Node, depth int) {
+	if st.opt.Cancel.Stop() {
+		return
+	}
 	buf := st.ec.cands.Level(depth)
 	cands := *buf
 	for _, e := range nd.Entries() {
@@ -168,6 +178,9 @@ func (st *mbmState) df(nd rtree.Node, depth int) {
 // entries. Every bound is evaluated by the same floating-point operations
 // as df, so pruning — and with it the node-access count — is identical.
 func (st *mbmState) dfPacked(nd int32, depth int) {
+	if st.opt.Cancel.Stop() {
+		return
+	}
 	p := st.rd.Packed()
 	s, e := p.NodeRange(nd)
 	cnt := int(e - s)
@@ -370,6 +383,9 @@ func (it *GNNIterator) pushNodePacked(nd int32) {
 func (it *GNNIterator) nextPacked() (GroupNeighbor, bool) {
 	p := it.rd.Packed()
 	for {
+		if it.opt.Cancel.Stop() {
+			return GroupNeighbor{}, false
+		}
 		item, ok := it.ph.Pop()
 		if !ok {
 			return GroupNeighbor{}, false
@@ -414,6 +430,9 @@ func (it *GNNIterator) Next() (GroupNeighbor, bool) {
 		return it.nextPacked()
 	}
 	for {
+		if it.opt.Cancel.Stop() {
+			return GroupNeighbor{}, false
+		}
 		item, ok := it.heap.Pop()
 		if !ok {
 			return GroupNeighbor{}, false

@@ -72,6 +72,9 @@ func MQM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 	}
 
 	for i := 0; ; i = (i + 1) % n {
+		if opt.Cancel.Stop() {
+			return nil, opt.Cancel.Failure()
+		}
 		if combined() >= best.bound() {
 			break // T ≥ best_dist: no unseen point can be closer
 		}

@@ -50,7 +50,8 @@ func SPM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 	best := ec.kbestShared(opt.K, opt.Shared)
 	if t.Len() > 0 {
 		run := spmRun{rd: rtree.ReaderOver(t, opt.packedFor(t, false), opt.Cost),
-			qs: qs, gq: ec.groupSoA(qs), q: q, dq: dq, n: n, w: w, region: opt.Region, best: best, ec: ec}
+			qs: qs, gq: ec.groupSoA(qs), q: q, dq: dq, n: n, w: w, region: opt.Region,
+			best: best, ec: ec, cancel: opt.Cancel}
 		switch {
 		case run.rd.Packed() != nil && opt.Traversal == DepthFirst:
 			run.dfPacked(run.rd.PackedRoot(), 0)
@@ -61,6 +62,9 @@ func SPM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 		default:
 			run.bf()
 		}
+	}
+	if err := opt.Cancel.Failure(); err != nil {
+		return nil, err
 	}
 	return best.results(), nil
 }
@@ -77,6 +81,7 @@ type spmRun struct {
 	region *geom.Rect
 	best   *kbest
 	ec     *ExecContext
+	cancel *CancelCheck
 }
 
 // spmCentroid computes the approximate centroid and its dist(q,Q).
@@ -118,6 +123,9 @@ func (r *spmRun) offer(e rtree.Entry) {
 // to the centroid (per-depth pooled buffer, inlined insertion sort),
 // recursion pruned by heuristic 1.
 func (r *spmRun) df(nd rtree.Node, depth int) {
+	if r.cancel.Stop() {
+		return
+	}
 	buf := r.ec.cands.Level(depth)
 	cands := *buf
 	for _, e := range nd.Entries() {
@@ -150,6 +158,9 @@ func (r *spmRun) df(nd rtree.Node, depth int) {
 // refs. The packed path runs only for unconstrained queries, so the
 // region checks of df vanish rather than branch.
 func (r *spmRun) dfPacked(nd int32, depth int) {
+	if r.cancel.Stop() {
+		return
+	}
 	p := r.rd.Packed()
 	s, e := p.NodeRange(nd)
 	cnt := int(e - s)
@@ -215,6 +226,9 @@ func (r *spmRun) bfPacked() {
 	}
 	push(r.rd.PackedRoot())
 	for {
+		if r.cancel.Stop() {
+			return
+		}
 		item, ok := heap.Pop()
 		if !ok {
 			return
@@ -252,6 +266,9 @@ func (r *spmRun) bf() {
 	}
 	push(r.rd.Root())
 	for {
+		if r.cancel.Stop() {
+			return
+		}
 		item, ok := heap.Pop()
 		if !ok {
 			return

@@ -1,4 +1,6 @@
-//go:build unix
+// The mmapfallback tag forces the copy-fallback implementation even on
+// unix, so CI can exercise the fallback path on the platforms it has.
+//go:build unix && !mmapfallback
 
 package mmapfile
 

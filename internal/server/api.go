@@ -1,0 +1,465 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"gnn"
+)
+
+// StatusClientClosedRequest is the (nginx-convention) status for a
+// query abandoned because the client went away mid-traversal.
+const StatusClientClosedRequest = 499
+
+// QueryRequest is the body of POST /v1/groupnn.
+type QueryRequest struct {
+	// Query is the group of query points, [[x,y], ...].
+	Query [][]float64 `json:"query"`
+	// K is the number of neighbors (default 1).
+	K int `json:"k,omitempty"`
+	// Algo selects the kernel: "mqm", "spm", "mbm" (default), "brute".
+	Algo string `json:"algo,omitempty"`
+	// Agg selects the aggregate: "sum" (default), "max", "min".
+	Agg string `json:"agg,omitempty"`
+	// TimeoutMS overrides the server's default per-request deadline,
+	// clamped to the configured maximum.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch: the shared options apply
+// to every group.
+type BatchRequest struct {
+	Queries   [][][]float64 `json:"queries"`
+	K         int           `json:"k,omitempty"`
+	Algo      string        `json:"algo,omitempty"`
+	Agg       string        `json:"agg,omitempty"`
+	TimeoutMS int           `json:"timeout_ms,omitempty"`
+}
+
+// ResultJSON is one neighbor in a response.
+type ResultJSON struct {
+	ID    int64     `json:"id"`
+	Point []float64 `json:"point"`
+	Dist  float64   `json:"dist"`
+}
+
+// CostJSON is a query's I/O cost in a response.
+type CostJSON struct {
+	NodeAccesses    int64 `json:"node_accesses"`
+	LogicalAccesses int64 `json:"logical_accesses"`
+	BufferHits      int64 `json:"buffer_hits"`
+}
+
+// QueryResponse is the body of a successful /v1/groupnn response.
+type QueryResponse struct {
+	Results    []ResultJSON `json:"results"`
+	Cost       CostJSON     `json:"cost"`
+	ElapsedUS  int64        `json:"elapsed_us"`
+	Generation uint64       `json:"generation"`
+}
+
+// BatchEntryJSON is one query's outcome inside a /v1/batch response.
+// Queries fail independently; Error is empty on success.
+type BatchEntryJSON struct {
+	Results []ResultJSON `json:"results,omitempty"`
+	Cost    CostJSON     `json:"cost"`
+	Error   string       `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of a /v1/batch response.
+type BatchResponse struct {
+	Entries    []BatchEntryJSON `json:"entries"`
+	ElapsedUS  int64            `json:"elapsed_us"`
+	Generation uint64           `json:"generation"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// ReloadRequest is the body of POST /admin/reload. An empty path
+// reloads the live handle's own file.
+type ReloadRequest struct {
+	Path string `json:"path,omitempty"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	// Index describes the live snapshot.
+	Index struct {
+		Path       string `json:"path"`
+		Generation uint64 `json:"generation"`
+		Points     int    `json:"points"`
+		Dim        int    `json:"dim"`
+		Shards     int    `json:"shards"`
+		ArenaBytes int64  `json:"arena_bytes"`
+		LoadedAt   string `json:"loaded_at"`
+	} `json:"index"`
+	// Requests are the monotonic outcome counters.
+	Requests struct {
+		Served    uint64 `json:"served"`
+		Rejected  uint64 `json:"rejected"`
+		Canceled  uint64 `json:"canceled"`
+		Deadlines uint64 `json:"deadline_exceeded"`
+		Panics    uint64 `json:"panics"`
+		BadReq    uint64 `json:"bad_request"`
+		Inflight  int64  `json:"inflight"`
+	} `json:"requests"`
+	// Reload reports hot-reload health; LastError is the most recent
+	// rejected reload's message, empty after a success.
+	Reload struct {
+		OK        uint64 `json:"ok"`
+		Failed    uint64 `json:"failed"`
+		LastError string `json:"last_error,omitempty"`
+	} `json:"reload"`
+	// LatencyUS summarises served-query latency in microseconds.
+	LatencyUS struct {
+		Mean float64 `json:"mean"`
+		P50  uint64  `json:"p50"`
+		P99  uint64  `json:"p99"`
+		P999 uint64  `json:"p999"`
+	} `json:"latency_us"`
+}
+
+// routes mounts every endpoint. Query endpoints pass through the
+// admission and panic-containment wrapper; control-plane endpoints are
+// never throttled (an overloaded server must still answer its health
+// checks and accept a reload).
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/groupnn", s.guard(s.handleGroupNN))
+	mux.HandleFunc("POST /v1/batch", s.guard(s.handleBatch))
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.ready.Load() {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, "ready")
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	})
+	mux.HandleFunc("POST /admin/reload", s.handleReload)
+	return mux
+}
+
+// guard wraps a query handler with panic containment and admission
+// control, in that order: a panic anywhere past admission still
+// releases the slot (the release is deferred before the handler runs),
+// and the recover converts it to a 500 instead of killing the process.
+func (s *Server) guard(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.stats.panics.Add(1)
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", p))
+			}
+		}()
+		if !s.ready.Load() {
+			writeError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		release, err := s.admit(r.Context())
+		if err != nil {
+			if errors.Is(err, errSaturated) {
+				s.stats.rejected.Add(1)
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests, "server at capacity; retry")
+				return
+			}
+			if errors.Is(err, context.DeadlineExceeded) {
+				s.stats.deadlines.Add(1)
+				writeError(w, http.StatusGatewayTimeout, "deadline expired while queued")
+				return
+			}
+			// The client gave up while queued.
+			s.stats.canceled.Add(1)
+			writeError(w, StatusClientClosedRequest, "client closed request while queued")
+			return
+		}
+		defer release()
+		s.stats.inflight.Add(1)
+		defer s.stats.inflight.Add(-1)
+		h(w, r)
+	}
+}
+
+func (s *Server) handleGroupNN(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	opts, query, ok := s.buildQuery(w, req.Query, req.K, req.Algo, req.Agg)
+	if !ok {
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	h := s.liveHandle()
+	start := time.Now()
+	res, cost, err := h.q.GroupNNWithCostContext(ctx, query, opts...)
+	elapsed := time.Since(start)
+	if err != nil {
+		s.failQuery(w, err)
+		return
+	}
+	s.stats.served.Add(1)
+	s.hist.observe(uint64(elapsed.Microseconds()))
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Results:    toJSONResults(res),
+		Cost:       toJSONCost(cost),
+		ElapsedUS:  elapsed.Microseconds(),
+		Generation: h.generation,
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.badRequest(w, "empty batch")
+		return
+	}
+	queries := make([][]gnn.Point, len(req.Queries))
+	for i, q := range req.Queries {
+		pts, err := toPoints(q)
+		if err != nil {
+			s.badRequest(w, fmt.Sprintf("query %d: %v", i, err))
+			return
+		}
+		queries[i] = pts
+	}
+	opts, ok := s.buildOptions(w, req.K, req.Algo, req.Agg)
+	if !ok {
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	h := s.liveHandle()
+	start := time.Now()
+	out, err := h.q.GroupNNBatchContext(ctx, queries, opts...)
+	elapsed := time.Since(start)
+	if err != nil {
+		// The whole batch was cut short by the request's own context;
+		// classify like a single query (entries carry the per-query
+		// detail, but the client is gone or out of time either way).
+		s.failQuery(w, err)
+		return
+	}
+	entries := make([]BatchEntryJSON, len(out))
+	for i, br := range out {
+		entries[i].Cost = toJSONCost(br.Cost)
+		if br.Err != nil {
+			entries[i].Error = br.Err.Error()
+			continue
+		}
+		entries[i].Results = toJSONResults(br.Results)
+	}
+	s.stats.served.Add(1)
+	s.hist.observe(uint64(elapsed.Microseconds()))
+	writeJSON(w, http.StatusOK, BatchResponse{
+		Entries:    entries,
+		ElapsedUS:  elapsed.Microseconds(),
+		Generation: h.generation,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var resp StatsResponse
+	h := s.liveHandle()
+	resp.Index.Path = h.path
+	resp.Index.Generation = h.generation
+	resp.Index.Points = h.stats.Points
+	resp.Index.Dim = h.stats.Dim
+	resp.Index.Shards = h.stats.Shards
+	resp.Index.ArenaBytes = h.stats.ArenaBytes
+	resp.Index.LoadedAt = h.loadedAt.UTC().Format(time.RFC3339)
+
+	resp.Requests.Served = s.stats.served.Load()
+	resp.Requests.Rejected = s.stats.rejected.Load()
+	resp.Requests.Canceled = s.stats.canceled.Load()
+	resp.Requests.Deadlines = s.stats.deadlines.Load()
+	resp.Requests.Panics = s.stats.panics.Load()
+	resp.Requests.BadReq = s.stats.badReq.Load()
+	resp.Requests.Inflight = s.stats.inflight.Load()
+
+	resp.Reload.OK = s.stats.reloads.Load()
+	resp.Reload.Failed = s.stats.reloadsFailed.Load()
+	if msg := s.stats.lastReloadErr.Load(); msg != nil {
+		resp.Reload.LastError = *msg
+	}
+
+	p := s.hist.percentiles(0.50, 0.99, 0.999)
+	resp.LatencyUS.Mean = s.hist.meanUS()
+	resp.LatencyUS.P50, resp.LatencyUS.P99, resp.LatencyUS.P999 = p[0], p[1], p[2]
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req ReloadRequest
+	if r.ContentLength != 0 {
+		if !s.readJSON(w, r, &req) {
+			return
+		}
+	}
+	h, err := s.Reload(req.Path)
+	if err != nil {
+		// 409: the daemon is healthy and still serving the previous
+		// generation; only the proposed snapshot was rejected.
+		writeError(w, http.StatusConflict, fmt.Sprintf("reload rejected, serving previous snapshot: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation": h.generation,
+		"path":       h.path,
+		"points":     h.stats.Points,
+	})
+}
+
+// failQuery classifies a query error into its HTTP status and counter.
+func (s *Server) failQuery(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, gnn.ErrDeadlineExceeded):
+		s.stats.deadlines.Add(1)
+		writeError(w, http.StatusGatewayTimeout, err.Error())
+	case errors.Is(err, gnn.ErrCanceled):
+		s.stats.canceled.Add(1)
+		writeError(w, StatusClientClosedRequest, err.Error())
+	case errors.Is(err, gnn.ErrSnapshotClosed):
+		// Only reachable in a shutdown race; the request arrived as the
+		// live handle was being torn down.
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		s.stats.badReq.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+// requestContext derives the per-request deadline: the request's own
+// timeout_ms (clamped to MaxTimeout) or the server default, layered on
+// the connection context so a disconnecting client cancels too.
+func (s *Server) requestContext(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// readJSON decodes the request body, bounding its size and rejecting
+// trailing garbage. Returns false (response already written) on error.
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		s.badRequest(w, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// buildQuery validates and converts a request's query group + options.
+func (s *Server) buildQuery(w http.ResponseWriter, raw [][]float64, k int, algo, agg string) ([]gnn.QueryOption, []gnn.Point, bool) {
+	query, err := toPoints(raw)
+	if err != nil {
+		s.badRequest(w, err.Error())
+		return nil, nil, false
+	}
+	opts, ok := s.buildOptions(w, k, algo, agg)
+	if !ok {
+		return nil, nil, false
+	}
+	return opts, query, true
+}
+
+func (s *Server) buildOptions(w http.ResponseWriter, k int, algo, agg string) ([]gnn.QueryOption, bool) {
+	if k <= 0 {
+		k = 1
+	}
+	opts := []gnn.QueryOption{gnn.WithK(k)}
+	switch strings.ToLower(algo) {
+	case "", "mbm":
+	case "mqm":
+		opts = append(opts, gnn.WithAlgorithm(gnn.AlgoMQM))
+	case "spm":
+		opts = append(opts, gnn.WithAlgorithm(gnn.AlgoSPM))
+	case "brute":
+		opts = append(opts, gnn.WithAlgorithm(gnn.AlgoBruteForce))
+	default:
+		s.badRequest(w, fmt.Sprintf("unknown algo %q (want mqm|spm|mbm|brute)", algo))
+		return nil, false
+	}
+	switch strings.ToLower(agg) {
+	case "", "sum":
+	case "max":
+		opts = append(opts, gnn.WithAggregate(gnn.MaxDist))
+	case "min":
+		opts = append(opts, gnn.WithAggregate(gnn.MinDist))
+	default:
+		s.badRequest(w, fmt.Sprintf("unknown agg %q (want sum|max|min)", agg))
+		return nil, false
+	}
+	return opts, true
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, msg string) {
+	s.stats.badReq.Add(1)
+	writeError(w, http.StatusBadRequest, msg)
+}
+
+func toPoints(raw [][]float64) ([]gnn.Point, error) {
+	if len(raw) == 0 {
+		return nil, errors.New("empty query group")
+	}
+	pts := make([]gnn.Point, len(raw))
+	for i, c := range raw {
+		if len(c) != len(raw[0]) || len(c) == 0 {
+			return nil, fmt.Errorf("query point %d: inconsistent or empty coordinates", i)
+		}
+		pts[i] = gnn.Point(c)
+	}
+	return pts, nil
+}
+
+func toJSONResults(res []gnn.Result) []ResultJSON {
+	out := make([]ResultJSON, len(res))
+	for i, r := range res {
+		out[i] = ResultJSON{ID: r.ID, Point: r.Point, Dist: r.Dist}
+	}
+	return out
+}
+
+func toJSONCost(c gnn.Cost) CostJSON {
+	return CostJSON{
+		NodeAccesses:    c.NodeAccesses,
+		LogicalAccesses: c.LogicalAccesses,
+		BufferHits:      c.BufferHits,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histogram is a lock-free latency histogram with power-of-two buckets
+// of microseconds: bucket i counts observations in [2^(i-1), 2^i) µs
+// (bucket 0 is sub-microsecond). 40 buckets cover ~12.7 days, far past
+// any request the daemon would still be serving. Recording is one
+// atomic increment; percentile reads scan the 40 counters, which is
+// cheap enough for a stats endpoint polled every few seconds.
+type histogram struct {
+	buckets [40]atomic.Uint64
+	count   atomic.Uint64
+	sumUS   atomic.Uint64
+}
+
+// observe records a request latency.
+func (h *histogram) observe(us uint64) {
+	i := bits.Len64(us)
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(us)
+}
+
+// snapshotCounts copies the buckets (the copy is not atomic across
+// buckets; percentile answers are approximate under concurrent load,
+// which is all a monitoring endpoint needs).
+func (h *histogram) snapshotCounts() (counts [40]uint64, total uint64) {
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	return counts, total
+}
+
+// percentiles returns the requested quantiles in microseconds, each as
+// the upper bound of the bucket holding that rank — a ≤2× overestimate,
+// stable and monotone, which is the right bias for alerting. Returns
+// zeros when nothing was recorded.
+func (h *histogram) percentiles(qs ...float64) []uint64 {
+	counts, total := h.snapshotCounts()
+	out := make([]uint64, len(qs))
+	if total == 0 {
+		return out
+	}
+	for qi, q := range qs {
+		rank := uint64(q * float64(total))
+		if rank >= total {
+			rank = total - 1
+		}
+		var cum uint64
+		for i, c := range counts {
+			cum += c
+			if cum > rank {
+				out[qi] = bucketUpperUS(i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// bucketUpperUS is the exclusive upper bound of bucket i in µs.
+func bucketUpperUS(i int) uint64 {
+	if i == 0 {
+		return 1
+	}
+	return uint64(1) << i
+}
+
+// meanUS returns the average recorded latency in microseconds.
+func (h *histogram) meanUS() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sumUS.Load()) / float64(n)
+}

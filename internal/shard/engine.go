@@ -21,7 +21,15 @@ import (
 type engine struct {
 	jobs      []chan scatterTask
 	closeOnce sync.Once
+	// scatters counts inflight scatter calls. Leases are taken under the
+	// owning Set's engMu before its closed flag flips (acquireEngine), so
+	// Set.Close can Wait for the count to drain and then close the worker
+	// channels without racing a send.
+	scatters sync.WaitGroup
 }
+
+// release returns a scatter lease taken by Set.acquireEngine.
+func (e *engine) release() { e.scatters.Done() }
 
 // scatterTask is one shard's share of one scattered query. The worker
 // fills in its private execution context before running the kernel.
@@ -57,7 +65,10 @@ func (e *engine) worker(i int) {
 	ec := &core.ExecContext{} // private; never pooled, never shared
 	for t := range e.jobs[i] {
 		t.opt.Exec = ec
-		t.run.list, t.run.err = t.kernel(t.unit.Tree, t.qs, t.opt)
+		// runKernel contains panics: a resident worker must outlive any
+		// single query's failure, or one bad request would wedge every
+		// future scatter on a dead channel.
+		t.run.list, t.run.err = runKernel(t.kernel, t.unit.Tree, t.qs, t.opt)
 		t.wg.Done()
 	}
 }

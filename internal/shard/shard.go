@@ -59,9 +59,12 @@ type Set struct {
 	closed bool
 }
 
-// engine returns the running scatter executor, starting it on first
-// use; nil after Close (callers then fall back to pooled scatter).
-func (s *Set) engine() *engine {
+// acquireEngine returns the running scatter executor with one scatter
+// lease held, starting it on first use; nil after Close (callers then
+// fall back to pooled scatter). The lease (release it with eng.release)
+// is what lets Close drain inflight scatters instead of closing the
+// worker channels under them.
+func (s *Set) acquireEngine() *engine {
 	s.engMu.Lock()
 	defer s.engMu.Unlock()
 	if s.closed {
@@ -74,20 +77,27 @@ func (s *Set) engine() *engine {
 		// unreachable), only the engine.
 		runtime.AddCleanup(s, func(e *engine) { e.close() }, s.eng)
 	}
+	// Under engMu and before the closed flag flips, so no lease can be
+	// taken once Close has started waiting.
+	s.eng.scatters.Add(1)
 	return s.eng
 }
 
 // Close stops the pinned scatter workers. Optional — a dropped Set's
 // workers are stopped by a GC cleanup — but deterministic shutdown needs
-// it. Idempotent. Like a mutation, it must not run concurrently with
-// queries; queries issued after Close still work, on pooled workers.
+// it. Idempotent, and safe while queries are inflight: new scatters fall
+// back to pooled workers the moment the flag flips, inflight ones are
+// drained before the worker channels close, and queries issued after
+// Close still work, on pooled workers.
 func (s *Set) Close() {
 	s.engMu.Lock()
-	defer s.engMu.Unlock()
 	s.closed = true
-	if s.eng != nil {
-		s.eng.close()
-		s.eng = nil
+	eng := s.eng
+	s.eng = nil
+	s.engMu.Unlock()
+	if eng != nil {
+		eng.scatters.Wait()
+		eng.close()
 	}
 }
 
@@ -192,11 +202,14 @@ func (s *Set) Search(qs []geom.Point, opt core.Options, usePacked bool, workers 
 		o.Cost = &runs[i].tk
 		o.Exec = ec
 		o.Shared = bound
+		// A CancelCheck is single-goroutine state: each shard of the
+		// scatter polls the same context through its own fork.
+		o.Cancel = opt.Cancel.Fork()
 		o.Packed = nil
 		if usePacked {
 			o.Packed = s.units[i].Packed
 		}
-		runs[i].list, runs[i].err = kernel(s.units[i].Tree, qs, o)
+		runs[i].list, runs[i].err = runKernel(kernel, s.units[i].Tree, qs, o)
 	}
 	if workers > n {
 		workers = n
@@ -217,18 +230,20 @@ func (s *Set) Search(qs []geom.Point, opt core.Options, usePacked bool, workers 
 		// shard-per-core engine: shard i always executes on pinned worker
 		// i with that worker's private context, so the fan-out shares
 		// nothing but the pruning bound.
-		if eng := s.engine(); eng != nil {
+		if eng := s.acquireEngine(); eng != nil {
 			eng.scatter(qs, runs, s.units, kernel, func(i int) core.Options {
 				o := opt
 				o.Cost = &runs[i].tk
 				o.Exec = nil // the pinned worker supplies its own
 				o.Shared = bound
+				o.Cancel = opt.Cancel.Fork()
 				o.Packed = nil
 				if usePacked {
 					o.Packed = s.units[i].Packed
 				}
 				return o
 			})
+			eng.release()
 			break
 		}
 		// Closed set: serve on transient pooled workers instead.
@@ -250,6 +265,19 @@ func (s *Set) Search(qs []geom.Point, opt core.Options, usePacked bool, workers 
 		lists[i] = runs[i].list
 	}
 	return core.MergeNeighbors(k, lists), nil
+}
+
+// runKernel invokes the kernel with per-shard panic containment: a panic
+// inside a traversal (a corrupt arena that slipped past validation, a bug
+// in a kernel) becomes that shard's error instead of killing the process.
+// The serving layer depends on this to turn kernel panics into 500s.
+func runKernel(kernel Kernel, t *rtree.Tree, qs []geom.Point, o core.Options) (res []core.GroupNeighbor, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("shard: kernel panic: %v", p)
+		}
+	}()
+	return kernel(t, qs, o)
 }
 
 // execFor returns the caller-supplied context or draws a pooled one;

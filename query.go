@@ -118,6 +118,7 @@ var ErrPackedRegion = errors.New("gnn: this algorithm serves region-constrained 
 type QueryOption func(*queryConfig)
 
 type queryConfig struct {
+	cancel      *core.CancelCheck
 	k           int
 	algo        Algorithm
 	aggregate   Aggregate
@@ -187,7 +188,8 @@ func buildConfig(opts []QueryOption) queryConfig {
 }
 
 func (c queryConfig) coreOptions() core.Options {
-	o := core.Options{K: c.k, Aggregate: c.aggregate, Weights: c.weights, Region: c.region}
+	o := core.Options{K: c.k, Aggregate: c.aggregate, Weights: c.weights,
+		Region: c.region, Cancel: c.cancel}
 	if c.depthFirst {
 		o.Traversal = core.DepthFirst
 	}
@@ -242,6 +244,13 @@ func (ix *Index) GroupNNWithCost(query []Point, opts ...QueryOption) ([]Result, 
 // duration of the call (the batch engine passes one per worker so a whole
 // batch reuses the same warm scratch).
 func (ix *Index) groupNN(query []Point, c queryConfig, tk *pagestore.CostTracker, ec *core.ExecContext) ([]Result, error) {
+	if err := ix.acquire(); err != nil {
+		return nil, err
+	}
+	defer ix.release()
+	if err := c.cancel.Check(); err != nil {
+		return nil, err // already expired/canceled on arrival
+	}
 	if err := ix.prepare(); err != nil {
 		return nil, err
 	}
@@ -318,6 +327,9 @@ type gnnStream interface {
 type Iterator struct {
 	it gnnStream
 	tk pagestore.CostTracker
+	// done releases the owning index's lifecycle reference (so Close can
+	// drain live iterators); nil once released.
+	done func()
 }
 
 // iterDone reports whether the iterator has been closed. The wrapper (not
@@ -327,9 +339,15 @@ type Iterator struct {
 // to the new owner.
 func (it *Iterator) iterDone() bool { return it.it == nil }
 
-// GroupNNIterator starts an incremental GNN scan.
+// GroupNNIterator starts an incremental GNN scan. The iterator holds a
+// reference on the index until Close or exhaustion, so a concurrent
+// Index.Close waits for it; close iterators you abandon early.
 func (ix *Index) GroupNNIterator(query []Point, opts ...QueryOption) (*Iterator, error) {
+	if err := ix.acquire(); err != nil {
+		return nil, err
+	}
 	if err := ix.prepare(); err != nil {
+		ix.release()
 		return nil, err
 	}
 	c := buildConfig(opts)
@@ -342,14 +360,17 @@ func (ix *Index) GroupNNIterator(query []Point, opts ...QueryOption) (*Iterator,
 	opt.Cost = &out.tk
 	p, err := ix.packedForLayout(c.layout, c.region)
 	if err != nil {
+		ix.release()
 		return nil, err
 	}
 	opt.Packed = p
 	it, err := core.NewGNNIterator(ix.tree, qs, opt)
 	if err != nil {
+		ix.release()
 		return nil, err
 	}
 	out.it = it
+	out.done = ix.release
 	return out, nil
 }
 
@@ -361,6 +382,9 @@ func (it *Iterator) Next() (Result, bool) {
 	}
 	g, ok := it.it.Next()
 	if !ok {
+		// Exhausted: recycle the scratch and release the index reference
+		// eagerly, so a drained-but-unclosed iterator never blocks Close.
+		it.Close()
 		return Result{}, false
 	}
 	return Result{Point: Point(g.Point), ID: g.ID, Dist: g.Dist}, true
@@ -377,6 +401,10 @@ func (it *Iterator) Close() {
 	}
 	it.it.Close()
 	it.it = nil
+	if it.done != nil {
+		it.done()
+		it.done = nil
+	}
 }
 
 // Errors surfaced by queries (wrapping the core package's sentinels so

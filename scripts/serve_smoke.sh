@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Black-box smoke of a real gnnserve process: start → query → reject a
+# corrupt reload → accept a good reload → SIGTERM drain → clean exit.
+# The in-process fault suite (internal/server/faults_test.go) covers the
+# hard races; this script pins what only a real process can — signal
+# handling, the HTTP listener lifecycle, and exit status.
+#
+# Usage: scripts/serve_smoke.sh [port]   (default 18080)
+set -euo pipefail
+
+PORT="${1:-18080}"
+URL="http://127.0.0.1:${PORT}"
+DIR="$(mktemp -d)"
+BIN="${DIR}/bin"
+SRV_PID=""
+mkdir -p "${BIN}"
+
+cleanup() {
+    [ -n "${SRV_PID}" ] && kill -9 "${SRV_PID}" 2>/dev/null || true
+    rm -rf "${DIR}"
+}
+trap cleanup EXIT
+
+fail() { echo "serve_smoke: FAIL: $*" >&2; exit 1; }
+
+# http VERB URL [BODY] → status code on stdout, body in ${DIR}/resp.
+http() {
+    local verb="$1" url="$2" body="${3:-}"
+    if [ -n "${body}" ]; then
+        curl -s -o "${DIR}/resp" -w '%{http_code}' -X "${verb}" -d "${body}" "${url}"
+    else
+        curl -s -o "${DIR}/resp" -w '%{http_code}' -X "${verb}" "${url}"
+    fi
+}
+
+echo "== build"
+go build -o "${BIN}/gnnserve" ./cmd/gnnserve
+go build -o "${BIN}/gnngen" ./cmd/gnngen
+
+echo "== generate snapshots"
+"${BIN}/gnngen" -dataset clustered -n 50000 -seed 1 -format snapshot -out "${DIR}/v1.snap"
+"${BIN}/gnngen" -dataset clustered -n 60000 -seed 2 -format snapshot -out "${DIR}/v2.snap"
+# A corrupt candidate: one bit flipped mid-payload.
+python3 - "$DIR" <<'PY'
+import sys, pathlib
+d = pathlib.Path(sys.argv[1])
+raw = bytearray((d / "v2.snap").read_bytes())
+raw[len(raw) // 2] ^= 0x40
+(d / "broken.snap").write_bytes(raw)
+PY
+
+echo "== start daemon"
+"${BIN}/gnnserve" -snapshot "${DIR}/v1.snap" -addr "127.0.0.1:${PORT}" \
+    -drain-timeout 5s >"${DIR}/serve.log" 2>&1 &
+SRV_PID=$!
+for i in $(seq 1 50); do
+    [ "$(http GET "${URL}/readyz" || true)" = "200" ] && break
+    kill -0 "${SRV_PID}" 2>/dev/null || { cat "${DIR}/serve.log" >&2; fail "daemon died on startup"; }
+    sleep 0.1
+done
+[ "$(http GET "${URL}/readyz")" = "200" ] || fail "daemon never became ready"
+
+echo "== query"
+code=$(http POST "${URL}/v1/groupnn" '{"query":[[2000,3000],[2500,3500]],"k":3,"timeout_ms":1000}')
+[ "${code}" = "200" ] || { cat "${DIR}/resp" >&2; fail "query: HTTP ${code}"; }
+grep -q '"generation":1' "${DIR}/resp" || fail "query not answered by generation 1"
+
+echo "== corrupt reload is rejected, daemon keeps serving"
+code=$(http POST "${URL}/admin/reload" "{\"path\":\"${DIR}/broken.snap\"}")
+[ "${code}" = "409" ] || fail "corrupt reload: want 409, got ${code}"
+code=$(http POST "${URL}/v1/groupnn" '{"query":[[2000,3000]],"k":1}')
+[ "${code}" = "200" ] || fail "query after rejected reload: HTTP ${code}"
+grep -q '"generation":1' "${DIR}/resp" || fail "rejected reload changed the generation"
+
+echo "== good reload swaps generations"
+code=$(http POST "${URL}/admin/reload" "{\"path\":\"${DIR}/v2.snap\"}")
+[ "${code}" = "200" ] || { cat "${DIR}/resp" >&2; fail "good reload: HTTP ${code}"; }
+code=$(http POST "${URL}/v1/groupnn" '{"query":[[2000,3000]],"k":1}')
+[ "${code}" = "200" ] || fail "query after reload: HTTP ${code}"
+grep -q '"generation":2' "${DIR}/resp" || fail "query not answered by generation 2"
+
+echo "== SIGHUP re-reads the live file in place"
+kill -HUP "${SRV_PID}"
+sleep 0.5
+code=$(http GET "${URL}/v1/stats")
+[ "${code}" = "200" ] || fail "stats after SIGHUP: HTTP ${code}"
+grep -q '"ok":2' "${DIR}/resp" || fail "SIGHUP reload not counted (want reload.ok=2)"
+
+echo "== SIGTERM drains and exits zero"
+kill -TERM "${SRV_PID}"
+for i in $(seq 1 50); do
+    kill -0 "${SRV_PID}" 2>/dev/null || break
+    sleep 0.2
+done
+if kill -0 "${SRV_PID}" 2>/dev/null; then fail "daemon still alive after SIGTERM"; fi
+wait "${SRV_PID}" && rc=0 || rc=$?
+SRV_PID=""
+[ "${rc}" = "0" ] || { cat "${DIR}/serve.log" >&2; fail "daemon exited ${rc}"; }
+grep -q "draining" "${DIR}/serve.log" || fail "drain not logged"
+
+echo "serve_smoke: PASS"

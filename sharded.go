@@ -3,6 +3,7 @@ package gnn
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 
 	"gnn/internal/core"
 	"gnn/internal/geom"
@@ -40,16 +41,32 @@ type ShardedIndex struct {
 
 	// mapped is the file view backing a zero-copy open
 	// (OpenShardedSnapshotMapped); nil otherwise. closed flips when Close
-	// unmaps it, after which queries fail fast.
+	// unmaps it, after which queries fail fast. refs counts inflight
+	// readers so Close can drain them before unmapping (see
+	// Index.acquire for the ordering argument).
 	mapped *mmapfile.File
-	closed bool
+	closed atomic.Bool
+	refs   atomic.Int64
 }
+
+// acquire registers an inflight reader; see Index.acquire.
+func (sx *ShardedIndex) acquire() error {
+	sx.refs.Add(1)
+	if sx.closed.Load() {
+		sx.refs.Add(-1)
+		return ErrSnapshotClosed
+	}
+	return nil
+}
+
+// release drops a reference taken by acquire.
+func (sx *ShardedIndex) release() { sx.refs.Add(-1) }
 
 // prepare readies the sharded index for a traversal: it fails fast on a
 // closed mapping and forces the deferred verification of a mapped open
 // (once for the whole snapshot). A no-op for built or copy-loaded sets.
 func (sx *ShardedIndex) prepare() error {
-	if sx.closed {
+	if sx.closed.Load() {
 		return ErrSnapshotClosed
 	}
 	return sx.set.Prepare()
@@ -102,6 +119,10 @@ func (sx *ShardedIndex) ResetCostCold() { sx.acct.ResetAll() }
 // index it runs the snapshot's checksum and structural validation
 // instead (there are no dynamic nodes).
 func (sx *ShardedIndex) CheckInvariants() error {
+	if err := sx.acquire(); err != nil {
+		return err
+	}
+	defer sx.release()
 	if err := sx.prepare(); err != nil {
 		return err
 	}
@@ -144,6 +165,10 @@ func (sx *ShardedIndex) GroupNN(query []Point, opts ...QueryOption) ([]Result, e
 	return res, err
 }
 
+// defaultScatterWorkers is the scatter width of a latency-oriented
+// single query: one worker per available core.
+func defaultScatterWorkers() int { return runtime.GOMAXPROCS(0) }
+
 // GroupNNWithCost is GroupNN returning this query's own I/O cost — the
 // exact sum of all per-shard node accesses — alongside the results. The
 // index-wide aggregate (ShardedIndex.Cost) accrues the same counts.
@@ -151,7 +176,7 @@ func (sx *ShardedIndex) GroupNNWithCost(query []Point, opts ...QueryOption) ([]R
 	c := buildConfig(opts)
 	var tk pagestore.CostTracker
 	// Single queries default to full parallel scatter for latency.
-	res, err := sx.groupNN(query, c, &tk, nil, runtime.GOMAXPROCS(0))
+	res, err := sx.groupNN(query, c, &tk, nil, defaultScatterWorkers())
 	return res, costOf(tk), err
 }
 
@@ -167,6 +192,13 @@ func (sx *ShardedIndex) groupNN(query []Point, c queryConfig, tk *pagestore.Cost
 	usePacked, err := sx.usePackedLayout(c)
 	if err != nil {
 		return nil, err
+	}
+	if err := sx.acquire(); err != nil {
+		return nil, err
+	}
+	defer sx.release()
+	if err := c.cancel.Check(); err != nil {
+		return nil, err // already expired/canceled on arrival
 	}
 	if err := sx.prepare(); err != nil {
 		return nil, err
@@ -208,7 +240,11 @@ func (sx *ShardedIndex) GroupNNIterator(query []Point, opts ...QueryOption) (*It
 	if err != nil {
 		return nil, err
 	}
+	if err := sx.acquire(); err != nil {
+		return nil, err
+	}
 	if err := sx.prepare(); err != nil {
+		sx.release()
 		return nil, err
 	}
 	qs := make([]geom.Point, len(query))
@@ -220,8 +256,10 @@ func (sx *ShardedIndex) GroupNNIterator(query []Point, opts ...QueryOption) (*It
 	opt.Cost = &out.tk
 	it, err := sx.set.NewIterator(qs, opt, usePacked)
 	if err != nil {
+		sx.release()
 		return nil, err
 	}
 	out.it = it
+	out.done = sx.release
 	return out, nil
 }

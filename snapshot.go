@@ -266,15 +266,20 @@ func openMappedPlain(mf *mmapfile.File, c snapshotConfig) (*Index, error) {
 
 // Close releases the file mapping of an index opened with
 // OpenSnapshotMapped; it is a no-op (returning nil) on every other
-// construction. Close requires that no queries are in flight and none
-// start afterwards — subsequent queries fail with ErrSnapshotClosed
-// rather than touching unmapped memory, under the same external
-// synchronisation contract as Insert. Closing twice is safe.
+// construction. Close is safe under concurrent queries: it first marks
+// the index closed — queries arriving after that fail with
+// ErrSnapshotClosed rather than touching unmapped memory — then waits
+// for every inflight query and open iterator to finish before the file
+// is actually unmapped. Closing twice is safe; the second call returns
+// nil immediately.
 func (ix *Index) Close() error {
 	if ix.mapped == nil {
 		return nil
 	}
-	ix.closed = true
+	if ix.closed.Swap(true) {
+		return nil // another Close won the race and owns the drain
+	}
+	drainRefs(&ix.refs)
 	m := ix.mapped
 	ix.mapped = nil
 	return m.Close()
@@ -332,16 +337,22 @@ func openMappedSharded(mf *mmapfile.File, c snapshotConfig) (*ShardedIndex, erro
 
 // Close stops the index's resident scatter workers and, when the index
 // was opened with OpenShardedSnapshotMapped, releases the file mapping.
-// The same contract as Index.Close applies: no queries in flight, none
-// afterwards (they fail with ErrSnapshotClosed on a mapped index);
-// closing twice is safe. On a built or copy-loaded index Close only
-// stops the workers — later queries still succeed on transient ones.
+// The same contract as Index.Close applies: safe under concurrent
+// queries — it marks the index closed (later queries fail with
+// ErrSnapshotClosed on a mapped index), drains the inflight ones, stops
+// the workers, then unmaps; closing twice is safe. On a built or
+// copy-loaded index Close only stops the workers — later queries still
+// succeed on transient pooled ones.
 func (sx *ShardedIndex) Close() error {
-	sx.set.Close()
 	if sx.mapped == nil {
+		sx.set.Close()
 		return nil
 	}
-	sx.closed = true
+	if sx.closed.Swap(true) {
+		return nil // another Close won the race and owns the drain
+	}
+	drainRefs(&sx.refs)
+	sx.set.Close()
 	m := sx.mapped
 	sx.mapped = nil
 	return m.Close()
