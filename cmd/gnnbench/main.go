@@ -81,6 +81,9 @@ func main() {
 		serveC   = flag.Int("serve-clients", 16, "with -serve-bench: max concurrent clients (sweeps powers of two up to this)")
 		serveDur = flag.Duration("serve-duration", 2*time.Second, "with -serve-bench: measurement window per client count")
 		svout    = flag.String("serve-out", "", "write the -serve-bench sweep as JSON to this file")
+		mutateB  = flag.Bool("mutate", false, "mutation mode: query throughput under live insert/delete traffic, sweeping write rates × compaction thresholds")
+		mutDur   = flag.Duration("mutate-duration", 2*time.Second, "with -mutate: measurement window per row")
+		mout     = flag.String("mutate-out", "", "write the -mutate sweep as JSON to this file")
 	)
 	flag.Parse()
 
@@ -100,6 +103,19 @@ func main() {
 	}
 	if *serveB {
 		if err := runServeBench(*serveURL, *serveC, *serveDur, *scale, *queries, *seed, *svout); err != nil {
+			fmt.Fprintln(os.Stderr, "gnnbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *mutateB {
+		if *layout != "" {
+			// The mutated index serves from its packed base + overlay; a
+			// pinned layout would mislabel what the sweep measures.
+			fmt.Fprintln(os.Stderr, "gnnbench: -mutate measures the serving default; drop -layout")
+			os.Exit(2)
+		}
+		if err := runMutate(*scale, *queries, *seed, *mutDur, *mout); err != nil {
 			fmt.Fprintln(os.Stderr, "gnnbench:", err)
 			os.Exit(1)
 		}

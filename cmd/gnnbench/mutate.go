@@ -1,0 +1,207 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gnn"
+)
+
+// mutateSnapshot is the JSON schema of the -mutate-out file: query
+// throughput and latency under concurrent write traffic, swept over
+// write ratios × compaction thresholds. The S=read-only row is the
+// overlay-free baseline the degradation is measured against.
+type mutateSnapshot struct {
+	benchEnv
+	benchWorkload
+	Readers int           `json:"readers"`
+	Writers int           `json:"writers"`
+	Results []mutatePoint `json:"results"`
+}
+
+type mutatePoint struct {
+	// WritesPerSec is the offered write rate; 0 is the read-only baseline.
+	WritesPerSec int `json:"writes_per_sec"`
+	// CompactThreshold is the background compactor's trigger; 0 = no
+	// compactor (the overlay grows for the whole window).
+	CompactThreshold int     `json:"compact_threshold"`
+	QueriesSec       float64 `json:"queries_per_sec"`
+	Seconds          float64 `json:"seconds"`
+	// SlowdownVsRead is this row's query throughput relative to the
+	// read-only baseline (1.0 = no degradation).
+	SlowdownVsRead float64 `json:"slowdown_vs_readonly"`
+	// Compactions is how many background cycles ran inside the window.
+	Compactions uint64 `json:"compactions"`
+	// FinalDelta is the overlay size when the window closed — how far
+	// behind the compactor ended up (graceful-degradation signal).
+	FinalDelta int `json:"final_delta"`
+	// NAPerQuery is the mean node accesses per query; the overlay's
+	// delta+pending sources show up here before they show up in latency.
+	NAPerQuery float64 `json:"na_per_query"`
+}
+
+// runMutate measures queries under live write traffic: reader
+// goroutines replay the paper workload while writers insert/delete at a
+// fixed offered rate, with and without background compaction.
+func runMutate(scale float64, numQueries int, seed int64, window time.Duration, outPath string) error {
+	d, baseIx, batch, err := benchFixture(scale, numQueries, seed)
+	if err != nil {
+		return err
+	}
+	_ = baseIx // rebuilt per row: each row needs an index without prior overlay history
+	const groupSize, k = benchGroupSize, benchK
+	readers, writers := 4, 2
+
+	pts := make([]gnn.Point, len(d.Points))
+	for i, p := range d.Points {
+		pts[i] = gnn.Point(p)
+	}
+
+	type rowCfg struct {
+		writesPerSec int
+		threshold    int
+	}
+	rows := []rowCfg{
+		{0, 0},       // read-only baseline
+		{500, 0},     // writes, overlay grows unchecked
+		{500, 256},   // writes, compactor keeps the overlay small
+		{2000, 256},  // heavier writes, same threshold
+		{2000, 4096}, // heavier writes, lazier compactor
+	}
+
+	snap := mutateSnapshot{
+		benchEnv:      newBenchEnv(d.Name, len(pts), scale),
+		benchWorkload: newBenchWorkload(len(batch)),
+		Readers:       readers,
+		Writers:       writers,
+	}
+	fmt.Printf("# queries under write traffic — %s (%d points), %d-point groups, k=%d, %d readers / %d writers, %v window\n\n",
+		d.Name, len(pts), groupSize, k, readers, writers, window)
+	fmt.Printf("%-12s  %-10s  %12s  %9s  %12s  %12s  %11s\n",
+		"writes/sec", "threshold", "queries/sec", "slowdown", "compactions", "final delta", "NA/query")
+
+	var baseQPS float64
+	for _, row := range rows {
+		pt, err := runMutateRow(pts, batch, k, row.writesPerSec, row.threshold, readers, writers, window, seed)
+		if err != nil {
+			return err
+		}
+		if baseQPS == 0 {
+			baseQPS = pt.QueriesSec
+		}
+		pt.SlowdownVsRead = pt.QueriesSec / baseQPS
+		snap.Results = append(snap.Results, pt)
+		thr := fmt.Sprintf("%d", row.threshold)
+		if row.threshold == 0 {
+			thr = "off"
+		}
+		fmt.Printf("%-12d  %-10s  %12.1f  %8.2fx  %12d  %12d  %11.1f\n",
+			row.writesPerSec, thr, pt.QueriesSec, pt.SlowdownVsRead, pt.Compactions, pt.FinalDelta, pt.NAPerQuery)
+	}
+	return writeBenchJSON(outPath, snap)
+}
+
+func runMutateRow(pts []gnn.Point, batch [][]gnn.Point, k, writesPerSec, threshold, readers, writers int, window time.Duration, seed int64) (mutatePoint, error) {
+	ix, err := gnn.BuildIndex(pts, nil, gnn.IndexConfig{})
+	if err != nil {
+		return mutatePoint{}, err
+	}
+	if threshold > 0 {
+		if err := ix.StartCompactor(gnn.CompactorConfig{Threshold: threshold}); err != nil {
+			return mutatePoint{}, err
+		}
+	}
+	ix.ResetCost()
+
+	var queries atomic.Int64
+	var queryErr atomic.Pointer[error]
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			i := r
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := ix.GroupNN(batch[i%len(batch)], gnn.WithK(k)); err != nil {
+					queryErr.Store(&err)
+					return
+				}
+				queries.Add(1)
+				i++
+			}
+		}(r)
+	}
+
+	if writesPerSec > 0 {
+		// Each writer inserts at its share of the offered rate and deletes
+		// its previous insert half the time, so tombstones are exercised
+		// and the live set stays near the base size.
+		interval := time.Duration(int64(time.Second) * int64(writers) / int64(writesPerSec))
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed + int64(w)))
+				tick := time.NewTicker(interval)
+				defer tick.Stop()
+				id := int64(1_000_000 * (w + 1))
+				var prev gnn.Point
+				var prevID int64
+				for {
+					select {
+					case <-stop:
+						return
+					case <-tick.C:
+					}
+					if prevID != 0 && rng.Intn(2) == 0 {
+						ix.Delete(prev, prevID)
+						prevID = 0
+						continue
+					}
+					p := gnn.Point{rng.Float64() * 10_000, rng.Float64() * 10_000}
+					if err := ix.Insert(p, id); err != nil {
+						queryErr.Store(&err)
+						return
+					}
+					prev, prevID = p, id
+					id++
+				}
+			}(w)
+		}
+	}
+
+	start := time.Now()
+	time.Sleep(window)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	ix.StopCompactor()
+
+	if ep := queryErr.Load(); ep != nil {
+		return mutatePoint{}, *ep
+	}
+	n := queries.Load()
+	stats := ix.Stats()
+	pt := mutatePoint{
+		WritesPerSec:     writesPerSec,
+		CompactThreshold: threshold,
+		QueriesSec:       float64(n) / elapsed.Seconds(),
+		Seconds:          elapsed.Seconds(),
+		Compactions:      stats.CompactGen,
+		FinalDelta:       stats.Delta + stats.Tombstones,
+	}
+	if n > 0 {
+		pt.NAPerQuery = float64(ix.Cost().NodeAccesses) / float64(n)
+	}
+	return pt, ix.Close()
+}

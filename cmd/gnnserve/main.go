@@ -8,10 +8,12 @@
 //	curl -s localhost:8080/v1/groupnn -d '{"query":[[2000,3000],[2500,3500]],"k":3}'
 //
 // Endpoints: POST /v1/groupnn (one query group), POST /v1/batch (many
-// groups, one deadline), GET /v1/stats (counters, latency percentiles,
-// reload health), GET /healthz (process liveness), GET /readyz (serving
-// readiness; flips 503 during drain), POST /admin/reload (hot snapshot
-// swap; also on SIGHUP).
+// groups, one deadline), POST /v1/insert and /v1/delete (writes into
+// the delta overlay while the mapped base keeps serving), GET /v1/stats
+// (counters, latency percentiles, reload and compaction health), GET
+// /healthz (process liveness), GET /readyz (serving readiness; flips
+// 503 during drain), POST /admin/reload (hot snapshot swap; also on
+// SIGHUP).
 //
 // Failure behavior: requests carry a deadline (timeout_ms, clamped to
 // -max-timeout) that propagates into the traversal kernels — slow or
@@ -19,7 +21,14 @@
 // visits; load beyond -max-inflight waits at most -queue-wait then gets
 // 429 + Retry-After; a reload of a corrupt snapshot is rejected (409)
 // while the live index keeps serving; SIGTERM flips /readyz, drains
-// inflight requests up to -drain-timeout, then unmaps and exits.
+// inflight requests up to -drain-timeout, waits out any in-flight
+// background compaction (so no rotation temp file is orphaned), then
+// unmaps and exits.
+//
+// With -compact-threshold N, writes are folded into a fresh packed base
+// by a background compactor once the overlay reaches N entries, and the
+// serving snapshot file is rotated crash-safely (write temp → fsync →
+// verify → rename) so a restart picks up the folded state.
 package main
 
 import (
@@ -48,6 +57,8 @@ func main() {
 		drain       = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain bound")
 		bufferPages = flag.Int("buffer", 0, "LRU buffer pages for access accounting (0 = none)")
 		eager       = flag.Bool("eager-verify", false, "verify the initial snapshot open eagerly")
+		compactAt   = flag.Int("compact-threshold", 0, "overlay size triggering background compaction (0 = disabled)")
+		compactIvl  = flag.Duration("compact-interval", 50*time.Millisecond, "background compactor poll period")
 	)
 	flag.Parse()
 	if *snap == "" {
@@ -57,14 +68,16 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		SnapshotPath:   *snap,
-		MaxInflight:    *maxInflight,
-		QueueWait:      *queueWait,
-		DefaultTimeout: *defTimeout,
-		MaxTimeout:     *maxTimeout,
-		DrainTimeout:   *drain,
-		BufferPages:    *bufferPages,
-		EagerVerify:    *eager,
+		SnapshotPath:     *snap,
+		MaxInflight:      *maxInflight,
+		QueueWait:        *queueWait,
+		DefaultTimeout:   *defTimeout,
+		MaxTimeout:       *maxTimeout,
+		DrainTimeout:     *drain,
+		BufferPages:      *bufferPages,
+		EagerVerify:      *eager,
+		CompactThreshold: *compactAt,
+		CompactInterval:  *compactIvl,
 	})
 	if err != nil {
 		log.Fatalf("gnnserve: opening %s: %v", *snap, err)

@@ -134,10 +134,14 @@ func (ix *Index) GroupNNFromSetWithCost(qs *QuerySet, algo DiskAlgorithm, opts .
 	if err := ix.prepare(); err != nil {
 		return nil, Cost{}, err
 	}
+	v := ix.view.Load()
+	if v.ov != nil {
+		return nil, Cost{}, ErrPendingMutations
+	}
 	dopt := core.DiskOptions{Options: c.coreOptions()}
 	var tk pagestore.CostTracker
 	dopt.Cost = &tk
-	p, err := ix.packedForLayout(c.layout, c.region)
+	p, err := packedForLayout(v, c.layout, c.region)
 	if err != nil {
 		return nil, Cost{}, err
 	}
@@ -148,9 +152,9 @@ func (ix *Index) GroupNNFromSetWithCost(qs *QuerySet, algo DiskAlgorithm, opts .
 	var rep *core.DiskReport
 	switch algo {
 	case DiskFMQM:
-		rep, err = core.FMQM(ix.tree, qs.qf, dopt)
+		rep, err = core.FMQM(v.tree, qs.qf, dopt)
 	case DiskFMBM:
-		rep, err = core.FMBM(ix.tree, qs.qf, dopt)
+		rep, err = core.FMBM(v.tree, qs.qf, dopt)
 	default:
 		return nil, Cost{}, fmt.Errorf("gnn: unknown disk algorithm %v", algo)
 	}
@@ -183,7 +187,11 @@ func (ix *Index) GroupNNClosestPairsWithCost(queryIndex *Index, pairBudget int64
 		// than silently degrade.
 		return nil, Cost{}, fmt.Errorf("gnn: GCP traverses two dynamic trees: %w", ErrNotPacked)
 	}
-	if ix.tree.IsShell() || queryIndex.tree.IsShell() {
+	v, qv := ix.view.Load(), queryIndex.view.Load()
+	if v.ov != nil || qv.ov != nil {
+		return nil, Cost{}, ErrPendingMutations
+	}
+	if v.tree.IsShell() || qv.tree.IsShell() {
 		// Mapped indexes have no dynamic nodes for GCP to pair-traverse.
 		return nil, Cost{}, fmt.Errorf("gnn: GCP traverses two dynamic trees: %w", ErrMappedDynamic)
 	}
@@ -196,7 +204,7 @@ func (ix *Index) GroupNNClosestPairsWithCost(queryIndex *Index, pairBudget int64
 	}
 	var tk pagestore.CostTracker
 	gopt.Cost = &tk
-	rep, err := core.GCP(ix.tree, queryIndex.tree, gopt)
+	rep, err := core.GCP(v.tree, qv.tree, gopt)
 	if err != nil {
 		return nil, Cost{}, err
 	}

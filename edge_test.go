@@ -221,7 +221,8 @@ func TestLayoutPinningEdges(t *testing.T) {
 	}
 	assertNotPacked(fresh, "incremental")
 
-	// Pack restores pinned-packed service; a mutation invalidates again.
+	// Pack freezes the base and restores pinned-packed service; from then
+	// on mutations land in the overlay and pinned-packed keeps serving.
 	fresh.Pack()
 	if _, err := fresh.GroupNN(group, gnn.WithLayout(gnn.LayoutPacked)); err != nil {
 		t.Fatalf("pinned-packed after Pack: %v", err)
@@ -229,7 +230,25 @@ func TestLayoutPinningEdges(t *testing.T) {
 	if err := fresh.Insert(gnn.Point{1, 1}, 999); err != nil {
 		t.Fatal(err)
 	}
-	assertNotPacked(fresh, "mutated")
+	for _, algo := range []gnn.Algorithm{gnn.AlgoMBM, gnn.AlgoMQM, gnn.AlgoSPM, gnn.AlgoBruteForce} {
+		if _, err := fresh.GroupNN(group, gnn.WithAlgorithm(algo), gnn.WithLayout(gnn.LayoutPacked)); err != nil {
+			t.Fatalf("mutated: %v pinned-packed: %v", algo, err)
+		}
+	}
+	if it, err := fresh.GroupNNIterator(group, gnn.WithLayout(gnn.LayoutPacked)); err != nil {
+		t.Fatalf("mutated: iterator pinned-packed: %v", err)
+	} else {
+		it.Close()
+	}
+	// The disk family refuses pending mutations with a dedicated
+	// sentinel instead of serving from a stale base.
+	qset, qerr := gnn.NewQuerySet(randGroup(rng, 50), gnn.QuerySetConfig{})
+	if qerr != nil {
+		t.Fatal(qerr)
+	}
+	if _, err := fresh.GroupNNFromSet(qset, gnn.DiskAuto); !errors.Is(err, gnn.ErrPendingMutations) {
+		t.Fatalf("mutated: disk query: %v, want ErrPendingMutations", err)
+	}
 
 	// LayoutDynamic and LayoutAuto always serve, snapshot or not.
 	for _, layout := range []gnn.Layout{gnn.LayoutDynamic, gnn.LayoutAuto} {

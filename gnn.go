@@ -20,8 +20,23 @@
 // against one shared Index. Per-query costs (GroupNNWithCost) and the
 // index-wide aggregate (Index.Cost) stay exact under concurrency: the
 // per-query costs of any set of queries sum to the aggregate they accrued.
-// Insert and Delete mutate the tree and require external synchronisation
-// with no concurrent readers.
+//
+// Writes under live traffic: once an index has a packed base (BuildIndex,
+// OpenSnapshot*, or the first Pack), Insert and Delete are safe to call
+// concurrently with any number of readers. Mutations never touch the
+// immutable base — inserts land in a small delta overlay (a dynamic
+// pending tail folded into a packed mini tree) and deletes tombstone base
+// points or physically remove overlay points — and every write publishes
+// a new immutable index view atomically, so an in-flight query keeps
+// traversing the consistent view it started on. Queries merge the base,
+// delta and pending candidate streams with the same shared-bound
+// machinery the sharded scatter uses, returning exactly what a fresh
+// index over the live point set would return. Pack (or the background
+// compactor, see StartCompactor) folds the overlay back into a fresh
+// packed base off the hot path and swaps it in under live readers. Only a
+// never-packed index (NewIndex before its first Pack) retains the legacy
+// contract: mutations go straight into the R*-tree and require external
+// synchronisation with no concurrent readers.
 //
 // Scale-out: ShardedIndex Hilbert-partitions the data set into S
 // independent packed R-trees and answers the same query surface by
@@ -48,12 +63,14 @@ package gnn
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"gnn/internal/core"
 	"gnn/internal/geom"
 	"gnn/internal/mmapfile"
+	"gnn/internal/overlay"
 	"gnn/internal/pagestore"
 	"gnn/internal/rtree"
 )
@@ -85,19 +102,45 @@ type IndexConfig struct {
 
 // Index is an R*-tree over the data set P. Build one with NewIndex (empty,
 // then Insert) or BuildIndex (bulk load). All read operations are safe for
-// unlimited concurrent callers; Insert and Delete require external
-// synchronisation with no concurrent readers.
+// unlimited concurrent callers.
 //
-// Serving layout: BuildIndex additionally packs the tree into a flat,
-// cache-friendly SoA snapshot (see Pack) that queries use by default.
-// Insert and Delete invalidate the snapshot — subsequent queries fall
-// back to the dynamic nodes with identical results and costs — and Pack
-// rebuilds it under the same no-concurrent-readers contract as the
-// mutation itself.
+// Serving layout: BuildIndex packs the tree into a flat, cache-friendly
+// SoA snapshot (see Pack) that queries use by default. The packed base is
+// immutable: Insert and Delete on a packed index go into a delta overlay
+// (see the package comment) and are themselves safe under concurrent
+// readers; Pack or the background compactor folds the overlay back into
+// a fresh packed base. On a never-packed index (NewIndex before the first
+// Pack) mutations go straight into the R*-tree and require external
+// synchronisation with no concurrent readers.
 type Index struct {
-	tree   *rtree.Tree
-	acct   *pagestore.Accountant
-	packed *rtree.Packed
+	// view is the index's current immutable serving state: base tree,
+	// packed base arena and write overlay. Readers load it once per
+	// operation (lock-free); writers build a successor under mu and
+	// publish it atomically.
+	view atomic.Pointer[viewState]
+	acct *pagestore.Accountant
+	rcfg rtree.Config
+
+	// mu serializes writers: Insert, Delete, Pack and the compactor's
+	// swap step. Readers never take it.
+	mu sync.Mutex
+	// log records the effective mutations applied since the current base
+	// was built (under mu); the compactor replays the tail that arrived
+	// while it was repacking. A published view's seq always equals the
+	// log length at publish time.
+	log []overlay.Mutation
+	// comp is the background compactor, nil unless StartCompactor ran.
+	comp *compactor
+	// compactMu serializes whole compaction cycles (manual Compact/Pack
+	// vs the background loop) so two repacks never interleave.
+	compactMu sync.Mutex
+	// persist is the crash-safe rotation target ("" = no on-disk
+	// rotation), set by StartCompactor; guarded by mu.
+	persist string
+
+	compactGen atomic.Uint64          // completed compactions
+	compactNS  atomic.Int64           // duration of the last compaction
+	compactErr atomic.Pointer[string] // last compaction error ("" = none)
 
 	// mapped is the file view backing a zero-copy open
 	// (OpenSnapshotMapped); nil for every other construction. closed
@@ -117,8 +160,8 @@ func (ix *Index) prepare() error {
 	if ix.closed.Load() {
 		return ErrSnapshotClosed
 	}
-	if ix.packed != nil {
-		return ix.packed.Prepare()
+	if v := ix.view.Load(); v.packed != nil {
+		return v.packed.Prepare()
 	}
 	return nil
 }
@@ -153,6 +196,16 @@ func drainRefs(refs *atomic.Int64) {
 	}
 }
 
+// newIndexOver wraps a constructed base (tree + optional packed arena)
+// into an Index with its initial view published.
+func newIndexOver(t *rtree.Tree, p *rtree.Packed, acct *pagestore.Accountant, rcfg rtree.Config) *Index {
+	ix := &Index{acct: acct, rcfg: rcfg}
+	ix.view.Store(&viewState{tree: t, packed: p, frozen: p != nil})
+	empty := ""
+	ix.compactErr.Store(&empty)
+	return ix
+}
+
 // NewIndex returns an empty index.
 func NewIndex(cfg IndexConfig) (*Index, error) {
 	acct, rcfg := indexConfig(cfg)
@@ -160,7 +213,7 @@ func NewIndex(cfg IndexConfig) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{tree: t, acct: acct}, nil
+	return newIndexOver(t, nil, acct, rcfg), nil
 }
 
 // BuildIndex bulk-loads an index from points using sort-tile-recursive
@@ -175,7 +228,7 @@ func BuildIndex(points []Point, ids []int64, cfg IndexConfig) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{tree: t, acct: acct, packed: t.Pack()}, nil
+	return newIndexOver(t, t.Pack(), acct, rcfg), nil
 }
 
 func indexConfig(cfg IndexConfig) (*pagestore.Accountant, rtree.Config) {
@@ -187,61 +240,128 @@ func indexConfig(cfg IndexConfig) (*pagestore.Accountant, rtree.Config) {
 	}
 }
 
-// Insert adds a data point with its identifier. A successful insert
-// invalidates the packed serving layout; call Pack after a mutation batch
-// to restore it. (A rejected insert leaves the tree — and therefore the
-// snapshot — untouched.)
+// Insert adds a data point with its identifier. On a packed index the
+// insert lands in the delta overlay — the packed base keeps serving, and
+// the insert is safe under concurrent readers; Pack or the background
+// compactor folds the overlay into a fresh base. On a never-packed index
+// it mutates the R*-tree directly (legacy contract: no concurrent
+// readers). A rejected insert (dimension mismatch) changes nothing.
 func (ix *Index) Insert(p Point, id int64) error {
-	if err := ix.tree.Insert(geom.Point(p), id); err != nil {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.closed.Load() {
+		return ErrSnapshotClosed
+	}
+	v := ix.view.Load()
+	if !v.frozen {
+		return v.tree.Insert(geom.Point(p), id)
+	}
+	if len(p) != v.tree.Dim() {
+		return fmt.Errorf("rtree: point dimension %d, tree dimension %d", len(p), v.tree.Dim())
+	}
+	nv, err := ix.applyInsert(v, geom.Point(p).Clone(), id)
+	if err != nil {
 		return err
 	}
-	ix.packed = nil
+	ix.log = append(ix.log, overlay.Mutation{P: geom.Point(p).Clone(), ID: id})
+	ix.view.Store(nv)
+	ix.kickCompactor(nv)
 	return nil
 }
 
 // Delete removes one occurrence of (p, id); it reports whether a matching
-// entry existed. A successful delete invalidates the packed serving
-// layout; call Pack after a mutation batch to restore it. (A no-op delete
-// leaves the snapshot valid.)
+// entry existed. On a packed index the delete either physically removes an
+// overlay point or tombstones a base occurrence — the packed base keeps
+// serving, and the delete is safe under concurrent readers. On a
+// never-packed index it mutates the R*-tree directly (legacy contract: no
+// concurrent readers). A no-op delete changes nothing.
 func (ix *Index) Delete(p Point, id int64) bool {
-	if !ix.tree.Delete(geom.Point(p), id) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.closed.Load() {
 		return false
 	}
-	ix.packed = nil
+	v := ix.view.Load()
+	if !v.frozen {
+		return v.tree.Delete(geom.Point(p), id)
+	}
+	if len(p) != v.tree.Dim() {
+		return false
+	}
+	if ix.prepare() != nil {
+		return false // unverifiable mapping; queries report why
+	}
+	nv, ok := ix.applyDelete(v, geom.Point(p).Clone(), id)
+	if !ok {
+		return false
+	}
+	ix.log = append(ix.log, overlay.Mutation{Del: true, P: geom.Point(p).Clone(), ID: id})
+	ix.view.Store(nv)
+	ix.kickCompactor(nv)
 	return true
 }
 
 // Pack (re)builds the packed serving layout: an immutable snapshot of the
-// tree that stores all nodes in one flat structure-of-arrays arena, which
+// index that stores all nodes in one flat structure-of-arrays arena, which
 // queries then traverse instead of the pointer-linked nodes — same
 // results, same node-access counts, substantially less pointer chasing.
-// BuildIndex packs automatically; call Pack after Insert/Delete batches
-// on an incrementally built or mutated index. Like the mutations
-// themselves, Pack requires that no queries run concurrently with it.
+// BuildIndex packs automatically. On a never-packed index Pack freezes the
+// current tree as the immutable base (structure preserved, so results and
+// node accesses are unchanged); from then on mutations go through the
+// overlay. On a packed index with overlay writes Pack compacts
+// synchronously: base and overlay are folded into a fresh packed base
+// (equivalent to Compact, with any error recorded in Stats). Pack is safe
+// under concurrent readers; only the never-packed→packed transition
+// retains the legacy no-concurrent-readers contract of the mutations
+// that preceded it.
 func (ix *Index) Pack() {
-	if ix.tree.IsShell() {
-		return // a mapped index's arena is permanently valid
+	ix.mu.Lock()
+	if ix.closed.Load() {
+		ix.mu.Unlock()
+		return
 	}
-	ix.packed = ix.tree.Pack()
+	v := ix.view.Load()
+	if !v.frozen {
+		ix.view.Store(&viewState{tree: v.tree, packed: v.tree.Pack(), frozen: true, seq: v.seq})
+		ix.mu.Unlock()
+		return
+	}
+	ov := v.ov
+	ix.mu.Unlock()
+	if ov != nil {
+		ix.Compact() // error recorded in Stats; old view keeps serving on failure
+	}
 }
 
-// IsPacked reports whether the index currently serves queries from the
-// packed layout (false after any Insert/Delete until Pack is called).
-func (ix *Index) IsPacked() bool { return ix.packed.Valid(ix.tree) }
+// IsPacked reports whether the index serves queries from a packed base
+// arena. Overlay writes do not unpack the base: a built or snapshot-opened
+// index stays packed across Insert/Delete. Only a never-packed index
+// (NewIndex before the first Pack) reports false.
+func (ix *Index) IsPacked() bool {
+	v := ix.view.Load()
+	return v.packed.Valid(v.tree)
+}
 
-// servingPacked returns the packed snapshot queries should use, or nil.
+// servingPacked returns the packed base of the current view, or nil.
+// Kept for call sites that do not otherwise need the view; paths that
+// already hold a view use v.servingPacked() for a consistent read.
 func (ix *Index) servingPacked() *rtree.Packed {
-	if ix.packed.Valid(ix.tree) {
-		return ix.packed
-	}
-	return nil
+	return ix.view.Load().servingPacked()
 }
 
-// Len returns the number of indexed points.
-func (ix *Index) Len() int { return ix.tree.Len() }
+// Len returns the number of live points: base points not masked by a
+// delete tombstone, plus overlay inserts.
+func (ix *Index) Len() int {
+	v := ix.view.Load()
+	n := v.tree.Len()
+	if v.ov != nil {
+		n += len(v.ov.pts) - v.ov.tombs.Total()
+	}
+	return n
+}
 
 // Dim returns the index dimensionality.
-func (ix *Index) Dim() int { return ix.tree.Dim() }
+func (ix *Index) Dim() int { return ix.view.Load().tree.Dim() }
 
 // Bounds returns the MBR of the indexed points as (lo, hi); ok is false
 // when the index is empty.
@@ -253,7 +373,18 @@ func (ix *Index) Bounds() (lo, hi Point, ok bool) {
 	if ix.prepare() != nil {
 		return nil, nil, false // corrupt mapping; opens/queries report why
 	}
-	r, ok := ix.tree.Bounds()
+	v := ix.view.Load()
+	r, ok := v.tree.Bounds()
+	if v.ov != nil && len(v.ov.pts) > 0 {
+		// Overlay inserts can extend the MBR. Deletes are not shrunk
+		// until compaction, so the bounds are conservative (never too
+		// small) on a mutated index.
+		or := geom.BoundingRect(v.ov.pts)
+		if ok {
+			or = or.Union(r)
+		}
+		r, ok = or, true
+	}
 	if !ok {
 		return nil, nil, false
 	}
@@ -309,7 +440,14 @@ func (ix *Index) CheckInvariants() error {
 	if err := ix.prepare(); err != nil {
 		return err
 	}
-	return ix.tree.CheckInvariants()
+	v := ix.view.Load()
+	if err := v.tree.CheckInvariants(); err != nil {
+		return err
+	}
+	if v.ov != nil && v.ov.delta != nil {
+		return v.ov.delta.CheckInvariants()
+	}
+	return nil
 }
 
 // NearestNeighbors answers a classical point-NN query (k nearest indexed
@@ -337,12 +475,83 @@ func (ix *Index) NearestNeighborsWithCost(q Point, k int) ([]Result, Cost, error
 		return nil, Cost{}, err
 	}
 	var tk pagestore.CostTracker
-	nbs := rtree.ReaderOver(ix.tree, ix.servingPacked(), &tk).NearestBF(geom.Point(q), k)
-	out := make([]Result, len(nbs))
-	for i, nb := range nbs {
-		out[i] = Result{Point: Point(nb.Point), ID: nb.ID, Dist: nb.Dist}
+	v := ix.view.Load()
+	if v.ov == nil {
+		nbs := rtree.ReaderOver(v.tree, v.servingPacked(), &tk).NearestBF(geom.Point(q), k)
+		out := make([]Result, len(nbs))
+		for i, nb := range nbs {
+			out[i] = Result{Point: Point(nb.Point), ID: nb.ID, Dist: nb.Dist}
+		}
+		return out, costOf(tk), nil
 	}
-	return out, costOf(tk), nil
+	return ix.nearestOverlay(v, geom.Point(q), k, &tk)
+}
+
+// nearestOverlay merges the base NN stream (tombstoned hits skipped),
+// the delta-tree NN stream and the exact pending distances into the k
+// nearest live points. Cost is the sum of both tree traversals' node
+// accesses; the pending tail is a memory array and charges nothing.
+func (ix *Index) nearestOverlay(v *viewState, q geom.Point, k int, tk *pagestore.CostTracker) ([]Result, Cost, error) {
+	ov := v.ov
+	base := rtree.ReaderOver(v.tree, v.servingPacked(), tk).NewNNIterator(q)
+	defer base.Close()
+	nextBase := func() (rtree.Neighbor, bool) {
+		for {
+			nb, ok := base.Next()
+			if !ok {
+				return rtree.Neighbor{}, false
+			}
+			if ov.tombs.Rejects(nb.Point, nb.ID) {
+				continue
+			}
+			return nb, true
+		}
+	}
+	nextDelta := func() (rtree.Neighbor, bool) { return rtree.Neighbor{}, false }
+	if ov.delta != nil {
+		delta := rtree.ReaderOver(ov.delta, ov.deltaP, tk).NewNNIterator(q)
+		defer delta.Close()
+		nextDelta = func() (rtree.Neighbor, bool) { return delta.Next() }
+	}
+	pend := core.ScanNeighbors(ov.pts[ov.folded:], ov.ids[ov.folded:], q)
+	pi := 0
+	nextPend := func() (rtree.Neighbor, bool) {
+		if pi >= len(pend) {
+			return rtree.Neighbor{}, false
+		}
+		g := pend[pi]
+		pi++
+		return rtree.Neighbor{Point: g.Point, ID: g.ID, Dist: g.Dist}, true
+	}
+
+	type head struct {
+		nb   rtree.Neighbor
+		ok   bool
+		next func() (rtree.Neighbor, bool)
+	}
+	heads := []head{{next: nextBase}, {next: nextDelta}, {next: nextPend}}
+	for i := range heads {
+		heads[i].nb, heads[i].ok = heads[i].next()
+	}
+	out := make([]Result, 0, k)
+	for len(out) < k {
+		pick := -1
+		for i := range heads {
+			if !heads[i].ok {
+				continue
+			}
+			if pick == -1 || heads[i].nb.Dist < heads[pick].nb.Dist {
+				pick = i
+			}
+		}
+		if pick == -1 {
+			break
+		}
+		nb := heads[pick].nb
+		out = append(out, Result{Point: Point(nb.Point), ID: nb.ID, Dist: nb.Dist})
+		heads[pick].nb, heads[pick].ok = heads[pick].next()
+	}
+	return out, costOf(*tk), nil
 }
 
 func toResults(gs []core.GroupNeighbor) []Result {

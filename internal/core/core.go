@@ -42,6 +42,11 @@ type GroupNeighbor struct {
 	Dist  float64
 }
 
+// RejectFunc vetoes a candidate data point (see Options.Reject). It must
+// be pure and safe for concurrent use: the sharded scatter calls one
+// function value from every shard worker.
+type RejectFunc func(p geom.Point, id int64) bool
+
 // Aggregate selects the distance-combination function dist(p,Q).
 type Aggregate int
 
@@ -147,6 +152,15 @@ type Options struct {
 	// among the final k — and MergeNeighbors reassembles the exact answer.
 	// nil (the default) is a plain standalone query.
 	Shared *SharedBound
+	// Reject, when non-nil, vetoes candidates before they can enter the
+	// result set: a data point for which Reject returns true is skipped
+	// as if it were not indexed. The overlay layer uses it to filter
+	// delete-tombstoned base points out of base-tree traversals. The
+	// filter acts at the result accumulator (and the iterator's candidate
+	// stage), never at node granularity, so the traversal order and the
+	// node-access counts of a traversal are unchanged — only which leaf
+	// points may become results. nil rejects nothing.
+	Reject RejectFunc
 	// Cancel, when non-nil, is polled at bounded intervals inside the
 	// MQM/SPM/MBM/BruteForce traversal loops; once its context fires the
 	// kernel unwinds and returns ErrCanceled/ErrDeadlineExceeded, with the
@@ -296,6 +310,7 @@ type kbest struct {
 	k      int
 	items  []GroupNeighbor
 	shared *SharedBound
+	reject RejectFunc
 }
 
 func newKBest(k int) *kbest {
@@ -319,8 +334,14 @@ func (b *kbest) bound() float64 {
 }
 
 // offer inserts the candidate if it ranks among the k best and its ID is
-// not already present. Returns true when the result set changed.
+// not already present. Returns true when the result set changed. A
+// rejected candidate (Options.Reject) never changes the set, so kernels
+// naturally keep searching past tombstoned points: their pruning bound
+// only tightens from candidates that remain live.
 func (b *kbest) offer(g GroupNeighbor) bool {
+	if b.reject != nil && b.reject(g.Point, g.ID) {
+		return false
+	}
 	for _, it := range b.items {
 		if it.ID == g.ID {
 			return false // already a result (same point ⇒ same distance)
@@ -369,7 +390,7 @@ func BruteForce(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, e
 	}
 	ec, owned := opt.exec()
 	defer releaseIfOwned(ec, owned)
-	best := ec.kbestShared(opt.K, opt.Shared)
+	best := ec.kbestShared(opt.K, opt.Shared, opt.Reject)
 	if p := opt.packedFor(t, true); p != nil {
 		bruteForcePacked(p, qs, w, opt, best, ec)
 		if err := opt.Cancel.Failure(); err != nil {

@@ -180,17 +180,20 @@ func groupSoAInto(dst [][]float64, flat []float64, qs []geom.Point) ([][]float64
 	return dst, flat
 }
 
-// kbestFor returns the context's result accumulator, reset for k results.
-func (ec *ExecContext) kbestFor(k int) *kbest {
+// kbestFor returns the context's result accumulator, reset for k results,
+// with an optional candidate veto (nil rejects nothing).
+func (ec *ExecContext) kbestFor(k int, rej RejectFunc) *kbest {
 	ec.best.reset(k)
+	ec.best.reject = rej
 	return &ec.best
 }
 
 // kbestShared is kbestFor coupled to a cross-shard pruning bound (nil for
 // a standalone query — the common case — which behaves exactly as before).
-func (ec *ExecContext) kbestShared(k int, s *SharedBound) *kbest {
+func (ec *ExecContext) kbestShared(k int, s *SharedBound, rej RejectFunc) *kbest {
 	ec.best.reset(k)
 	ec.best.shared = s
+	ec.best.reject = rej
 	return &ec.best
 }
 
@@ -249,4 +252,5 @@ func (b *kbest) reset(k int) {
 	}
 	b.k = k
 	b.shared = nil
+	b.reject = nil
 }

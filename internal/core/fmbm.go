@@ -47,7 +47,7 @@ func FMBM(t *rtree.Tree, qf *QueryFile, opt DiskOptions) (*DiskReport, error) {
 	ec, owned := opt.exec()
 	defer releaseIfOwned(ec, owned)
 	f := &fmbmRun{rd: rtree.ReaderOver(t, opt.packedFor(t, false), opt.Cost),
-		qf: qf, opt: opt, best: ec.kbestFor(opt.K), ec: ec, report: &DiskReport{}}
+		qf: qf, opt: opt, best: ec.kbestFor(opt.K, opt.Reject), ec: ec, report: &DiskReport{}}
 	if t.Len() > 0 {
 		switch {
 		case f.rd.Packed() != nil && opt.Traversal == DepthFirst:

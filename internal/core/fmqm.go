@@ -77,7 +77,7 @@ func FMQM(t *rtree.Tree, qf *QueryFile, opt DiskOptions) (*DiskReport, error) {
 	ec.thresholds = growFloats(ec.thresholds, m)
 	thresholds := ec.thresholds
 	var pending []*fmqmCand
-	best := ec.kbestFor(opt.K)
+	best := ec.kbestFor(opt.K, opt.Reject)
 	report := &DiskReport{}
 
 	sumT := func() float64 {

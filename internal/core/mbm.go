@@ -39,7 +39,7 @@ func MBM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 		if err != nil {
 			return nil, err
 		}
-		best := ec.kbestShared(opt.K, opt.Shared)
+		best := ec.kbestShared(opt.K, opt.Shared, opt.Reject)
 		st := mbmState{
 			rd:   rtree.ReaderOver(t, opt.packedFor(t, false), opt.Cost),
 			qs:   qs,
@@ -66,7 +66,7 @@ func MBM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 		return nil, err
 	}
 	defer it.Close()
-	best := ec.kbestShared(opt.K, opt.Shared)
+	best := ec.kbestShared(opt.K, opt.Shared, opt.Reject)
 	for len(best.items) < opt.K {
 		// The iterator emits in ascending order, so once its lower bound
 		// reaches the pruning bound nothing ahead can improve the result.
@@ -399,6 +399,9 @@ func (it *GNNIterator) nextPacked() (GroupNeighbor, bool) {
 				Dist:  item.Priority,
 			}, true
 		case pointCheap:
+			if rej := it.opt.Reject; rej != nil && rej(p.LeafPoint(slot), p.LeafID(slot)) {
+				continue // tombstoned: drop before the exact-distance stage
+			}
 			it.opt.Trace.add(func(tr *Trace) { tr.ExactDistances++ })
 			exact := aggDistSoA(it.opt.Aggregate, p.LeafPoint(slot), it.gq, it.w)
 			it.ph.Push(pgnnItem{item.Value.ref, pointExact}, exact)
@@ -445,6 +448,9 @@ func (it *GNNIterator) Next() (GroupNeighbor, bool) {
 				Dist:  item.Priority,
 			}, true
 		case pointCheap:
+			if rej := it.opt.Reject; rej != nil && rej(item.Value.e.Point, item.Value.e.ID) {
+				continue // tombstoned: drop before the exact-distance stage
+			}
 			it.opt.Trace.add(func(tr *Trace) { tr.ExactDistances++ })
 			exact := aggDistSoA(it.opt.Aggregate, item.Value.e.Point, it.gq, it.w)
 			it.heap.Push(gnnItem{item.Value.e, pointExact}, exact)

@@ -1,0 +1,134 @@
+// Overlay support: the pieces the delta-overlay index layer composes on
+// top of the paper kernels. A mutated index answers a query by running
+// the chosen kernel once per source (immutable base tree, small delta
+// tree, unfolded pending points) and reassembling the exact answer with
+// MergeNeighbors — the same multi-source discipline the sharded scatter
+// uses, so the bit-exactness argument is identical.
+
+package core
+
+import (
+	"sort"
+
+	"gnn/internal/geom"
+)
+
+// Stream is an ascending-distance candidate stream: the common surface of
+// GNNIterator (one per tree source) and ListStream (pending points). The
+// shard merge iterator consumes Streams, which lets one merge
+// implementation serve both sharded queries and overlay queries.
+type Stream interface {
+	// Next returns the next candidate; ok is false when exhausted.
+	Next() (GroupNeighbor, bool)
+	// PeekDist returns a lower bound on the next candidate's distance;
+	// ok is false when exhausted.
+	PeekDist() (float64, bool)
+	// Close releases the stream's resources; it is idempotent.
+	Close()
+}
+
+// ListStream adapts a pre-computed, ascending-sorted result list to the
+// Stream interface. Unlike a tree iterator its distances are exact, so
+// PeekDist is tight.
+type ListStream struct {
+	items []GroupNeighbor
+	pos   int
+}
+
+// NewListStream sorts items ascending by distance and wraps them. The
+// slice is retained and reordered in place.
+func NewListStream(items []GroupNeighbor) *ListStream {
+	sort.SliceStable(items, func(i, j int) bool { return items[i].Dist < items[j].Dist })
+	return &ListStream{items: items}
+}
+
+// Next implements Stream.
+func (ls *ListStream) Next() (GroupNeighbor, bool) {
+	if ls.pos >= len(ls.items) {
+		return GroupNeighbor{}, false
+	}
+	g := ls.items[ls.pos]
+	ls.pos++
+	return g, true
+}
+
+// PeekDist implements Stream.
+func (ls *ListStream) PeekDist() (float64, bool) {
+	if ls.pos >= len(ls.items) {
+		return 0, false
+	}
+	return ls.items[ls.pos].Dist, true
+}
+
+// Close implements Stream.
+func (ls *ListStream) Close() { ls.items = nil; ls.pos = 0 }
+
+// ScanPoints computes the k best group neighbors over an explicit point
+// list — the overlay's pending tail, points inserted since the delta tree
+// was last folded. It charges no node accesses (the pending tail is a
+// memory-resident array, not an index) and honours the full option set
+// the kernels do: aggregate, weights, region, shared bound. Reject is
+// deliberately ignored: pending points are physically removed on delete,
+// never tombstoned.
+func ScanPoints(pts []geom.Point, ids []int64, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
+	opt = opt.withDefaults()
+	if len(qs) == 0 {
+		return nil, ErrEmptyQuery
+	}
+	if opt.K < 1 {
+		return nil, ErrBadK
+	}
+	w, err := newWeightCtx(opt.Weights, len(qs))
+	if err != nil {
+		return nil, err
+	}
+	best := newKBest(opt.K)
+	best.shared = opt.Shared
+	for i, p := range pts {
+		if i%256 == 0 && opt.Cancel.Stop() {
+			break
+		}
+		if regionAllows(opt.Region, p) {
+			best.offer(GroupNeighbor{Point: p, ID: ids[i], Dist: aggDistW(opt.Aggregate, p, qs, w)})
+		}
+	}
+	if err := opt.Cancel.Failure(); err != nil {
+		return nil, err
+	}
+	return best.results(), nil
+}
+
+// ScanAll computes the aggregate distance of every pending-tail point —
+// honouring aggregate, weights, and region — sorted ascending. It backs
+// the incremental iterator path, which cannot bound k in advance; wrap
+// the result in a ListStream and merge it with the tree iterators.
+func ScanAll(pts []geom.Point, ids []int64, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
+	opt = opt.withDefaults()
+	if len(qs) == 0 {
+		return nil, ErrEmptyQuery
+	}
+	w, err := newWeightCtx(opt.Weights, len(qs))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GroupNeighbor, 0, len(pts))
+	for i, p := range pts {
+		if regionAllows(opt.Region, p) {
+			out = append(out, GroupNeighbor{Point: p, ID: ids[i], Dist: aggDistW(opt.Aggregate, p, qs, w)})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	return out, nil
+}
+
+// ScanNeighbors is ScanPoints for the overlay's pending tail of a plain
+// nearest-neighbor (single query point) search: exact distances, sorted
+// ascending, no node accesses.
+func ScanNeighbors(pts []geom.Point, ids []int64, q geom.Point) []GroupNeighbor {
+	out := make([]GroupNeighbor, 0, len(pts))
+	for i, p := range pts {
+		out = append(out, GroupNeighbor{Point: p, ID: ids[i], Dist: geom.Dist(p, q)})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	return out
+}

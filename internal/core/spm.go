@@ -47,7 +47,7 @@ func SPM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 	}
 	ec, owned := opt.exec()
 	defer releaseIfOwned(ec, owned)
-	best := ec.kbestShared(opt.K, opt.Shared)
+	best := ec.kbestShared(opt.K, opt.Shared, opt.Reject)
 	if t.Len() > 0 {
 		run := spmRun{rd: rtree.ReaderOver(t, opt.packedFor(t, false), opt.Cost),
 			qs: qs, gq: ec.groupSoA(qs), q: q, dq: dq, n: n, w: w, region: opt.Region,

@@ -1,0 +1,135 @@
+package overlay
+
+import (
+	"testing"
+
+	"gnn/internal/geom"
+)
+
+func TestTombSetEmpty(t *testing.T) {
+	var ts *TombSet
+	p := geom.Point{1, 2}
+	if ts.Total() != 0 || ts.Len() != 0 || ts.Rejects(p, 1) || ts.Masked(p, 1) != 0 {
+		t.Fatal("nil TombSet is not empty")
+	}
+	if _, ok := ts.Resurrect(p, 1); ok {
+		t.Fatal("resurrect on empty set succeeded")
+	}
+	if _, ok := ts.Delete(p, 1, 0); ok {
+		t.Fatal("delete with baseN=0 succeeded")
+	}
+	if ts.Consumer()(p, 1) {
+		t.Fatal("empty consumer dropped a point")
+	}
+	zero := &TombSet{}
+	if zero.Total() != 0 || zero.Len() != 0 || zero.Rejects(p, 1) {
+		t.Fatal("zero TombSet is not empty")
+	}
+}
+
+func TestTombSetMultiplicity(t *testing.T) {
+	p := geom.Point{1, 2}
+	ts, ok := (*TombSet)(nil).Delete(p, 7, 2)
+	if !ok {
+		t.Fatal("first delete refused")
+	}
+	// One of two copies masked: the point still has a live occurrence.
+	if ts.Rejects(p, 7) {
+		t.Fatal("half-masked point rejected")
+	}
+	if ts.Masked(p, 7) != 1 || ts.Total() != 1 || ts.Len() != 1 {
+		t.Fatalf("after 1 delete: masked=%d total=%d len=%d", ts.Masked(p, 7), ts.Total(), ts.Len())
+	}
+	ts2, ok := ts.Delete(p, 7, 99) // baseN only consulted on first delete
+	if !ok {
+		t.Fatal("second delete refused")
+	}
+	if !ts2.Rejects(p, 7) || ts2.Total() != 2 {
+		t.Fatal("fully masked point not rejected")
+	}
+	// Beyond multiplicity: refused, receiver returned unchanged.
+	ts3, ok := ts2.Delete(p, 7, 2)
+	if ok || ts3 != ts2 {
+		t.Fatal("over-delete succeeded")
+	}
+	// COW: the earlier generation is untouched.
+	if ts.Rejects(p, 7) || ts.Masked(p, 7) != 1 {
+		t.Fatal("earlier generation mutated")
+	}
+}
+
+func TestTombSetResurrect(t *testing.T) {
+	p := geom.Point{3, 4}
+	ts, _ := (*TombSet)(nil).Delete(p, 1, 1)
+	if !ts.Rejects(p, 1) {
+		t.Fatal("not masked")
+	}
+	ts2, ok := ts.Resurrect(p, 1)
+	if !ok {
+		t.Fatal("resurrect refused")
+	}
+	if ts2.Rejects(p, 1) || ts2.Total() != 0 || ts2.Len() != 0 {
+		t.Fatalf("resurrected set not empty: total=%d len=%d", ts2.Total(), ts2.Len())
+	}
+	// Draining to empty removes the id entry entirely.
+	if _, ok := ts2.Resurrect(p, 1); ok {
+		t.Fatal("double resurrect succeeded")
+	}
+	// COW again.
+	if !ts.Rejects(p, 1) {
+		t.Fatal("earlier generation mutated by Resurrect")
+	}
+}
+
+func TestTombSetDistinctPointsSameID(t *testing.T) {
+	// The base may hold different points under one id.
+	a, b := geom.Point{0, 0}, geom.Point{5, 5}
+	ts, _ := (*TombSet)(nil).Delete(a, 9, 1)
+	ts, ok := ts.Delete(b, 9, 1)
+	if !ok {
+		t.Fatal("delete of second point under same id refused")
+	}
+	if ts.Len() != 2 || ts.Total() != 2 {
+		t.Fatalf("len=%d total=%d", ts.Len(), ts.Total())
+	}
+	if !ts.Rejects(a, 9) || !ts.Rejects(b, 9) {
+		t.Fatal("per-point rejection wrong")
+	}
+	if ts.Rejects(geom.Point{1, 1}, 9) {
+		t.Fatal("unrelated point rejected")
+	}
+	ts, _ = ts.Resurrect(a, 9)
+	if ts.Rejects(a, 9) || !ts.Rejects(b, 9) {
+		t.Fatal("resurrect leaked across points")
+	}
+	n := 0
+	ts.Each(func(id int64, tb Tomb) { n++ })
+	if n != 1 {
+		t.Fatalf("Each visited %d tombs, want 1", n)
+	}
+}
+
+func TestTombSetConsumer(t *testing.T) {
+	// Base enumeration: three copies of p under id 1, two masked. The
+	// consumer must drop exactly two and pass the third through.
+	p := geom.Point{2, 2}
+	ts, _ := (*TombSet)(nil).Delete(p, 1, 3)
+	ts, _ = ts.Delete(p, 1, 3)
+	drop := ts.Consumer()
+	dropped := 0
+	for i := 0; i < 3; i++ {
+		if drop(p, 1) {
+			dropped++
+		}
+	}
+	if dropped != 2 {
+		t.Fatalf("consumer dropped %d, want 2", dropped)
+	}
+	if drop(geom.Point{9, 9}, 1) || drop(p, 2) {
+		t.Fatal("consumer dropped an unmasked point")
+	}
+	// The consumer is stateful but never mutates the set.
+	if ts.Masked(p, 1) != 2 {
+		t.Fatal("Consumer mutated the TombSet")
+	}
+}

@@ -162,6 +162,12 @@ var ErrImmutable = errors.New("rtree: tree borrows a read-only arena and cannot 
 // validate Packed snapshots.
 func (t *Tree) Mutations() uint64 { return t.muts }
 
+// Config returns the tree's effective configuration (defaults applied;
+// for snapshot-loaded trees, the writer's structural parameters). The
+// overlay layer uses it to bulk-load compacted replacements and delta
+// trees with identical geometry.
+func (t *Tree) Config() Config { return t.cfg }
+
 // IsShell reports whether the tree is the immutable metadata shell of a
 // borrowed packed arena: it has no dynamic nodes, so only packed-layout
 // traversals can serve it.

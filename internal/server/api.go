@@ -83,6 +83,23 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
+// MutateRequest is the body of POST /v1/insert and /v1/delete.
+type MutateRequest struct {
+	Point []float64 `json:"point"`
+	ID    int64     `json:"id"`
+}
+
+// MutateResponse reports a write's outcome. Deleted is meaningful only
+// for /v1/delete (false = no live (point, id) occurrence existed).
+// Delta and Tombstones echo the overlay size after the write so a
+// client can observe compaction progress without polling /v1/stats.
+type MutateResponse struct {
+	Deleted    bool   `json:"deleted"`
+	Delta      int    `json:"delta"`
+	Tombstones int    `json:"tombstones"`
+	Generation uint64 `json:"generation"`
+}
+
 // ReloadRequest is the body of POST /admin/reload. An empty path
 // reloads the live handle's own file.
 type ReloadRequest struct {
@@ -110,6 +127,7 @@ type StatsResponse struct {
 		Panics    uint64 `json:"panics"`
 		BadReq    uint64 `json:"bad_request"`
 		Inflight  int64  `json:"inflight"`
+		Mutations uint64 `json:"mutations"`
 	} `json:"requests"`
 	// Reload reports hot-reload health; LastError is the most recent
 	// rejected reload's message, empty after a success.
@@ -125,6 +143,15 @@ type StatsResponse struct {
 		P99  uint64  `json:"p99"`
 		P999 uint64  `json:"p999"`
 	} `json:"latency_us"`
+	// Overlay reports the live write-path state: pending overlay size,
+	// tombstoned base occurrences, and background-compaction health.
+	Overlay struct {
+		Delta             int    `json:"delta"`
+		Tombstones        int    `json:"tombstones"`
+		CompactionGen     uint64 `json:"compaction_gen"`
+		LastCompactionUS  int64  `json:"last_compaction_us"`
+		LastCompactionErr string `json:"last_compaction_error,omitempty"`
+	} `json:"overlay"`
 }
 
 // routes mounts every endpoint. Query endpoints pass through the
@@ -135,6 +162,8 @@ func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/groupnn", s.guard(s.handleGroupNN))
 	mux.HandleFunc("POST /v1/batch", s.guard(s.handleBatch))
+	mux.HandleFunc("POST /v1/insert", s.guard(s.handleInsert))
+	mux.HandleFunc("POST /v1/delete", s.guard(s.handleDelete))
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -278,16 +307,85 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// mutableHandle resolves the live handle's write surface, or fails the
+// request. Both index kinds are mutable; the assertion only misses if a
+// future Queryable implementation opts out of writes.
+func (s *Server) mutableHandle(w http.ResponseWriter) (*handle, Mutable, bool) {
+	h := s.liveHandle()
+	m, ok := h.q.(Mutable)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "live index does not accept writes")
+		return nil, nil, false
+	}
+	return h, m, true
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req MutateRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Point) == 0 {
+		s.badRequest(w, "empty point")
+		return
+	}
+	h, m, ok := s.mutableHandle(w)
+	if !ok {
+		return
+	}
+	if err := m.Insert(gnn.Point(req.Point), req.ID); err != nil {
+		s.badRequest(w, err.Error())
+		return
+	}
+	s.stats.mutations.Add(1)
+	st := h.q.Stats()
+	writeJSON(w, http.StatusOK, MutateResponse{
+		Delta: st.Delta, Tombstones: st.Tombstones, Generation: h.generation,
+	})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req MutateRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Point) == 0 {
+		s.badRequest(w, "empty point")
+		return
+	}
+	h, m, ok := s.mutableHandle(w)
+	if !ok {
+		return
+	}
+	deleted := m.Delete(gnn.Point(req.Point), req.ID)
+	s.stats.mutations.Add(1)
+	st := h.q.Stats()
+	writeJSON(w, http.StatusOK, MutateResponse{
+		Deleted: deleted,
+		Delta:   st.Delta, Tombstones: st.Tombstones, Generation: h.generation,
+	})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var resp StatsResponse
 	h := s.liveHandle()
+	// Stats are taken live, not from the load-time snapshot: Points moves
+	// with writes and the Overlay section must reflect the compactor's
+	// current state.
+	st := h.q.Stats()
 	resp.Index.Path = h.path
 	resp.Index.Generation = h.generation
-	resp.Index.Points = h.stats.Points
-	resp.Index.Dim = h.stats.Dim
-	resp.Index.Shards = h.stats.Shards
-	resp.Index.ArenaBytes = h.stats.ArenaBytes
+	resp.Index.Points = st.Points
+	resp.Index.Dim = st.Dim
+	resp.Index.Shards = st.Shards
+	resp.Index.ArenaBytes = st.ArenaBytes
 	resp.Index.LoadedAt = h.loadedAt.UTC().Format(time.RFC3339)
+
+	resp.Overlay.Delta = st.Delta
+	resp.Overlay.Tombstones = st.Tombstones
+	resp.Overlay.CompactionGen = st.CompactGen
+	resp.Overlay.LastCompactionUS = st.LastCompaction.Microseconds()
+	resp.Overlay.LastCompactionErr = st.LastCompactionError
 
 	resp.Requests.Served = s.stats.served.Load()
 	resp.Requests.Rejected = s.stats.rejected.Load()
@@ -296,6 +394,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Requests.Panics = s.stats.panics.Load()
 	resp.Requests.BadReq = s.stats.badReq.Load()
 	resp.Requests.Inflight = s.stats.inflight.Load()
+	resp.Requests.Mutations = s.stats.mutations.Load()
 
 	resp.Reload.OK = s.stats.reloads.Load()
 	resp.Reload.Failed = s.stats.reloadsFailed.Load()

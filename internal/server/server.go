@@ -43,6 +43,19 @@ type Queryable interface {
 	Close() error
 }
 
+// Mutable is the write surface behind POST /v1/insert and /v1/delete,
+// satisfied by both index kinds: writes land in the delta overlay while
+// the mapped base keeps serving.
+type Mutable interface {
+	Insert(p gnn.Point, id int64) error
+	Delete(p gnn.Point, id int64) bool
+}
+
+// compactable is the background-maintenance surface of both index kinds.
+type compactable interface {
+	StartCompactor(gnn.CompactorConfig) error
+}
+
 // Config tunes the daemon. Zero values select the documented defaults.
 type Config struct {
 	// SnapshotPath is the snapshot file to serve (required). Reload
@@ -74,6 +87,16 @@ type Config struct {
 	// verify eagerly; for the initial open it is optional so a huge
 	// snapshot can start serving before its pages are faulted in).
 	EagerVerify bool
+	// CompactThreshold, when positive, starts a background compactor on
+	// every opened index: once the write overlay (inserts + tombstones)
+	// reaches this size, it is folded into a fresh base off the hot path
+	// and the serving snapshot file is rotated crash-safely. Zero
+	// disables background compaction (writes still work; the overlay
+	// just grows until an operator compacts).
+	CompactThreshold int
+	// CompactInterval is the compactor poll period (default 50ms when
+	// the compactor is enabled).
+	CompactInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +165,7 @@ type statsCounters struct {
 	panics    atomic.Uint64 // recovered per-request panics (500)
 	badReq    atomic.Uint64 // malformed requests (4xx)
 	inflight  atomic.Int64  // currently executing queries
+	mutations atomic.Uint64 // accepted inserts + deletes
 
 	reloads       atomic.Uint64 // successful hot reloads
 	reloadsFailed atomic.Uint64 // rejected reloads (live index kept)
@@ -182,6 +206,23 @@ func (s *Server) open(path string, eager bool) (*handle, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	// Background compaction is per-handle: the displaced handle's Close
+	// stops its compactor (waiting out an in-flight cycle) as part of the
+	// drain, and the fresh handle gets its own. The rotation path is the
+	// file being served — a successful cycle atomically replaces it, so
+	// the next reload or cold start picks up the folded state.
+	if s.cfg.CompactThreshold > 0 {
+		if c, ok := q.(compactable); ok {
+			if cerr := c.StartCompactor(gnn.CompactorConfig{
+				Threshold: s.cfg.CompactThreshold,
+				Interval:  s.cfg.CompactInterval,
+				Path:      path,
+			}); cerr != nil {
+				q.Close()
+				return nil, fmt.Errorf("starting compactor: %w", cerr)
+			}
+		}
 	}
 	return &handle{
 		q: q, path: path,

@@ -144,6 +144,39 @@ func (s *Set) Dim() int { return s.dim }
 // Shard returns shard i (read-only use; exposed for tests and bounds).
 func (s *Set) Shard(i int) Unit { return s.units[i] }
 
+// CountExact returns the multiplicity of (p, id) across all shards. Like
+// rtree's CountExact it charges nothing — it is the overlay's tombstone
+// bookkeeping, not a query.
+func (s *Set) CountExact(p geom.Point, id int64) int {
+	n := 0
+	for _, u := range s.units {
+		if u.Packed != nil {
+			n += u.Packed.CountExact(p, id)
+		} else {
+			n += u.Tree.CountExact(p, id)
+		}
+	}
+	return n
+}
+
+// All invokes fn for every indexed point across all shards without
+// charging node accesses; traversal stops early when fn returns false.
+func (s *Set) All(fn func(p geom.Point, id int64) bool) {
+	stop := false
+	for _, u := range s.units {
+		u.Tree.All(func(p geom.Point, id int64) bool {
+			if !fn(p, id) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
 // Borrowed reports whether the shards borrow their arenas from an
 // external buffer (SetFromSnapshotBorrowed): no dynamic nodes exist, so
 // only packed-layout traversals can serve the set.
@@ -195,7 +228,13 @@ func (s *Set) Search(qs []geom.Point, opt core.Options, usePacked bool, workers 
 	if k == 0 {
 		k = 1
 	}
-	bound := core.NewSharedBound()
+	// Adopt a caller-supplied bound (the overlay read path threads one
+	// bound through base shards, delta tree and pending scan) or create
+	// the scatter's own.
+	bound := opt.Shared
+	if bound == nil {
+		bound = core.NewSharedBound()
+	}
 	runs := make([]shardRun, n)
 	runShard := func(i int, ec *core.ExecContext) {
 		o := opt
@@ -297,7 +336,7 @@ func execFor(opt core.Options) (*core.ExecContext, bool) {
 // their territory. Use from a single goroutine, like every iterator; any
 // number of Iterators may run concurrently.
 type Iterator struct {
-	its   []*core.GNNIterator
+	its   []core.Stream
 	heads []iterHead
 }
 
@@ -317,7 +356,7 @@ type iterHead struct {
 // per-shard node accesses. Constructing it reads every shard's root.
 func (s *Set) NewIterator(qs []geom.Point, opt core.Options, usePacked bool) (*Iterator, error) {
 	it := &Iterator{
-		its:   make([]*core.GNNIterator, len(s.units)),
+		its:   make([]core.Stream, len(s.units)),
 		heads: make([]iterHead, len(s.units)),
 	}
 	for i, u := range s.units {
@@ -406,8 +445,35 @@ func (it *Iterator) PeekDist() (float64, bool) {
 // Close releases every per-shard iterator's pooled scratch. Idempotent.
 func (it *Iterator) Close() {
 	for i, sub := range it.its {
-		sub.Close() // nil-safe
+		if sub != nil {
+			sub.Close()
+		}
 		it.its[i] = nil
 		it.heads[i].done = true
 	}
+}
+
+// NewMergedIterator merges arbitrary ascending-distance candidate streams
+// with the same lazy two-phase discipline as the sharded iterator: a
+// stream is only advanced once its lower bound is the global minimum. The
+// overlay index uses it to merge base, delta and pending streams into one
+// exact ascending scan. The merge takes ownership of the streams: Close
+// closes them all, and a nil stream slot is skipped.
+func NewMergedIterator(streams []core.Stream) *Iterator {
+	it := &Iterator{
+		its:   streams,
+		heads: make([]iterHead, len(streams)),
+	}
+	for i, sub := range streams {
+		if sub == nil {
+			it.heads[i].done = true
+			continue
+		}
+		if d, ok := sub.PeekDist(); ok {
+			it.heads[i].key = d
+		} else {
+			it.heads[i].done = true
+		}
+	}
+	return it
 }

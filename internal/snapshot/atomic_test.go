@@ -1,0 +1,128 @@
+package snapshot
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeVia(path, payload string, verify func(string) error) error {
+	return AtomicWriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, payload)
+		return err
+	}, verify)
+}
+
+func TestAtomicWriteFileHappyPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.snap")
+	verified := ""
+	if err := writeVia(path, "generation-1", func(tmp string) error {
+		data, err := os.ReadFile(tmp)
+		if err != nil {
+			return err
+		}
+		verified = string(data)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if verified != "generation-1" {
+		t.Fatalf("verify saw %q", verified)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "generation-1" {
+		t.Fatalf("target: %q, %v", data, err)
+	}
+	if _, err := os.Stat(TempPath(path)); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind")
+	}
+	// Rotation replaces atomically.
+	if err := writeVia(path, "generation-2", nil); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := os.ReadFile(path); string(data) != "generation-2" {
+		t.Fatalf("after rotation: %q", data)
+	}
+}
+
+func TestAtomicWriteFileFailpoints(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.snap")
+	if err := writeVia(path, "good", nil); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	for _, stage := range []string{StageCreate, StageWrite, StageSync, StageVerify, StageRename} {
+		Failpoint = func(s, tmp string) error {
+			if s == stage {
+				return boom
+			}
+			return nil
+		}
+		err := writeVia(path, "torn", nil)
+		Failpoint = nil
+		if !errors.Is(err, boom) {
+			t.Fatalf("%s: err = %v", stage, err)
+		}
+		if !strings.Contains(err.Error(), stage) {
+			t.Fatalf("%s: error does not name the stage: %v", stage, err)
+		}
+		if data, rerr := os.ReadFile(path); rerr != nil || string(data) != "good" {
+			t.Fatalf("%s: previous generation damaged: %q, %v", stage, data, rerr)
+		}
+		if _, serr := os.Stat(TempPath(path)); !os.IsNotExist(serr) {
+			t.Fatalf("%s: temp orphan left: %v", stage, serr)
+		}
+	}
+	// DirSync fails after the commit point: the error surfaces but the new
+	// generation is already in place.
+	Failpoint = func(s, tmp string) error {
+		if s == StageDirSync {
+			return boom
+		}
+		return nil
+	}
+	err := writeVia(path, "committed", nil)
+	Failpoint = nil
+	if !errors.Is(err, boom) {
+		t.Fatalf("dirsync: err = %v", err)
+	}
+	if data, _ := os.ReadFile(path); string(data) != "committed" {
+		t.Fatalf("dirsync fault rolled back a committed rename: %q", data)
+	}
+}
+
+func TestAtomicWriteFileVerifyRejects(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.snap")
+	if err := writeVia(path, "good", nil); err != nil {
+		t.Fatal(err)
+	}
+	reject := errors.New("decode failed")
+	err := writeVia(path, "corrupt", func(string) error { return reject })
+	if !errors.Is(err, reject) {
+		t.Fatalf("err = %v", err)
+	}
+	if data, _ := os.ReadFile(path); string(data) != "good" {
+		t.Fatalf("rejected payload replaced the target: %q", data)
+	}
+	if _, err := os.Stat(TempPath(path)); !os.IsNotExist(err) {
+		t.Fatal("temp orphan after verify rejection")
+	}
+}
+
+func TestAtomicWriteFileWriterError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.snap")
+	fail := errors.New("payload error")
+	err := AtomicWriteFile(path, func(io.Writer) error { return fail }, nil)
+	if !errors.Is(err, fail) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("target created despite writer failure")
+	}
+	if _, err := os.Stat(TempPath(path)); !os.IsNotExist(err) {
+		t.Fatal("temp orphan after writer failure")
+	}
+}

@@ -63,9 +63,11 @@ func TestLayoutEquivalencePublic(t *testing.T) {
 	}
 }
 
-// TestLayoutLifecycle checks the mutation-invalidation contract at the
-// API surface: packed by default, dynamic after a mutation, packed again
-// after Pack, with LayoutPacked failing loudly in the stale window.
+// TestLayoutLifecycle checks the mutation contract at the API surface:
+// packed by default, still packed across Insert/Delete (writes land in
+// the overlay; the base keeps serving), with every layout seeing the
+// mutation immediately and Pack folding the overlay back into a fresh
+// base.
 func TestLayoutLifecycle(t *testing.T) {
 	ix, queries := layoutFixture(t, 500)
 	if _, err := ix.GroupNN(queries[0], gnn.WithLayout(gnn.LayoutPacked)); err != nil {
@@ -74,40 +76,47 @@ func TestLayoutLifecycle(t *testing.T) {
 	if err := ix.Insert(gnn.Point{1, 1}, 10_001); err != nil {
 		t.Fatal(err)
 	}
-	if ix.IsPacked() {
-		t.Fatal("index still packed after Insert")
+	if !ix.IsPacked() {
+		t.Fatal("overlay insert must not unpack the serving layout")
 	}
-	if _, err := ix.GroupNN(queries[0], gnn.WithLayout(gnn.LayoutPacked)); !errors.Is(err, gnn.ErrNotPacked) {
-		t.Fatalf("expected ErrNotPacked on stale index, got %v", err)
+	// The pinned packed layout keeps serving and sees the overlay point.
+	res, err := ix.GroupNN([]gnn.Point{{1, 1}}, gnn.WithLayout(gnn.LayoutPacked))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != 10_001 {
+		t.Fatalf("pinned-packed query missed the overlay insert: %v", res)
 	}
 	// A pinned packed layout cannot serve a region-constrained MBM query
 	// (region pruning lives in the traversal): that combination fails
-	// loudly rather than silently running dynamic.
+	// loudly rather than silently running dynamic — mutated or not.
 	if _, err := ix.GroupNN(queries[0], gnn.WithLayout(gnn.LayoutPacked),
 		gnn.WithRegion(gnn.Point{0, 0}, gnn.Point{1000, 1000})); !errors.Is(err, gnn.ErrPackedRegion) {
 		t.Fatalf("expected ErrPackedRegion, got %v", err)
 	}
-	// Auto layout degrades silently and sees the new point.
-	res, err := ix.GroupNN([]gnn.Point{{1, 1}})
+	// Auto layout sees the new point too.
+	res, err = ix.GroupNN([]gnn.Point{{1, 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res) != 1 || res[0].ID != 10_001 {
 		t.Fatalf("auto-layout query missed the inserted point: %v", res)
 	}
+	// Pack compacts: the overlay folds into a fresh packed base and the
+	// dynamic layout serves the point from real tree nodes again.
 	ix.Pack()
 	if !ix.IsPacked() {
 		t.Fatal("index not packed after Pack")
 	}
-	res, err = ix.GroupNN([]gnn.Point{{1, 1}}, gnn.WithLayout(gnn.LayoutPacked))
+	res, err = ix.GroupNN([]gnn.Point{{1, 1}}, gnn.WithLayout(gnn.LayoutDynamic))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res) != 1 || res[0].ID != 10_001 {
-		t.Fatalf("re-packed query missed the inserted point: %v", res)
+		t.Fatalf("compacted query missed the inserted point: %v", res)
 	}
-	// Non-mutations must not drop the snapshot: a no-op delete and a
-	// rejected insert leave the tree — and the packed layout — intact.
+	// Non-mutations change nothing: a no-op delete and a rejected insert
+	// leave the index packed with an empty overlay.
 	if ix.Delete(gnn.Point{123456, 123456}, -1) {
 		t.Fatal("no-op delete unexpectedly removed something")
 	}
@@ -120,11 +129,18 @@ func TestLayoutLifecycle(t *testing.T) {
 	if !ix.IsPacked() {
 		t.Fatal("rejected Insert dropped a still-valid packed snapshot")
 	}
+	// A delete of a base point tombstones it: still packed, and queries
+	// no longer see the point.
 	if !ix.Delete(gnn.Point{1, 1}, 10_001) {
 		t.Fatal("delete failed")
 	}
-	if ix.IsPacked() {
-		t.Fatal("index still packed after Delete")
+	if !ix.IsPacked() {
+		t.Fatal("tombstoning delete must not unpack the serving layout")
+	}
+	if res, err := ix.GroupNN([]gnn.Point{{1, 1}}, gnn.WithK(1)); err != nil {
+		t.Fatal(err)
+	} else if len(res) == 1 && res[0].ID == 10_001 {
+		t.Fatal("query still sees the deleted point")
 	}
 	// NewIndex + Insert never packs until asked.
 	ix2, err := gnn.NewIndex(gnn.IndexConfig{})

@@ -365,9 +365,11 @@ func TestMappedCorruption(t *testing.T) {
 	}
 }
 
-// TestMappedImmutable: a mapped index is read-only — mutations are
-// refused without invalidating the serving state — and the
-// dynamic-layout escape hatches are rejected with ErrMappedDynamic.
+// TestMappedImmutable: a mapped index keeps its base arena immutable —
+// writes land in the overlay without invalidating the serving state —
+// and the dynamic-layout escape hatches are rejected with
+// ErrMappedDynamic (GCP additionally refuses pending mutations with
+// ErrPendingMutations).
 func TestMappedImmutable(t *testing.T) {
 	_, ix, queries := snapshotFixture(t, 600, 91)
 	dir := t.TempDir()
@@ -378,26 +380,44 @@ func TestMappedImmutable(t *testing.T) {
 	}
 	defer mx.Close()
 
-	if err := mx.Insert(gnn.Point{1, 2}, 9001); err == nil {
-		t.Fatal("Insert on mapped index should fail")
-	}
-	if mx.Delete(gnn.Point{1, 2}, 9001) {
-		t.Fatal("Delete on mapped index should report false")
+	// Writes go through the overlay: the mapped base keeps serving
+	// packed, and queries see the mutation immediately.
+	if err := mx.Insert(gnn.Point{1, 2}, 9001); err != nil {
+		t.Fatalf("Insert on mapped index: %v", err)
 	}
 	if !mx.IsPacked() {
-		t.Fatal("refused mutations must not invalidate the packed layout")
+		t.Fatal("overlay writes must not invalidate the packed layout")
 	}
-	mx.Pack() // must be a no-op, not a rebuild from the (absent) dynamic nodes
-	if _, err := mx.GroupNN(queries[0], gnn.WithK(2)); err != nil {
-		t.Fatalf("query after refused mutations: %v", err)
+	res, err := mx.GroupNN([]gnn.Point{{1, 2}}, gnn.WithK(1))
+	if err != nil {
+		t.Fatal(err)
 	}
-
-	if _, err := mx.GroupNN(queries[0], gnn.WithLayout(gnn.LayoutDynamic)); !errors.Is(err, gnn.ErrMappedDynamic) {
-		t.Fatalf("LayoutDynamic on mapped index: %v", err)
+	if len(res) != 1 || res[0].ID != 9001 {
+		t.Fatalf("mapped query missed the overlay insert: %v", res)
 	}
 	qix, err := gnn.BuildIndex(queries[0], nil, gnn.IndexConfig{})
 	if err != nil {
 		t.Fatal(err)
+	}
+	// The disk family has no sound multi-source merge: pending mutations
+	// are refused with a dedicated sentinel.
+	if _, err := mx.GroupNNClosestPairs(qix, 0); !errors.Is(err, gnn.ErrPendingMutations) {
+		t.Fatalf("GCP on mutated mapped index: %v", err)
+	}
+	// Deleting the overlay point drains the overlay entirely.
+	if !mx.Delete(gnn.Point{1, 2}, 9001) {
+		t.Fatal("Delete of overlay point should report true")
+	}
+	if mx.Delete(gnn.Point{1, 2}, 9001) {
+		t.Fatal("second Delete should report false")
+	}
+	mx.Pack() // must be a no-op, not a rebuild from the (absent) dynamic nodes
+	if _, err := mx.GroupNN(queries[0], gnn.WithK(2)); err != nil {
+		t.Fatalf("query after drained overlay: %v", err)
+	}
+
+	if _, err := mx.GroupNN(queries[0], gnn.WithLayout(gnn.LayoutDynamic)); !errors.Is(err, gnn.ErrMappedDynamic) {
+		t.Fatalf("LayoutDynamic on mapped index: %v", err)
 	}
 	if _, err := mx.GroupNNClosestPairs(qix, 0); !errors.Is(err, gnn.ErrMappedDynamic) {
 		t.Fatalf("GCP on mapped index: %v", err)

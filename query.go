@@ -114,6 +114,13 @@ var ErrMappedDynamic = errors.New("gnn: a mapped snapshot serves only the packed
 // algorithm with identical results either way.
 var ErrPackedRegion = errors.New("gnn: this algorithm serves region-constrained queries from the dynamic layout; drop WithLayout(LayoutPacked) or WithRegion")
 
+// ErrPendingMutations reports a disk-family query (F-MQM, F-MBM, GCP) on
+// an index carrying un-compacted overlay writes. These algorithms drive a
+// stateful traversal over one base structure and have no sound
+// multi-source merge; fold the overlay first (Index.Compact or Pack) and
+// retry. The memory-resident family serves mutated indexes directly.
+var ErrPendingMutations = errors.New("gnn: index has pending mutations; call Compact (or Pack) first")
+
 // QueryOption customises a GroupNN call.
 type QueryOption func(*queryConfig)
 
@@ -196,14 +203,17 @@ func (c queryConfig) coreOptions() core.Options {
 	return o
 }
 
-// packedForLayout resolves a layout request against the index state: nil
+// packedForLayout resolves a layout request against one index view: nil
 // for the dynamic nodes, the snapshot for packed, ErrNotPacked when a
 // required snapshot is missing or stale, ErrPackedRegion when a pinned
-// packed layout meets a region constraint it cannot serve.
-func (ix *Index) packedForLayout(l Layout, region *geom.Rect) (*rtree.Packed, error) {
+// packed layout meets a region constraint it cannot serve. The layout
+// choice governs the base tree; an overlay delta tree follows it (packed
+// delta arena unless the dynamic layout is pinned), and the pending tail
+// is a layout-less array scan.
+func packedForLayout(v *viewState, l Layout, region *geom.Rect) (*rtree.Packed, error) {
 	switch l {
 	case LayoutDynamic:
-		if ix.tree.IsShell() {
+		if v.tree.IsShell() {
 			return nil, ErrMappedDynamic
 		}
 		return nil, nil
@@ -211,13 +221,13 @@ func (ix *Index) packedForLayout(l Layout, region *geom.Rect) (*rtree.Packed, er
 		if region != nil {
 			return nil, ErrPackedRegion
 		}
-		p := ix.servingPacked()
+		p := v.servingPacked()
 		if p == nil {
 			return nil, ErrNotPacked
 		}
 		return p, nil
 	default:
-		return ix.servingPacked(), nil
+		return v.servingPacked(), nil
 	}
 }
 
@@ -265,20 +275,79 @@ func (ix *Index) groupNN(query []Point, c queryConfig, tk *pagestore.CostTracker
 	opt := c.coreOptions()
 	opt.Cost = tk
 	opt.Exec = ec
-	p, err := ix.packedForLayout(c.layout, c.effectiveRegion())
+	v := ix.view.Load()
+	p, err := packedForLayout(v, c.layout, c.effectiveRegion())
 	if err != nil {
 		return nil, err
 	}
-	opt.Packed = p
 	kern, err := kernelFor(c.algo)
 	if err != nil {
 		return nil, err
 	}
-	gs, err := kern(ix.tree, qs, opt)
+	if v.ov == nil {
+		// No overlay writes: exactly the single-source path, bit for bit.
+		opt.Packed = p
+		gs, err := kern(v.tree, qs, opt)
+		if err != nil {
+			return nil, err
+		}
+		return toResults(gs), nil
+	}
+	gs, err := overlayQuery(v, qs, opt, p, c.k, kern)
 	if err != nil {
 		return nil, err
 	}
 	return toResults(gs), nil
+}
+
+// overlayQuery answers a query on a mutated view by running the kernel
+// once per source — base tree (tombstoned hits vetoed), delta tree,
+// pending tail — and k-way-merging the per-source lists, exactly the
+// discipline of the sharded scatter. The sources run sequentially and
+// share one tightening bound, and all charge the same per-query tracker,
+// so reported cost is the exact sum of per-source node accesses.
+func overlayQuery(v *viewState, qs []geom.Point, opt core.Options, basePacked *rtree.Packed, k int, kern shard.Kernel) ([]core.GroupNeighbor, error) {
+	ov := v.ov
+	shared := core.NewSharedBound()
+	lists := make([][]core.GroupNeighbor, 0, 3)
+
+	bopt := opt
+	bopt.Packed = basePacked
+	bopt.Shared = shared
+	if ov.tombs.Total() > 0 {
+		bopt.Reject = ov.tombs.Rejects
+	}
+	gs, err := kern(v.tree, qs, bopt)
+	if err != nil {
+		return nil, err
+	}
+	lists = append(lists, gs)
+
+	if ov.delta != nil {
+		dopt := opt
+		dopt.Shared = shared
+		dopt.Packed = nil
+		if basePacked != nil {
+			dopt.Packed = ov.deltaP
+		}
+		gs, err := kern(ov.delta, qs, dopt)
+		if err != nil {
+			return nil, err
+		}
+		lists = append(lists, gs)
+	}
+
+	if pend := ov.pts[ov.folded:]; len(pend) > 0 {
+		sopt := opt
+		sopt.Shared = shared
+		sopt.Packed = nil
+		gs, err := core.ScanPoints(pend, ov.ids[ov.folded:], qs, sopt)
+		if err != nil {
+			return nil, err
+		}
+		lists = append(lists, gs)
+	}
+	return core.MergeNeighbors(k, lists), nil
 }
 
 // kernelFor maps a public algorithm to its core entry point — the single
@@ -358,20 +427,79 @@ func (ix *Index) GroupNNIterator(query []Point, opts ...QueryOption) (*Iterator,
 	out := &Iterator{}
 	opt := c.coreOptions()
 	opt.Cost = &out.tk
-	p, err := ix.packedForLayout(c.layout, c.region)
+	v := ix.view.Load()
+	p, err := packedForLayout(v, c.layout, c.region)
 	if err != nil {
 		ix.release()
 		return nil, err
 	}
-	opt.Packed = p
-	it, err := core.NewGNNIterator(ix.tree, qs, opt)
-	if err != nil {
-		ix.release()
-		return nil, err
+	if v.ov == nil {
+		opt.Packed = p
+		it, err := core.NewGNNIterator(v.tree, qs, opt)
+		if err != nil {
+			ix.release()
+			return nil, err
+		}
+		out.it = it
+	} else {
+		it, err := overlayIterator(v, qs, opt, p)
+		if err != nil {
+			ix.release()
+			return nil, err
+		}
+		out.it = it
 	}
-	out.it = it
 	out.done = ix.release
 	return out, nil
+}
+
+// overlayIterator starts an incremental scan on a mutated view: one
+// GNNIterator per tree source (base with tombstoned hits vetoed, delta),
+// the pending tail as a pre-computed sorted list, all k-way merged by the
+// same machinery that merges shard iterators. Every source charges the
+// iterator's tracker, so cost stays the exact sum of node accesses.
+func overlayIterator(v *viewState, qs []geom.Point, opt core.Options, basePacked *rtree.Packed) (*shard.Iterator, error) {
+	ov := v.ov
+	streams := make([]core.Stream, 0, 3)
+	fail := func(err error) (*shard.Iterator, error) {
+		for _, s := range streams {
+			s.Close()
+		}
+		return nil, err
+	}
+
+	bopt := opt
+	bopt.Packed = basePacked
+	if ov.tombs.Total() > 0 {
+		bopt.Reject = ov.tombs.Rejects
+	}
+	bit, err := core.NewGNNIterator(v.tree, qs, bopt)
+	if err != nil {
+		return fail(err)
+	}
+	streams = append(streams, bit)
+
+	if ov.delta != nil {
+		dopt := opt
+		dopt.Packed = nil
+		if basePacked != nil {
+			dopt.Packed = ov.deltaP
+		}
+		dit, err := core.NewGNNIterator(ov.delta, qs, dopt)
+		if err != nil {
+			return fail(err)
+		}
+		streams = append(streams, dit)
+	}
+
+	if pend := ov.pts[ov.folded:]; len(pend) > 0 {
+		list, err := core.ScanAll(pend, ov.ids[ov.folded:], qs, opt)
+		if err != nil {
+			return fail(err)
+		}
+		streams = append(streams, core.NewListStream(list))
+	}
+	return shard.NewMergedIterator(streams), nil
 }
 
 // Next returns the next group nearest neighbor; ok is false when the data

@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Black-box smoke of a real gnnserve process: start → query → reject a
-# corrupt reload → accept a good reload → SIGTERM drain → clean exit.
+# corrupt reload → accept a good reload → SIGTERM drain → clean exit,
+# then a second run exercising the write path: inserts through
+# /v1/insert, background compaction rotating the serving snapshot, and a
+# SIGTERM that waits out the compactor (exit 0, no temp-file orphan, the
+# rotated file serves the written points on restart).
 # The in-process fault suite (internal/server/faults_test.go) covers the
 # hard races; this script pins what only a real process can — signal
 # handling, the HTTP listener lifecycle, and exit status.
@@ -97,5 +101,70 @@ wait "${SRV_PID}" && rc=0 || rc=$?
 SRV_PID=""
 [ "${rc}" = "0" ] || { cat "${DIR}/serve.log" >&2; fail "daemon exited ${rc}"; }
 grep -q "draining" "${DIR}/serve.log" || fail "drain not logged"
+
+echo "== writes under traffic: compaction rotates the serving snapshot"
+cp "${DIR}/v1.snap" "${DIR}/live.snap"
+"${BIN}/gnnserve" -snapshot "${DIR}/live.snap" -addr "127.0.0.1:${PORT}" \
+    -drain-timeout 5s -compact-threshold 8 -compact-interval 20ms \
+    >"${DIR}/serve2.log" 2>&1 &
+SRV_PID=$!
+for i in $(seq 1 50); do
+    [ "$(http GET "${URL}/readyz" || true)" = "200" ] && break
+    kill -0 "${SRV_PID}" 2>/dev/null || { cat "${DIR}/serve2.log" >&2; fail "write daemon died on startup"; }
+    sleep 0.1
+done
+
+for i in $(seq 1 24); do
+    code=$(http POST "${URL}/v1/insert" "{\"point\":[${i}.5,${i}.5],\"id\":$((900000 + i))}")
+    [ "${code}" = "200" ] || { cat "${DIR}/resp" >&2; fail "insert ${i}: HTTP ${code}"; }
+done
+code=$(http POST "${URL}/v1/delete" '{"point":[1.5,1.5],"id":900001}')
+[ "${code}" = "200" ] || fail "delete: HTTP ${code}"
+grep -q '"deleted":true' "${DIR}/resp" || fail "delete did not remove the inserted point"
+
+echo "== wait for background compaction"
+for i in $(seq 1 100); do
+    code=$(http GET "${URL}/v1/stats")
+    [ "${code}" = "200" ] || fail "stats: HTTP ${code}"
+    if grep -q '"compaction_gen":0' "${DIR}/resp"; then sleep 0.1; else break; fi
+done
+grep -q '"compaction_gen":0' "${DIR}/resp" && fail "compaction never ran"
+grep -q '"last_compaction_error"' "${DIR}/resp" && fail "compaction reported an error"
+
+# The written point is still served after the fold.
+code=$(http POST "${URL}/v1/groupnn" '{"query":[[24.5,24.5]],"k":1}')
+[ "${code}" = "200" ] || fail "query after compaction: HTTP ${code}"
+grep -q '"id":900024' "${DIR}/resp" || fail "compacted index lost an inserted point"
+
+echo "== SIGTERM waits out the compactor: clean exit, no temp orphan"
+kill -TERM "${SRV_PID}"
+for i in $(seq 1 50); do
+    kill -0 "${SRV_PID}" 2>/dev/null || break
+    sleep 0.2
+done
+wait "${SRV_PID}" && rc=0 || rc=$?
+SRV_PID=""
+[ "${rc}" = "0" ] || { cat "${DIR}/serve2.log" >&2; fail "write daemon exited ${rc}"; }
+[ -e "${DIR}/live.snap.tmp" ] && fail "rotation temp file orphaned after drain"
+
+echo "== restart serves the rotated snapshot"
+"${BIN}/gnnserve" -snapshot "${DIR}/live.snap" -addr "127.0.0.1:${PORT}" \
+    -drain-timeout 5s >"${DIR}/serve3.log" 2>&1 &
+SRV_PID=$!
+for i in $(seq 1 50); do
+    [ "$(http GET "${URL}/readyz" || true)" = "200" ] && break
+    sleep 0.1
+done
+code=$(http POST "${URL}/v1/groupnn" '{"query":[[24.5,24.5]],"k":1}')
+[ "${code}" = "200" ] || fail "query after restart: HTTP ${code}"
+grep -q '"id":900024' "${DIR}/resp" || fail "rotated snapshot lost a written point across restart"
+kill -TERM "${SRV_PID}"
+for i in $(seq 1 50); do
+    kill -0 "${SRV_PID}" 2>/dev/null || break
+    sleep 0.2
+done
+wait "${SRV_PID}" && rc=0 || rc=$?
+SRV_PID=""
+[ "${rc}" = "0" ] || { cat "${DIR}/serve3.log" >&2; fail "restart daemon exited ${rc}"; }
 
 echo "serve_smoke: PASS"

@@ -70,10 +70,11 @@ func WithEagerVerify() SnapshotOption {
 // of internal/snapshot: the packed SoA arena, page identifiers included,
 // so an index loaded from the snapshot (OpenSnapshot) answers every
 // query with bit-identical results, Cost and node-access counts to this
-// one. The index must not be mutated during the write (the same
-// contract as a query); concurrent queries are fine. An index without a
-// valid packed layout (after Insert/Delete, or built incrementally) is
-// packed transiently for the write — the serving state is not changed.
+// one. Concurrent queries and writes are fine: the write serialises one
+// atomically loaded view — a consistent point-in-time state. A view with
+// un-compacted overlay writes is compacted transiently into the snapshot
+// (the format holds exactly one packed base); the serving state is not
+// changed. A never-packed index is packed transiently the same way.
 func (ix *Index) WriteSnapshot(w io.Writer) error {
 	// A mapped index must verify its borrowed bytes before re-serialising
 	// them under fresh checksums, or a corrupt mapping would be laundered
@@ -81,9 +82,18 @@ func (ix *Index) WriteSnapshot(w io.Writer) error {
 	if err := ix.prepare(); err != nil {
 		return err
 	}
-	p := ix.servingPacked()
-	if p == nil {
-		p = ix.tree.Pack()
+	v := ix.view.Load()
+	p := v.servingPacked()
+	switch {
+	case v.ov != nil:
+		pts, ids := materializeLive(v.tree, v.ov)
+		nt, err := rtree.BulkLoadSTR(ix.rcfg, pts, ids)
+		if err != nil {
+			return err
+		}
+		p = nt.Pack()
+	case p == nil:
+		p = v.tree.Pack()
 	}
 	_, err := p.WriteTo(w)
 	return err
@@ -132,20 +142,33 @@ func openSnapshotBytes(data []byte, opts []SnapshotOption) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{tree: p.Tree(), acct: acct, packed: p}, nil
+	return newIndexOver(p.Tree(), p, acct, p.Tree().Config()), nil
 }
 
 // WriteSnapshot serialises the sharded index to w: one arena section
 // group per shard plus the sharded manifest (Hilbert-cut metadata), so
 // OpenShardedSnapshot restores the index with its partition — per-shard
-// point assignment, page ranges and node structure — intact.
+// point assignment, page ranges and node structure — intact. A view with
+// un-compacted overlay writes is re-partitioned transiently into the
+// snapshot; the serving state is not changed.
 func (sx *ShardedIndex) WriteSnapshot(w io.Writer) error {
 	// Same laundering guard as Index.WriteSnapshot: verify a mapped
 	// set's borrowed bytes before re-checksumming them.
 	if err := sx.prepare(); err != nil {
 		return err
 	}
-	m, trees := sx.set.Snapshot()
+	v := sx.view.Load()
+	set := v.set
+	if v.ov != nil {
+		pts, ids := materializeLive(v.set, v.ov)
+		nset, err := shard.Build(sx.rcfg, pts, ids, sx.shards)
+		if err != nil {
+			return err
+		}
+		defer nset.Close()
+		set = nset
+	}
+	m, trees := set.Snapshot()
 	return snapshot.Write(w, m, trees)
 }
 
@@ -192,7 +215,17 @@ func openShardedSnapshotBytes(data []byte, opts []SnapshotOption) (*ShardedIndex
 	if err != nil {
 		return nil, err
 	}
-	return &ShardedIndex{set: set, acct: acct}, nil
+	return newShardedOver(set, acct, shardedRcfg(set)), nil
+}
+
+// shardedRcfg recovers the build geometry of a snapshot-loaded shard set
+// for compaction rebuilds: shard 0's tree carries the writer's
+// dimensions and node capacities; the page range restarts from zero (a
+// rebuild re-partitions, so the old per-shard ranges do not apply).
+func shardedRcfg(set *shard.Set) rtree.Config {
+	cfg := set.Shard(0).Tree.Config()
+	cfg.FirstPage = 0
+	return cfg
 }
 
 // OpenSnapshotMapped memory-maps the snapshot file at path and serves
@@ -249,13 +282,14 @@ func openMappedPlain(mf *mmapfile.File, c snapshotConfig) (*Index, error) {
 			return nil, err
 		}
 		mf.Close()
-		return &Index{tree: p.Tree(), acct: acct, packed: p}, nil
+		return newIndexOver(p.Tree(), p, acct, p.Tree().Config()), nil
 	}
 	p, err := rtree.PackedFromSnapshotBorrowed(ad.Trees[0], ad.Manifest.Dim, rtree.Config{Accountant: acct}, ad.Verify)
 	if err != nil {
 		return nil, err
 	}
-	ix := &Index{tree: p.Tree(), acct: acct, packed: p, mapped: mf}
+	ix := newIndexOver(p.Tree(), p, acct, p.Tree().Config())
+	ix.mapped = mf
 	if c.eagerVerify {
 		if err := ix.prepare(); err != nil {
 			return nil, err
@@ -264,15 +298,17 @@ func openMappedPlain(mf *mmapfile.File, c snapshotConfig) (*Index, error) {
 	return ix, nil
 }
 
-// Close releases the file mapping of an index opened with
-// OpenSnapshotMapped; it is a no-op (returning nil) on every other
-// construction. Close is safe under concurrent queries: it first marks
-// the index closed — queries arriving after that fail with
-// ErrSnapshotClosed rather than touching unmapped memory — then waits
-// for every inflight query and open iterator to finish before the file
-// is actually unmapped. Closing twice is safe; the second call returns
-// nil immediately.
+// Close stops the background compactor (waiting for an in-flight cycle
+// to finish or abort cleanly) and releases the file mapping of an index
+// opened with OpenSnapshotMapped; on every other construction it only
+// stops the compactor and returns nil. Close is safe under concurrent
+// queries: it first marks the index closed — queries and writes arriving
+// after that fail with ErrSnapshotClosed rather than touching unmapped
+// memory — then waits for every inflight query, open iterator and
+// compaction cycle to finish before the file is actually unmapped.
+// Closing twice is safe; the second call returns nil immediately.
 func (ix *Index) Close() error {
+	ix.StopCompactor()
 	if ix.mapped == nil {
 		return nil
 	}
@@ -320,13 +356,14 @@ func openMappedSharded(mf *mmapfile.File, c snapshotConfig) (*ShardedIndex, erro
 			return nil, err
 		}
 		mf.Close()
-		return &ShardedIndex{set: set, acct: acct}, nil
+		return newShardedOver(set, acct, shardedRcfg(set)), nil
 	}
 	set, err := shard.SetFromSnapshotBorrowed(ad.Manifest, ad.Trees, rtree.Config{Accountant: acct}, ad.Verify)
 	if err != nil {
 		return nil, err
 	}
-	sx := &ShardedIndex{set: set, acct: acct, mapped: mf}
+	sx := newShardedOver(set, acct, shardedRcfg(set))
+	sx.mapped = mf
 	if c.eagerVerify {
 		if err := sx.prepare(); err != nil {
 			return nil, err
@@ -335,24 +372,26 @@ func openMappedSharded(mf *mmapfile.File, c snapshotConfig) (*ShardedIndex, erro
 	return sx, nil
 }
 
-// Close stops the index's resident scatter workers and, when the index
-// was opened with OpenShardedSnapshotMapped, releases the file mapping.
-// The same contract as Index.Close applies: safe under concurrent
-// queries — it marks the index closed (later queries fail with
-// ErrSnapshotClosed on a mapped index), drains the inflight ones, stops
-// the workers, then unmaps; closing twice is safe. On a built or
-// copy-loaded index Close only stops the workers — later queries still
-// succeed on transient pooled ones.
+// Close stops the background compactor and the index's resident scatter
+// workers and, when the index was opened with OpenShardedSnapshotMapped,
+// releases the file mapping. The same contract as Index.Close applies:
+// safe under concurrent queries — it marks the index closed (later
+// queries fail with ErrSnapshotClosed on a mapped index), drains the
+// inflight ones and any in-flight compaction, stops the workers, then
+// unmaps; closing twice is safe. On a built or copy-loaded index Close
+// only stops the compactor and the workers — later queries still succeed
+// on transient pooled ones.
 func (sx *ShardedIndex) Close() error {
+	sx.StopCompactor()
 	if sx.mapped == nil {
-		sx.set.Close()
+		sx.view.Load().set.Close()
 		return nil
 	}
 	if sx.closed.Swap(true) {
 		return nil // another Close won the race and owns the drain
 	}
 	drainRefs(&sx.refs)
-	sx.set.Close()
+	sx.view.Load().set.Close()
 	m := sx.mapped
 	sx.mapped = nil
 	return m.Close()

@@ -442,8 +442,14 @@ func TestStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	s = ix.Stats()
-	if s.Packed || s.Nodes != 0 || s.ArenaBytes != 0 || s.Points != 801 {
-		t.Fatalf("unpacked stats: %+v", s)
+	if !s.Packed || s.Nodes == 0 || s.Points != 801 || s.Delta != 1 || s.Tombstones != 0 {
+		t.Fatalf("overlay stats: %+v", s)
+	}
+	if !ix.Delete(gnn.Point{1, 1}, 9999) {
+		t.Fatal("delete failed")
+	}
+	if s = ix.Stats(); s.Delta != 0 || s.Points != 800 {
+		t.Fatalf("drained overlay stats: %+v", s)
 	}
 	ix.Pack()
 	if s = ix.Stats(); !s.Packed {

@@ -1,16 +1,20 @@
 package gnn
 
+import "time"
+
 // Stats is a point-in-time summary of an index's shape and serving
 // state, independent of query traffic (cost counters live in Cost).
 // gnnquery prints it after loading a snapshot; it is equally useful for
 // operational logging.
 type Stats struct {
-	// Points is the number of indexed data points.
+	// Points is the number of live data points: base points not masked by
+	// a delete tombstone, plus overlay inserts.
 	Points int
 	// Dim is the point dimensionality.
 	Dim int
 	// Packed reports whether queries are currently served from the packed
-	// SoA arena (false after Insert/Delete until Pack).
+	// SoA arena. Overlay writes do not unset it: the base arena keeps
+	// serving, with the delta sources merged in.
 	Packed bool
 	// Shards is the shard count of a ShardedIndex; 0 for a plain Index.
 	Shards int
@@ -23,40 +27,50 @@ type Stats struct {
 	// ArenaBytes approximates the in-memory size of the packed arena(s) —
 	// the payload a snapshot serialises; 0 when no packed layout is live.
 	ArenaBytes int64
+	// Delta is the number of overlay-inserted points not yet folded into
+	// a compacted base (delta tree plus pending tail).
+	Delta int
+	// Tombstones is the number of base occurrences masked by a delete
+	// tombstone.
+	Tombstones int
+	// CompactGen counts completed compaction cycles since the index was
+	// opened.
+	CompactGen uint64
+	// LastCompaction is the wall-clock duration of the most recent
+	// compaction cycle; 0 before the first.
+	LastCompaction time.Duration
+	// LastCompactionError is the error string of the most recent
+	// compaction cycle, "" when it succeeded (or none ran). A failed
+	// snapshot rotation shows up here while in-memory serving continues.
+	LastCompactionError string
+}
+
+// compactStats fills the shared compaction counters.
+func (s *Stats) compactStats(gen uint64, ns int64, errp *string) {
+	s.CompactGen = gen
+	s.LastCompaction = time.Duration(ns)
+	if errp != nil {
+		s.LastCompactionError = *errp
+	}
 }
 
 // Stats reports the index's current shape and serving state.
 func (ix *Index) Stats() Stats {
+	v := ix.view.Load()
 	s := Stats{
 		Points: ix.Len(),
 		Dim:    ix.Dim(),
-		Height: ix.tree.Height(),
+		Height: v.tree.Height(),
 	}
-	if p := ix.servingPacked(); p != nil {
+	if p := v.servingPacked(); p != nil {
 		s.Packed = true
 		s.Nodes = p.Nodes()
 		s.ArenaBytes = p.ArenaBytes()
 	}
-	return s
-}
-
-// Stats reports the sharded index's shape. A ShardedIndex always serves
-// from its packed shards, so Packed is always true; Height is the
-// maximum shard height and Nodes/ArenaBytes sum over the shards.
-func (sx *ShardedIndex) Stats() Stats {
-	s := Stats{
-		Points: sx.Len(),
-		Dim:    sx.Dim(),
-		Packed: true,
-		Shards: sx.NumShards(),
+	if v.ov != nil {
+		s.Delta = len(v.ov.pts)
+		s.Tombstones = v.ov.tombs.Total()
 	}
-	for i := 0; i < sx.set.NumShards(); i++ {
-		p := sx.set.Shard(i).Packed
-		s.Nodes += p.Nodes()
-		s.ArenaBytes += p.ArenaBytes()
-		if h := p.Height(); h > s.Height {
-			s.Height = h
-		}
-	}
+	s.compactStats(ix.compactGen.Load(), ix.compactNS.Load(), ix.compactErr.Load())
 	return s
 }
