@@ -15,10 +15,16 @@
 //     This ratio is machine-independent, so it holds even when the
 //     baseline was measured elsewhere.
 //
+// A second, independent gate runs with -max: it reads a BENCH_max.json
+// from gnnbench -maxagg and fails unless the dedicated aggregate-MAX
+// kernel's NA/op stays at or below the generic path's on every cell and
+// strictly below it in total (see maxgate.go).
+//
 // Usage:
 //
 //	benchdelta -baseline BENCH_snapshot.json -current /tmp/new.json
 //	benchdelta -baseline BENCH_snapshot.json -current new.json -tolerance 1.5
+//	benchdelta -max BENCH_max.json
 package main
 
 import (
@@ -62,8 +68,12 @@ func main() {
 		currPath  = flag.String("current", "", "freshly measured snapshot to gate")
 		tolerance = flag.Float64("tolerance", 2.0, "max allowed current/baseline ratio for absolute open times")
 		openFrac  = flag.Float64("max-open-fraction", 0.10, "max allowed mapped-open / copying-load ratio in the current file")
+		maxPath   = flag.String("max", "", "gate a BENCH_max.json instead: dedicated MAX-kernel NA/op must stay at or below the generic path on every cell and strictly below in total")
 	)
 	flag.Parse()
+	if *maxPath != "" {
+		os.Exit(runMaxGate(*maxPath))
+	}
 	if *currPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdelta: -current is required")
 		os.Exit(2)

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The -max gate reads a BENCH_max.json produced by gnnbench -maxagg and
+// enforces the dedicated aggregate-MAX kernel's contract: on every
+// measured cell the MEB-pruned path reads at most as many nodes per
+// query as the generic per-member path (the bound only ever removes
+// candidates), and over the whole grid it reads strictly fewer (the
+// kernel must actually earn its keep on the uniform workload, not merely
+// break even). NA/op is deterministic for a fixed fixture, so the
+// tolerance exists only for float accumulation, not machine noise.
+
+type maxFile struct {
+	Kind  string `json:"kind"`
+	Cells []struct {
+		GroupSize int    `json:"group_size"`
+		K         int    `json:"k"`
+		Traversal string `json:"traversal"`
+		Dedicated struct {
+			NAPerOp float64 `json:"na_per_op"`
+		} `json:"dedicated"`
+		Generic struct {
+			NAPerOp float64 `json:"na_per_op"`
+		} `json:"generic"`
+	} `json:"cells"`
+}
+
+// runMaxGate returns the process exit code.
+func runMaxGate(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdelta:", err)
+		return 1
+	}
+	var f maxFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdelta: %s: %v\n", path, err)
+		return 1
+	}
+	if f.Kind != "maxagg" {
+		fmt.Fprintf(os.Stderr, "benchdelta: %s: kind %q, want \"maxagg\"\n", path, f.Kind)
+		return 1
+	}
+	if len(f.Cells) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdelta: %s: no cells\n", path)
+		return 1
+	}
+	const eps = 1e-9
+	failed := false
+	var dedTotal, genTotal float64
+	fmt.Printf("%-3s  %-2s  %-3s  %11s  %11s  %8s  %s\n",
+		"n", "k", "trv", "ded na/op", "gen na/op", "ratio", "verdict")
+	for _, c := range f.Cells {
+		dedTotal += c.Dedicated.NAPerOp
+		genTotal += c.Generic.NAPerOp
+		verdict := "ok"
+		if c.Dedicated.NAPerOp > c.Generic.NAPerOp*(1+eps) {
+			verdict = "FAIL (dedicated reads more nodes)"
+			failed = true
+		}
+		fmt.Printf("%-3d  %-2d  %-3s  %11.1f  %11.1f  %8.3f  %s\n",
+			c.GroupSize, c.K, c.Traversal, c.Dedicated.NAPerOp, c.Generic.NAPerOp,
+			c.Dedicated.NAPerOp/c.Generic.NAPerOp, verdict)
+	}
+	fmt.Printf("\ntotal NA/op: dedicated %.1f, generic %.1f\n", dedTotal, genTotal)
+	if dedTotal >= genTotal {
+		fmt.Fprintln(os.Stderr, "benchdelta: dedicated MAX kernel does not beat the generic path in aggregate")
+		return 1
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchdelta: MAX-kernel pruning regression detected")
+		return 1
+	}
+	fmt.Println("benchdelta: dedicated MAX kernel strictly below the generic path")
+	return 0
+}

@@ -12,6 +12,7 @@
 //	gnnbench -list                 # available experiment IDs
 //	gnnbench -parallel 8           # batch-engine throughput, 8 workers
 //	gnnbench -allocs               # ns/op + allocs/op per algorithm×aggregate
+//	gnnbench -maxagg               # dedicated vs generic aggregate-MAX kernel
 //	gnnbench -snapshot             # cold-start: snapshot load vs rebuild
 //
 // Paper-scale runs (default scale 1.0) rebuild PP (24,493 points) and TS
@@ -28,6 +29,11 @@
 // B/op and node accesses per algorithm×aggregate on a warm index, written
 // as JSON with -allocs-out (BENCH_alloc.json); -allocs-baseline embeds a
 // previous snapshot so the trajectory is visible in one file.
+//
+// The -maxagg mode compares the dedicated aggregate-MAX kernel (minimum-
+// enclosing-ball pruning) against the generic per-member path on a 100k
+// uniform workload across group size × k × traversal, written as JSON
+// with -maxagg-out (BENCH_max.json) and gated by cmd/benchdelta -max.
 //
 // The -snapshot mode measures cold start: bulk-loading a 100k-point index
 // from raw points versus loading the equivalent persisted snapshot
@@ -71,6 +77,9 @@ func main() {
 		allocs   = flag.Bool("allocs", false, "allocation mode: ns/op and allocs/op per algorithm×aggregate")
 		aout     = flag.String("allocs-out", "", "write the -allocs snapshot as JSON to this file")
 		abase    = flag.String("allocs-baseline", "", "embed a previous -allocs snapshot as the baseline")
+		maxagg   = flag.Bool("maxagg", false, "MAX-kernel mode: dedicated MEB pruning vs the generic path on a uniform workload")
+		maxN     = flag.Int("maxagg-n", 100_000, "points for the -maxagg uniform fixture")
+		mxout    = flag.String("maxagg-out", "", "write the -maxagg comparison as JSON to this file (BENCH_max.json)")
 		layout   = flag.String("layout", "", "index layout to serve queries from: auto, dynamic, packed, or both (side-by-side; -allocs default)")
 		snapMode = flag.Bool("snapshot", false, "cold-start mode: snapshot load vs rebuild time")
 		snapN    = flag.Int("snapshot-n", 100_000, "points for the -snapshot cold-start index")
@@ -136,6 +145,19 @@ func main() {
 	}
 	if *allocs {
 		if err := runAllocs(*scale, *queries, *seed, *aout, *abase, layouts); err != nil {
+			fmt.Fprintln(os.Stderr, "gnnbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *maxagg {
+		if *layout != "" {
+			// Both kernel paths serve from the packed default; NA is
+			// layout-invariant by the bit-parity contract.
+			fmt.Fprintln(os.Stderr, "gnnbench: -maxagg measures the serving default; drop -layout")
+			os.Exit(2)
+		}
+		if err := runMaxAgg(*maxN, *queries, *seed, *mxout); err != nil {
 			fmt.Fprintln(os.Stderr, "gnnbench:", err)
 			os.Exit(1)
 		}

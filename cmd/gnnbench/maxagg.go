@@ -1,0 +1,152 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"gnn"
+	"gnn/internal/dataset"
+	"gnn/internal/workload"
+)
+
+// The -maxagg mode measures the dedicated aggregate-MAX kernel (minimum-
+// enclosing-ball pruning, the default MAX path) head to head against the
+// generic per-member pruning path (WithGenericMax) on a 100k uniform
+// workload, sweeping group size × k × traversal. Both sides answer the
+// identical queries with bit-identical results; the snapshot records
+// ns/op and NA/op per side so the pruning win is a committed, gated
+// number (cmd/benchdelta -max) rather than a claim.
+
+type maxaggSnapshot struct {
+	benchEnv
+	Kind    string       `json:"kind"`
+	Queries int          `json:"queries"`
+	Cells   []maxaggCell `json:"cells"`
+}
+
+type maxaggCell struct {
+	GroupSize int        `json:"group_size"`
+	K         int        `json:"k"`
+	Traversal string     `json:"traversal"`
+	Dedicated maxaggSide `json:"dedicated"`
+	Generic   maxaggSide `json:"generic"`
+	// NARatio is dedicated NA/op over generic NA/op: < 1 means the MEB
+	// bound pruned nodes the per-member bounds could not.
+	NARatio float64 `json:"na_ratio"`
+}
+
+type maxaggSide struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	NAPerOp float64 `json:"na_per_op"`
+}
+
+// runMaxAgg builds the uniform fixture and measures the grid.
+func runMaxAgg(numPoints, numQueries int, seed int64, outPath string) error {
+	d := dataset.GenerateUniform(fmt.Sprintf("uniform-%dk", numPoints/1000), numPoints, seed)
+	pts := make([]gnn.Point, len(d.Points))
+	for i, p := range d.Points {
+		pts[i] = gnn.Point(p)
+	}
+	ix, err := gnn.BuildIndex(pts, nil, gnn.IndexConfig{})
+	if err != nil {
+		return err
+	}
+
+	snap := maxaggSnapshot{
+		benchEnv: newBenchEnv(d.Name, ix.Len(), 1.0),
+		Kind:     "maxagg",
+		Queries:  numQueries,
+	}
+
+	fmt.Printf("# aggregate-MAX kernel — dedicated (MEB) vs generic pruning, %s (%d points), %d queries/cell\n\n",
+		d.Name, ix.Len(), numQueries)
+	fmt.Printf("%-3s  %-2s  %-3s  %13s  %13s  %9s  %11s  %11s  %8s\n",
+		"n", "k", "trv", "ded ns/op", "gen ns/op", "speedup", "ded na/op", "gen na/op", "na ratio")
+
+	measure := func(queries [][]gnn.Point, k int, df, generic bool) (maxaggSide, error) {
+		opts := []gnn.QueryOption{
+			gnn.WithK(k), gnn.WithAlgorithm(gnn.AlgoMBM), gnn.WithAggregate(gnn.MaxDist),
+		}
+		if df {
+			opts = append(opts, gnn.WithDepthFirst())
+		}
+		if generic {
+			opts = append(opts, gnn.WithGenericMax())
+		}
+		for _, q := range queries {
+			if _, err := ix.GroupNN(q, opts...); err != nil {
+				return maxaggSide{}, err
+			}
+		}
+		ix.ResetCost()
+		start := time.Now()
+		const minRounds, maxRounds, minWall = 3, 40, 250 * time.Millisecond
+		rounds := 0
+		for rounds < minRounds || (time.Since(start) < minWall && rounds < maxRounds) {
+			for _, q := range queries {
+				if _, err := ix.GroupNN(q, opts...); err != nil {
+					return maxaggSide{}, err
+				}
+			}
+			rounds++
+		}
+		elapsed := time.Since(start)
+		total := float64(rounds * len(queries))
+		return maxaggSide{
+			NsPerOp: float64(elapsed.Nanoseconds()) / total,
+			NAPerOp: float64(ix.Cost().LogicalAccesses) / total,
+		}, nil
+	}
+
+	for _, n := range []int{4, 16, 64} {
+		qs, err := workload.Generate(workload.Spec{
+			N: n, AreaFraction: 0.08, Queries: numQueries,
+			Workspace: dataset.Workspace(), Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		queries := make([][]gnn.Point, len(qs))
+		for i, q := range qs {
+			group := make([]gnn.Point, len(q.Points))
+			for j, p := range q.Points {
+				group[j] = gnn.Point(p)
+			}
+			queries[i] = group
+		}
+		for _, k := range []int{1, 8} {
+			for _, df := range []bool{false, true} {
+				ded, err := measure(queries, k, df, false)
+				if err != nil {
+					return err
+				}
+				gen, err := measure(queries, k, df, true)
+				if err != nil {
+					return err
+				}
+				trv := "bf"
+				if df {
+					trv = "df"
+				}
+				cell := maxaggCell{
+					GroupSize: n, K: k, Traversal: trv,
+					Dedicated: ded, Generic: gen,
+					NARatio: ded.NAPerOp / gen.NAPerOp,
+				}
+				snap.Cells = append(snap.Cells, cell)
+				fmt.Printf("%-3d  %-2d  %-3s  %13.0f  %13.0f  %8.2fx  %11.1f  %11.1f  %8.3f\n",
+					n, k, trv, ded.NsPerOp, gen.NsPerOp, gen.NsPerOp/ded.NsPerOp,
+					ded.NAPerOp, gen.NAPerOp, cell.NARatio)
+			}
+		}
+	}
+
+	var dedNA, genNA float64
+	for _, c := range snap.Cells {
+		dedNA += c.Dedicated.NAPerOp
+		genNA += c.Generic.NAPerOp
+	}
+	fmt.Printf("\n# total NA/op: dedicated %.1f vs generic %.1f (%.1f%% fewer node accesses)\n",
+		dedNA, genNA, 100*(1-dedNA/genNA))
+	return writeBenchJSON(outPath, snap)
+}

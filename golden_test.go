@@ -20,19 +20,28 @@ import (
 // goldenNA is the locked-in total of physical node accesses (the paper's
 // NA metric) summed over the 40 queries of the fixed workload.
 var goldenNA = map[string]int64{
-	"MBM-BF/sum":       281,
-	"MBM-DF/sum":       309,
-	"MQM/sum":          7085,
-	"SPM-BF/sum":       504,
-	"SPM-DF/sum":       534,
-	"MBM-BF/max":       251,
-	"MBM-DF/max":       283,
-	"MQM/max":          9612,
-	"sharded-MBM/sum":  583,
-	"sharded-MBM/max":  571,
-	"sharded-MQM/sum":  13568,
-	"iterator-k8/sum":  281,
-	"sharded-iter/sum": 432,
+	"MBM-BF/sum": 281,
+	"MBM-DF/sum": 309,
+	"MQM/sum":    7085,
+	"SPM-BF/sum": 504,
+	"SPM-DF/sum": 534,
+	"MBM-BF/max": 251,
+	"MBM-DF/max": 283,
+	// The dedicated MEB kernel (maxmeb.go) is the default MAX path; the
+	// -generic cells lock the old per-member pruning path (WithGenericMax)
+	// so both stay regression-guarded independently. On this clustered
+	// fixture only the sharded cell improves (the per-shard re-descents
+	// give the ball bound more laterally-wide nodes to kill); the uniform
+	// 100k benchmark (BENCH_max.json) shows the plain-index gap.
+	"MBM-BF/max-generic":      251,
+	"MBM-DF/max-generic":      283,
+	"sharded-MBM/max-generic": 571,
+	"MQM/max":                 9612,
+	"sharded-MBM/sum":         583,
+	"sharded-MBM/max":         549,
+	"sharded-MQM/sum":         13568,
+	"iterator-k8/sum":         281,
+	"sharded-iter/sum":        432,
 }
 
 // goldenFixture builds the fixed workload: clustered data and spatially
@@ -87,6 +96,9 @@ func TestGoldenNodeAccesses(t *testing.T) {
 		{"SPM-DF/sum", q(ix, gnn.WithAlgorithm(gnn.AlgoSPM), gnn.WithDepthFirst())},
 		{"MBM-BF/max", q(ix, gnn.WithAlgorithm(gnn.AlgoMBM), gnn.WithAggregate(gnn.MaxDist))},
 		{"MBM-DF/max", q(ix, gnn.WithAlgorithm(gnn.AlgoMBM), gnn.WithDepthFirst(), gnn.WithAggregate(gnn.MaxDist))},
+		{"MBM-BF/max-generic", q(ix, gnn.WithAlgorithm(gnn.AlgoMBM), gnn.WithAggregate(gnn.MaxDist), gnn.WithGenericMax())},
+		{"MBM-DF/max-generic", q(ix, gnn.WithAlgorithm(gnn.AlgoMBM), gnn.WithDepthFirst(), gnn.WithAggregate(gnn.MaxDist), gnn.WithGenericMax())},
+		{"sharded-MBM/max-generic", sq(gnn.WithAlgorithm(gnn.AlgoMBM), gnn.WithAggregate(gnn.MaxDist), gnn.WithGenericMax())},
 		{"MQM/max", q(ix, gnn.WithAlgorithm(gnn.AlgoMQM), gnn.WithAggregate(gnn.MaxDist))},
 		{"sharded-MBM/sum", sq(gnn.WithAlgorithm(gnn.AlgoMBM))},
 		{"sharded-MBM/max", sq(gnn.WithAlgorithm(gnn.AlgoMBM), gnn.WithAggregate(gnn.MaxDist))},

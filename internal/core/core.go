@@ -161,6 +161,12 @@ type Options struct {
 	// node-access counts of a traversal are unchanged — only which leaf
 	// points may become results. nil rejects nothing.
 	Reject RejectFunc
+	// GenericMax forces the MAX aggregate onto the generic per-member
+	// pruning bounds, disabling the dedicated minimum-enclosing-ball
+	// kernel (see maxmeb.go). Results are identical either way; the knob
+	// exists for differential testing and for benchmarking the dedicated
+	// kernel's node-access advantage.
+	GenericMax bool
 	// Cancel, when non-nil, is polled at bounded intervals inside the
 	// MQM/SPM/MBM/BruteForce traversal loops; once its context fires the
 	// kernel unwinds and returns ErrCanceled/ErrDeadlineExceeded, with the

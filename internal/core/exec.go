@@ -42,6 +42,11 @@ type ExecContext struct {
 	gsoa  [][]float64
 	gflat []float64
 
+	// Dedicated aggregate-MAX scratch: the minimum-enclosing-ball solver's
+	// buffers and the derived pruning context (see maxmeb.go).
+	mebs geom.MEBScratch
+	meb  mebCtx
+
 	// Conversion buffer of the public layer (query []Point → []geom.Point).
 	qsbuf []geom.Point
 
@@ -81,6 +86,8 @@ func (ec *ExecContext) Release() {
 	clear(ec.fcands[:cap(ec.fcands)])
 	ec.pfcands = ec.pfcands[:0]
 	ec.lbs = ec.lbs[:0]
+	ec.mebs.Reset()
+	ec.meb = mebCtx{}
 	execPool.Put(ec)
 }
 
@@ -195,6 +202,13 @@ func (ec *ExecContext) kbestShared(k int, s *SharedBound, rej RejectFunc) *kbest
 	ec.best.shared = s
 	ec.best.reject = rej
 	return &ec.best
+}
+
+// mebFor arms and returns the context's dedicated-MAX pruning context for
+// this query group (see maxmeb.go).
+func (ec *ExecContext) mebFor(qs []geom.Point, w *weightCtx) *mebCtx {
+	ec.meb.init(&ec.mebs, qs, w)
+	return &ec.meb
 }
 
 // boundingRect computes MBR(qs) into the context's reusable corners.

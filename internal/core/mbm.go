@@ -51,6 +51,9 @@ func MBM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 			ec:   ec,
 		}
 		st.qcent = ec.centerOf(st.qmbr)
+		if opt.mebEnabled(len(qs)) {
+			st.meb = ec.mebFor(qs, w)
+		}
 		if st.rd.Packed() != nil {
 			st.dfPacked(st.rd.PackedRoot(), 0)
 		} else {
@@ -96,6 +99,7 @@ type mbmState struct {
 	gq    [][]float64 // SoA copy of qs for the group-facing inner loops
 	qmbr  geom.Rect
 	qcent geom.Point // centre of qmbr — the tie-break reference
+	meb   *mebCtx    // dedicated aggregate-MAX bound; nil on the generic path
 	w     *weightCtx
 	opt   Options
 	best  *kbest
@@ -148,6 +152,10 @@ func (st *mbmState) df(nd rtree.Node, depth int) {
 				st.opt.Trace.add(func(tr *Trace) { tr.PointsPrunedQuick++ })
 				return
 			}
+			if st.meb != nil && st.meb.pointBound(c.E.Point) >= st.best.bound() {
+				st.opt.Trace.add(func(tr *Trace) { tr.PointsPrunedMEB++ })
+				continue // MEB point bound: skip the n exact distances
+			}
 			if regionAllows(st.opt.Region, c.E.Point) {
 				st.opt.Trace.add(func(tr *Trace) { tr.ExactDistances++ })
 				st.best.offer(GroupNeighbor{
@@ -160,6 +168,10 @@ func (st *mbmState) df(nd rtree.Node, depth int) {
 		if lb >= st.best.bound() {
 			st.opt.Trace.add(func(tr *Trace) { tr.NodesPrunedH2++ })
 			return // heuristic 2: this and all later nodes pruned
+		}
+		if st.meb != nil && st.meb.nodeBound(c.E.Rect) >= st.best.bound() {
+			st.opt.Trace.add(func(tr *Trace) { tr.NodesPrunedMEB++ })
+			continue // MEB node bound: skip just this node (order unchanged)
 		}
 		if !st.opt.DisableHeuristic3 &&
 			nodeLBSoA(st.opt.Aggregate, c.E.Rect, st.gq, st.w) >= st.best.bound() {
@@ -218,8 +230,12 @@ func (st *mbmState) dfPacked(nd int32, depth int) {
 				st.opt.Trace.add(func(tr *Trace) { tr.PointsPrunedQuick++ })
 				return
 			}
-			st.opt.Trace.add(func(tr *Trace) { tr.ExactDistances++ })
 			pt := p.LeafPoint(slot)
+			if st.meb != nil && st.meb.pointBound(pt) >= st.best.bound() {
+				st.opt.Trace.add(func(tr *Trace) { tr.PointsPrunedMEB++ })
+				continue // MEB point bound: skip the n exact distances
+			}
+			st.opt.Trace.add(func(tr *Trace) { tr.ExactDistances++ })
 			st.best.offer(GroupNeighbor{
 				Point: pt, ID: p.LeafID(slot),
 				Dist: aggDistSoA(st.opt.Aggregate, pt, st.gq, st.w),
@@ -230,8 +246,14 @@ func (st *mbmState) dfPacked(nd int32, depth int) {
 			st.opt.Trace.add(func(tr *Trace) { tr.NodesPrunedH2++ })
 			return // heuristic 2: this and all later nodes pruned
 		}
-		if !st.opt.DisableHeuristic3 {
+		if st.meb != nil || !st.opt.DisableHeuristic3 {
 			p.RectInto(slot, &st.ec.prect)
+		}
+		if st.meb != nil && st.meb.nodeBound(st.ec.prect) >= st.best.bound() {
+			st.opt.Trace.add(func(tr *Trace) { tr.NodesPrunedMEB++ })
+			continue // MEB node bound: skip just this node (order unchanged)
+		}
+		if !st.opt.DisableHeuristic3 {
 			if nodeLBSoA(st.opt.Aggregate, st.ec.prect, st.gq, st.w) >= st.best.bound() {
 				st.opt.Trace.add(func(tr *Trace) { tr.NodesPrunedH3++ })
 				continue // heuristic 3: skip just this node
@@ -273,7 +295,11 @@ type GNNIterator struct {
 	heap   pq.Heap[gnnItem]
 	ph     pq.Heap[pgnnItem] // packed layout: 8-byte items, fused keys
 	dbuf   []float64         // fused-kernel distance buffer (packed path)
+	dbuf2  []float64         // fused MEB-bound buffer (packed path)
 	prect  geom.Rect         // spare rect for the packed heuristic-3 bound
+	mebs   geom.MEBScratch   // dedicated aggregate-MAX solver scratch
+	meb    mebCtx
+	mebp   *mebCtx // armed (&meb) on the dedicated MAX path, else nil
 	closed bool
 }
 
@@ -321,6 +347,11 @@ func NewGNNIterator(t *rtree.Tree, qs []geom.Point, opt Options) (*GNNIterator, 
 	it.qmbr = geom.BoundingRectInto(it.qmbr, qs)
 	it.opt = opt
 	it.w = w
+	it.mebp = nil
+	if opt.mebEnabled(len(qs)) {
+		it.meb.init(&it.mebs, qs, w)
+		it.mebp = &it.meb
+	}
 	it.closed = false
 	it.heap.Reset()
 	it.ph.Reset()
@@ -344,11 +375,25 @@ func (it *GNNIterator) pushNode(nd rtree.Node) {
 			if !regionAllows(it.opt.Region, e.Point) {
 				continue
 			}
-			it.heap.Push(gnnItem{e, pointCheap},
-				quickPointLBW(it.opt.Aggregate, e.Point, it.qmbr, n, it.w))
+			key := quickPointLBW(it.opt.Aggregate, e.Point, it.qmbr, n, it.w)
+			if it.mebp != nil {
+				// Dedicated MAX path: raise the key to the MEB bound. Keys
+				// only rise, and every key still lower-bounds the exact
+				// distance, so emission order stays exact while far
+				// candidates surface later — or never.
+				if mb := it.mebp.pointBound(e.Point); mb > key {
+					key = mb
+				}
+			}
+			it.heap.Push(gnnItem{e, pointCheap}, key)
 		} else {
-			it.heap.Push(gnnItem{e, nodeCheap},
-				quickNodeLBW(it.opt.Aggregate, e.Rect, it.qmbr, n, it.w))
+			key := quickNodeLBW(it.opt.Aggregate, e.Rect, it.qmbr, n, it.w)
+			if it.mebp != nil {
+				if mb := it.mebp.nodeBound(e.Rect); mb > key {
+					key = mb
+				}
+			}
+			it.heap.Push(gnnItem{e, nodeCheap}, key)
 		}
 	}
 }
@@ -364,17 +409,38 @@ func (it *GNNIterator) pushNodePacked(nd int32) {
 	n := len(it.qs)
 	if p.IsLeaf(nd) {
 		geom.MinDistSqPointsRect(p.PointSoA(), int(s), int(e), it.qmbr, it.dbuf)
+		if it.mebp != nil {
+			// Dedicated MAX path: one more fused pass yields the squared
+			// center distances, and each key is raised to the MEB bound —
+			// the same values pushNode computes entry by entry.
+			it.dbuf2 = grow(it.dbuf2, cnt)
+			geom.DistSqPointsPoint(p.PointSoA(), int(s), int(e), it.mebp.c, it.dbuf2)
+		}
 		for i := 0; i < cnt; i++ {
-			it.ph.Push(pgnnItem{rtree.LeafRef(s + int32(i)), pointCheap},
-				quickLBFromMindist(it.opt.Aggregate, math.Sqrt(it.dbuf[i]), n, it.w))
+			key := quickLBFromMindist(it.opt.Aggregate, math.Sqrt(it.dbuf[i]), n, it.w)
+			if it.mebp != nil {
+				if mb := it.mebp.fromMindistSq(it.dbuf2[i]); mb > key {
+					key = mb
+				}
+			}
+			it.ph.Push(pgnnItem{rtree.LeafRef(s + int32(i)), pointCheap}, key)
 		}
 		return
 	}
 	lo, hi := p.RectSoA()
 	geom.MinDistSqRectsRect(lo, hi, int(s), int(e), it.qmbr, it.dbuf)
+	if it.mebp != nil {
+		it.dbuf2 = grow(it.dbuf2, cnt)
+		geom.MinDistSqRectsPoint(lo, hi, int(s), int(e), it.mebp.c, it.dbuf2)
+	}
 	for i := 0; i < cnt; i++ {
-		it.ph.Push(pgnnItem{rtree.NodeRef(s + int32(i)), nodeCheap},
-			quickLBFromMindist(it.opt.Aggregate, math.Sqrt(it.dbuf[i]), n, it.w))
+		key := quickLBFromMindist(it.opt.Aggregate, math.Sqrt(it.dbuf[i]), n, it.w)
+		if it.mebp != nil {
+			if mb := it.mebp.fromMindistSq(it.dbuf2[i]); mb > key {
+				key = mb
+			}
+		}
+		it.ph.Push(pgnnItem{rtree.NodeRef(s + int32(i)), nodeCheap}, key)
 	}
 }
 
@@ -498,6 +564,9 @@ func (it *GNNIterator) Close() {
 	it.qs = nil
 	it.opt = Options{}
 	it.w = nil
+	it.mebp = nil
+	it.meb = mebCtx{}
+	it.mebs.Reset()
 	it.heap.Reset()
 	it.ph.Reset()
 	gnnIterPool.Put(it)

@@ -25,6 +25,14 @@ type Trace struct {
 	// PointsPrunedQuick counts data points discarded by the cheap point
 	// bound before paying for exact distance computations.
 	PointsPrunedQuick int
+	// NodesPrunedMEB counts nodes discarded by the dedicated aggregate-MAX
+	// kernel's minimum-enclosing-ball bound (depth-first MBM only; the
+	// best-first iterator folds the same bound into its heap keys, where
+	// pruning has no discrete event to count).
+	NodesPrunedMEB int
+	// PointsPrunedMEB counts data points discarded by the MEB point bound
+	// before paying for exact distance computations (depth-first MBM).
+	PointsPrunedMEB int
 	// ExactDistances counts full dist(p,Q) evaluations (n Euclidean
 	// distances each).
 	ExactDistances int

@@ -1,0 +1,76 @@
+package dataset
+
+// Seed-stability goldens: the synthetic PP/TS substitutes are the fixed
+// fixtures of every benchmark in BENCH*.json and of the paper-figure
+// reproductions, so their exact bit content per seed is part of the
+// repo's contract. A change to the generators (a reordered rng draw, a
+// different cluster split) silently invalidates every recorded number;
+// these hashes make that loud. If a generator change is intentional,
+// update the constants — in its own commit — and regenerate the
+// benchmark JSON files.
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"gnn/internal/geom"
+)
+
+// datasetHash is the FNV-1a digest of the IEEE-754 bit patterns of every
+// coordinate in order — any single-ulp drift in any point changes it.
+func datasetHash(d *Dataset) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, p := range d.Points {
+		for _, c := range p {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(c))
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}
+
+func TestSeedStabilityGoldens(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func() *Dataset
+		hash uint64
+		// One pinned interior point per dataset, asserted bit-exactly, so
+		// a failure localises immediately instead of only flipping a hash.
+		sampleIdx int
+		sample    geom.Point
+	}{
+		{"PP/seed1", func() *Dataset { return GeneratePP(1) },
+			0x337d49dec563ad91, 12345,
+			geom.Point{4071.5425847989559, 5672.254694598867}},
+		{"PP/seed123", func() *Dataset { return GeneratePP(123) },
+			0x6b539dbeaa8a5de7, 20000,
+			geom.Point{1930.8986711357647, 4026.4381059328753}},
+		{"TS/seed1", func() *Dataset { return GenerateTS(1) },
+			0x54a3f9d119595b28, 98765,
+			geom.Point{70.71401709863018, 2977.0463663179958}},
+		{"TS/seed123", func() *Dataset { return GenerateTS(123) },
+			0xaaa035a9bb3b1089, 150000,
+			geom.Point{3723.1616165767582, 9524.3519479029765}},
+	}
+	for _, tc := range cases {
+		d := tc.gen()
+		got := datasetHash(d)
+		if got != tc.hash {
+			t.Errorf("%s: dataset hash %#x, golden %#x — the generator's output changed",
+				tc.name, got, tc.hash)
+		}
+		p := d.Points[tc.sampleIdx]
+		if tc.sample == nil {
+			t.Errorf("%s: no golden sample; point %d is %.17g,%.17g",
+				tc.name, tc.sampleIdx, p[0], p[1])
+			continue
+		}
+		if p[0] != tc.sample[0] || p[1] != tc.sample[1] {
+			t.Errorf("%s: point %d = (%.17g,%.17g), golden (%.17g,%.17g)",
+				tc.name, tc.sampleIdx, p[0], p[1], tc.sample[0], tc.sample[1])
+		}
+	}
+}

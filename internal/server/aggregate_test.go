@@ -1,0 +1,100 @@
+package server
+
+// End-to-end coverage of the aggregate parameter: agg=max rides the
+// dedicated MEB kernel through the whole serving stack (HTTP decode →
+// admission → snapshot view → packed traversal) and must agree with the
+// library bit for bit; min and the batch endpoint ride along.
+
+import (
+	"net/http"
+	"testing"
+
+	"gnn"
+)
+
+func TestServeAggregateMax(t *testing.T) {
+	dir := t.TempDir()
+	path, ix := buildSnapshot(t, dir, "agg.snap", 3000, 13)
+	_, ts := newSnapshotServer(t, path, nil)
+
+	query := [][]float64{{120, 110}, {205, 240}, {150, 170}, {90, 220}}
+	group := []gnn.Point{{120, 110}, {205, 240}, {150, 170}, {90, 220}}
+
+	for _, tc := range []struct {
+		agg  string
+		want gnn.Aggregate
+	}{
+		{"max", gnn.MaxDist},
+		{"min", gnn.MinDist},
+		{"", gnn.SumDist},
+	} {
+		for _, algo := range []string{"mbm", "brute"} {
+			var got QueryResponse
+			status := postJSON(t, ts.Client(), ts.URL+"/v1/groupnn",
+				QueryRequest{Query: query, K: 5, Algo: algo, Agg: tc.agg}, &got)
+			if status != http.StatusOK {
+				t.Fatalf("agg=%q algo=%s: status %d", tc.agg, algo, status)
+			}
+			want, err := ix.GroupNN(group, gnn.WithK(5), gnn.WithAggregate(tc.want))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Results) != len(want) {
+				t.Fatalf("agg=%q algo=%s: %d results, want %d", tc.agg, algo, len(got.Results), len(want))
+			}
+			for i := range want {
+				if got.Results[i].ID != want[i].ID || got.Results[i].Dist != want[i].Dist {
+					t.Fatalf("agg=%q algo=%s: result %d = %+v, want %+v",
+						tc.agg, algo, i, got.Results[i], want[i])
+				}
+			}
+		}
+	}
+
+	// The MAX results must genuinely be max-aggregate ranked: on any
+	// non-degenerate fixture the sum and max orderings differ somewhere
+	// in the top 5, so a server that ignored agg would fail above; here we
+	// also pin that the first max distance equals the true farthest-member
+	// distance of the returned point.
+	var mx QueryResponse
+	if status := postJSON(t, ts.Client(), ts.URL+"/v1/groupnn",
+		QueryRequest{Query: query, K: 1, Agg: "max"}, &mx); status != http.StatusOK {
+		t.Fatalf("max k=1: status %d", status)
+	}
+	want, err := ix.GroupNN(group, gnn.WithK(1), gnn.WithAggregate(gnn.MaxDist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mx.Results) != 1 || mx.Results[0].Dist != want[0].Dist {
+		t.Fatalf("max k=1 diverged: %+v vs %+v", mx.Results, want)
+	}
+
+	// Batch endpoint under agg=max.
+	var batch BatchResponse
+	status := postJSON(t, ts.Client(), ts.URL+"/v1/batch",
+		BatchRequest{Queries: [][][]float64{query, query}, K: 3, Agg: "max"}, &batch)
+	if status != http.StatusOK || len(batch.Entries) != 2 {
+		t.Fatalf("batch: status %d entries %d", status, len(batch.Entries))
+	}
+	bwant, err := ix.GroupNN(group, gnn.WithK(3), gnn.WithAggregate(gnn.MaxDist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range batch.Entries {
+		if e.Error != "" || len(e.Results) != len(bwant) {
+			t.Fatalf("batch entry %d: %+v", i, e)
+		}
+		for j := range bwant {
+			if e.Results[j].ID != bwant[j].ID || e.Results[j].Dist != bwant[j].Dist {
+				t.Fatalf("batch entry %d result %d = %+v, want %+v", i, j, e.Results[j], bwant[j])
+			}
+		}
+	}
+
+	// Unknown aggregate is a 400, counted as a bad request.
+	var bad QueryResponse
+	if status := postJSON(t, ts.Client(), ts.URL+"/v1/groupnn",
+		QueryRequest{Query: query, Agg: "median"}, &bad); status != http.StatusBadRequest {
+		t.Fatalf("agg=median: status %d, want 400", status)
+	}
+}

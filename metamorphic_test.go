@@ -131,6 +131,12 @@ func metaCells() []metaCell {
 		{"MBM/sum", false, []gnn.QueryOption{gnn.WithAlgorithm(gnn.AlgoMBM)}},
 		{"MBM-DF/sum", false, []gnn.QueryOption{gnn.WithAlgorithm(gnn.AlgoMBM), gnn.WithDepthFirst()}},
 		{"MBM/max", false, []gnn.QueryOption{gnn.WithAlgorithm(gnn.AlgoMBM), gnn.WithAggregate(gnn.MaxDist)}},
+		// The dedicated aggregate-MAX kernel (MEB pruning) and the generic
+		// per-member path, both traversals: the transforms must commute
+		// with the ball bound exactly as with the per-member bounds.
+		{"MBM-DF/max", false, []gnn.QueryOption{gnn.WithAlgorithm(gnn.AlgoMBM), gnn.WithDepthFirst(), gnn.WithAggregate(gnn.MaxDist)}},
+		{"MBM/max-generic", false, []gnn.QueryOption{gnn.WithAlgorithm(gnn.AlgoMBM), gnn.WithAggregate(gnn.MaxDist), gnn.WithGenericMax()}},
+		{"MBM-DF/max-generic", false, []gnn.QueryOption{gnn.WithAlgorithm(gnn.AlgoMBM), gnn.WithDepthFirst(), gnn.WithAggregate(gnn.MaxDist), gnn.WithGenericMax()}},
 		{"MBM/min", false, []gnn.QueryOption{gnn.WithAlgorithm(gnn.AlgoMBM), gnn.WithAggregate(gnn.MinDist)}},
 		{"MQM/sum", true, []gnn.QueryOption{gnn.WithAlgorithm(gnn.AlgoMQM)}},
 		{"MQM/max", true, []gnn.QueryOption{gnn.WithAlgorithm(gnn.AlgoMQM), gnn.WithAggregate(gnn.MaxDist)}},

@@ -135,6 +135,7 @@ type queryConfig struct {
 	parallelism int
 	layout      Layout
 	shards      int
+	genericMax  bool
 }
 
 // WithK requests the k best group neighbors (default 1).
@@ -149,6 +150,14 @@ func WithAggregate(a Aggregate) QueryOption { return func(c *queryConfig) { c.ag
 // WithDepthFirst switches SPM/MBM to depth-first traversal (best-first is
 // the default, as in the paper's experiments).
 func WithDepthFirst() QueryOption { return func(c *queryConfig) { c.depthFirst = true } }
+
+// WithGenericMax forces WithAggregate(MaxDist) queries onto the generic
+// per-member pruning bounds instead of the dedicated minimum-enclosing-
+// ball kernel MBM dispatches to by default. Results are identical either
+// way — only node accesses differ (the dedicated kernel's are never
+// higher). The knob exists for differential testing and benchmarking; it
+// has no effect on SUM or MIN queries.
+func WithGenericMax() QueryOption { return func(c *queryConfig) { c.genericMax = true } }
 
 // WithWeights assigns a positive weight per query point, making the
 // aggregate Σᵢ wᵢ·|p qᵢ| (or the weighted max/min). The slice must match
@@ -196,7 +205,7 @@ func buildConfig(opts []QueryOption) queryConfig {
 
 func (c queryConfig) coreOptions() core.Options {
 	o := core.Options{K: c.k, Aggregate: c.aggregate, Weights: c.weights,
-		Region: c.region, Cancel: c.cancel}
+		Region: c.region, Cancel: c.cancel, GenericMax: c.genericMax}
 	if c.depthFirst {
 		o.Traversal = core.DepthFirst
 	}
@@ -545,6 +554,11 @@ var (
 	// ErrUnsupportedAggregate reports an aggregate the chosen algorithm
 	// cannot process (SPM and the disk algorithms are SUM-only).
 	ErrUnsupportedAggregate = core.ErrUnsupportedAggregate
+	// ErrUnsupportedOption reports an extension option the chosen
+	// algorithm cannot honor: the disk-resident family rejects weighted
+	// groups and constrained regions outright rather than silently
+	// ignoring them.
+	ErrUnsupportedOption = core.ErrUnsupportedOption
 	// ErrBudgetExceeded reports that GCP hit its pair budget.
 	ErrBudgetExceeded = core.ErrBudgetExceeded
 )
