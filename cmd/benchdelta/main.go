@@ -20,11 +20,20 @@
 // kernel's NA/op stays at or below the generic path's on every cell and
 // strictly below it in total (see maxgate.go).
 //
+// A third gate runs with -telemetry: it reads a BENCH_telemetry.json
+// from gnnbench -telemetry and fails unless the plain GroupNN hot path
+// still runs at exactly 4 allocs/op with the observability layer
+// compiled in, stays within -telemetry-max-ratio of a same-workload
+// committed BENCH_alloc.json baseline, and the opt-in explain trace
+// costs at most -telemetry-traced-ratio × the plain ns/op (see
+// telemetrygate.go).
+//
 // Usage:
 //
 //	benchdelta -baseline BENCH_snapshot.json -current /tmp/new.json
 //	benchdelta -baseline BENCH_snapshot.json -current new.json -tolerance 1.5
 //	benchdelta -max BENCH_max.json
+//	benchdelta -telemetry BENCH_telemetry.json
 package main
 
 import (
@@ -69,10 +78,17 @@ func main() {
 		tolerance = flag.Float64("tolerance", 2.0, "max allowed current/baseline ratio for absolute open times")
 		openFrac  = flag.Float64("max-open-fraction", 0.10, "max allowed mapped-open / copying-load ratio in the current file")
 		maxPath   = flag.String("max", "", "gate a BENCH_max.json instead: dedicated MAX-kernel NA/op must stay at or below the generic path on every cell and strictly below in total")
+		telPath   = flag.String("telemetry", "", "gate a BENCH_telemetry.json instead: plain GroupNN must hold 4 allocs/op and a bounded ns premium")
+		telBase   = flag.String("telemetry-baseline", "", "with -telemetry: committed BENCH_alloc.json to compare the plain ns/op against (same-workload runs only)")
+		telRatio  = flag.Float64("telemetry-max-ratio", 1.02, "with -telemetry: max allowed plain-ns/baseline-ns ratio")
+		telTraced = flag.Float64("telemetry-traced-ratio", 2.0, "with -telemetry: max allowed traced/plain ns ratio")
 	)
 	flag.Parse()
 	if *maxPath != "" {
 		os.Exit(runMaxGate(*maxPath))
+	}
+	if *telPath != "" {
+		os.Exit(runTelemetryGate(*telPath, *telBase, *telRatio, *telTraced))
 	}
 	if *currPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdelta: -current is required")

@@ -13,6 +13,7 @@
 //	gnnbench -parallel 8           # batch-engine throughput, 8 workers
 //	gnnbench -allocs               # ns/op + allocs/op per algorithm×aggregate
 //	gnnbench -maxagg               # dedicated vs generic aggregate-MAX kernel
+//	gnnbench -telemetry            # plain vs explain-instrumented query overhead
 //	gnnbench -snapshot             # cold-start: snapshot load vs rebuild
 //
 // Paper-scale runs (default scale 1.0) rebuild PP (24,493 points) and TS
@@ -77,6 +78,8 @@ func main() {
 		allocs   = flag.Bool("allocs", false, "allocation mode: ns/op and allocs/op per algorithm×aggregate")
 		aout     = flag.String("allocs-out", "", "write the -allocs snapshot as JSON to this file")
 		abase    = flag.String("allocs-baseline", "", "embed a previous -allocs snapshot as the baseline")
+		telem    = flag.Bool("telemetry", false, "telemetry-overhead mode: plain GroupNN vs GroupNNExplain on the warm packed MBM kernel")
+		tout     = flag.String("telemetry-out", "", "write the -telemetry measurement as JSON to this file (BENCH_telemetry.json)")
 		maxagg   = flag.Bool("maxagg", false, "MAX-kernel mode: dedicated MEB pruning vs the generic path on a uniform workload")
 		maxN     = flag.Int("maxagg-n", 100_000, "points for the -maxagg uniform fixture")
 		mxout    = flag.String("maxagg-out", "", "write the -maxagg comparison as JSON to this file (BENCH_max.json)")
@@ -90,6 +93,7 @@ func main() {
 		serveC   = flag.Int("serve-clients", 16, "with -serve-bench: max concurrent clients (sweeps powers of two up to this)")
 		serveDur = flag.Duration("serve-duration", 2*time.Second, "with -serve-bench: measurement window per client count")
 		svout    = flag.String("serve-out", "", "write the -serve-bench sweep as JSON to this file")
+		svbase   = flag.String("serve-baseline", "", "embed a previous -serve-bench sweep as the baseline (overhead delta)")
 		mutateB  = flag.Bool("mutate", false, "mutation mode: query throughput under live insert/delete traffic, sweeping write rates × compaction thresholds")
 		mutDur   = flag.Duration("mutate-duration", 2*time.Second, "with -mutate: measurement window per row")
 		mout     = flag.String("mutate-out", "", "write the -mutate sweep as JSON to this file")
@@ -111,7 +115,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *serveB {
-		if err := runServeBench(*serveURL, *serveC, *serveDur, *scale, *queries, *seed, *svout); err != nil {
+		if err := runServeBench(*serveURL, *serveC, *serveDur, *scale, *queries, *seed, *svout, *svbase); err != nil {
 			fmt.Fprintln(os.Stderr, "gnnbench:", err)
 			os.Exit(1)
 		}
@@ -145,6 +149,20 @@ func main() {
 	}
 	if *allocs {
 		if err := runAllocs(*scale, *queries, *seed, *aout, *abase, layouts); err != nil {
+			fmt.Fprintln(os.Stderr, "gnnbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *telem {
+		if *layout != "" {
+			// The overhead claim is about the serving default (packed MBM);
+			// a pinned layout would gate a different kernel than the one the
+			// daemon runs.
+			fmt.Fprintln(os.Stderr, "gnnbench: -telemetry measures the packed serving default; drop -layout")
+			os.Exit(2)
+		}
+		if err := runTelemetry(*scale, *queries, *seed, *tout); err != nil {
 			fmt.Fprintln(os.Stderr, "gnnbench:", err)
 			os.Exit(1)
 		}

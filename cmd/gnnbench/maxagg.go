@@ -38,6 +38,13 @@ type maxaggCell struct {
 type maxaggSide struct {
 	NsPerOp float64 `json:"ns_per_op"`
 	NAPerOp float64 `json:"na_per_op"`
+	// Per-op pruning splits from the explain trace: what the MEB bound
+	// discarded (dedicated side only; always 0 on the generic side) and
+	// what the heuristic-2/3 bounds discarded.
+	NodesPrunedMEBPerOp  float64 `json:"nodes_pruned_meb_per_op"`
+	PointsPrunedMEBPerOp float64 `json:"points_pruned_meb_per_op"`
+	NodesPrunedH2PerOp   float64 `json:"nodes_pruned_h2_per_op"`
+	NodesPrunedH3PerOp   float64 `json:"nodes_pruned_h3_per_op"`
 }
 
 // runMaxAgg builds the uniform fixture and measures the grid.
@@ -60,8 +67,9 @@ func runMaxAgg(numPoints, numQueries int, seed int64, outPath string) error {
 
 	fmt.Printf("# aggregate-MAX kernel — dedicated (MEB) vs generic pruning, %s (%d points), %d queries/cell\n\n",
 		d.Name, ix.Len(), numQueries)
-	fmt.Printf("%-3s  %-2s  %-3s  %13s  %13s  %9s  %11s  %11s  %8s\n",
-		"n", "k", "trv", "ded ns/op", "gen ns/op", "speedup", "ded na/op", "gen na/op", "na ratio")
+	fmt.Printf("%-3s  %-2s  %-3s  %13s  %13s  %9s  %11s  %11s  %8s  %20s  %13s\n",
+		"n", "k", "trv", "ded ns/op", "gen ns/op", "speedup", "ded na/op", "gen na/op", "na ratio",
+		"ded meb(n/p) h2/h3", "gen h2/h3")
 
 	measure := func(queries [][]gnn.Point, k int, df, generic bool) (maxaggSide, error) {
 		opts := []gnn.QueryOption{
@@ -73,10 +81,18 @@ func runMaxAgg(numPoints, numQueries int, seed int64, outPath string) error {
 		if generic {
 			opts = append(opts, gnn.WithGenericMax())
 		}
+		// Warmup doubles as the pruning census: one explained pass sums
+		// what each bound discarded, off the timed loop.
+		var mebN, mebP, h2, h3 int
 		for _, q := range queries {
-			if _, err := ix.GroupNN(q, opts...); err != nil {
+			_, ex, err := ix.GroupNNExplain(q, opts...)
+			if err != nil {
 				return maxaggSide{}, err
 			}
+			mebN += ex.Trace.NodesPrunedMEB
+			mebP += ex.Trace.PointsPrunedMEB
+			h2 += ex.Trace.NodesPrunedH2
+			h3 += ex.Trace.NodesPrunedH3
 		}
 		ix.ResetCost()
 		start := time.Now()
@@ -92,9 +108,14 @@ func runMaxAgg(numPoints, numQueries int, seed int64, outPath string) error {
 		}
 		elapsed := time.Since(start)
 		total := float64(rounds * len(queries))
+		nq := float64(len(queries))
 		return maxaggSide{
-			NsPerOp: float64(elapsed.Nanoseconds()) / total,
-			NAPerOp: float64(ix.Cost().LogicalAccesses) / total,
+			NsPerOp:              float64(elapsed.Nanoseconds()) / total,
+			NAPerOp:              float64(ix.Cost().LogicalAccesses) / total,
+			NodesPrunedMEBPerOp:  float64(mebN) / nq,
+			PointsPrunedMEBPerOp: float64(mebP) / nq,
+			NodesPrunedH2PerOp:   float64(h2) / nq,
+			NodesPrunedH3PerOp:   float64(h3) / nq,
 		}, nil
 	}
 
@@ -134,9 +155,12 @@ func runMaxAgg(numPoints, numQueries int, seed int64, outPath string) error {
 					NARatio: ded.NAPerOp / gen.NAPerOp,
 				}
 				snap.Cells = append(snap.Cells, cell)
-				fmt.Printf("%-3d  %-2d  %-3s  %13.0f  %13.0f  %8.2fx  %11.1f  %11.1f  %8.3f\n",
+				fmt.Printf("%-3d  %-2d  %-3s  %13.0f  %13.0f  %8.2fx  %11.1f  %11.1f  %8.3f  %20s  %13s\n",
 					n, k, trv, ded.NsPerOp, gen.NsPerOp, gen.NsPerOp/ded.NsPerOp,
-					ded.NAPerOp, gen.NAPerOp, cell.NARatio)
+					ded.NAPerOp, gen.NAPerOp, cell.NARatio,
+					fmt.Sprintf("%.0f/%.0f %.0f/%.0f", ded.NodesPrunedMEBPerOp, ded.PointsPrunedMEBPerOp,
+						ded.NodesPrunedH2PerOp, ded.NodesPrunedH3PerOp),
+					fmt.Sprintf("%.0f/%.0f", gen.NodesPrunedH2PerOp, gen.NodesPrunedH3PerOp))
 			}
 		}
 	}

@@ -26,9 +26,17 @@ type serveBenchOut struct {
 	// inside the bench over a freshly generated snapshot — the
 	// reproducible default) or the -serve-url of a live gnnserve.
 	Target string `json:"target"`
+	// MetricsEnabled records that the sweep ran with the telemetry layer
+	// live — /metrics registered, per-request counters and latency
+	// histograms observed, slow-query log armed — so the numbers carry
+	// their instrumentation provenance.
+	MetricsEnabled bool `json:"metrics_enabled"`
 	// DurationSeconds is the measurement window per concurrency level.
 	DurationSeconds float64          `json:"duration_seconds"`
 	Results         []serveLoadPoint `json:"results"`
+	// Baseline embeds a previous sweep (-serve-baseline) so the
+	// instrumentation overhead delta is visible in one file.
+	Baseline []serveLoadPoint `json:"baseline,omitempty"`
 }
 
 // serveLoadPoint is one concurrency level of the sweep.
@@ -50,7 +58,7 @@ type serveLoadPoint struct {
 // targets a live daemon; otherwise it stands one up in-process over a
 // snapshot generated from the TS dataset at -scale, so the bench is
 // self-contained and comparable across revisions.
-func runServeBench(url string, maxClients int, dur time.Duration, scale float64, numQueries int, seed int64, outPath string) error {
+func runServeBench(url string, maxClients int, dur time.Duration, scale float64, numQueries int, seed int64, outPath, baselinePath string) error {
 	_, ix, queries, err := benchFixture(scale, numQueries, seed)
 	if err != nil {
 		return err
@@ -106,7 +114,19 @@ func runServeBench(url string, maxClients int, dur time.Duration, scale float64,
 		benchEnv:        newBenchEnv("TS", ix.Len(), scale),
 		benchWorkload:   newBenchWorkload(numQueries),
 		Target:          target,
+		MetricsEnabled:  true,
 		DurationSeconds: dur.Seconds(),
+	}
+	if baselinePath != "" {
+		data, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("reading baseline sweep: %w", err)
+		}
+		var base serveBenchOut
+		if err := json.Unmarshal(data, &base); err != nil {
+			return fmt.Errorf("parsing baseline sweep: %w", err)
+		}
+		out.Baseline = base.Results
 	}
 	fmt.Printf("serve bench: %s, %d points, %d query groups, %v per level\n",
 		target, ix.Len(), len(queries), dur)
@@ -122,7 +142,32 @@ func runServeBench(url string, maxClients int, dur time.Duration, scale float64,
 		fmt.Printf("%8d %10d %10.0f %9.3f %9.3f %9.3f %7d\n",
 			pt.Clients, pt.Requests, pt.QPS, pt.P50MS, pt.P99MS, pt.P999MS, pt.Errors)
 	}
+	printServeDelta(out.Baseline, out.Results)
 	return writeBenchJSON(outPath, out)
+}
+
+// printServeDelta renders the per-level qps change against an embedded
+// baseline sweep — the instrumentation overhead when the baseline
+// predates the telemetry layer. Serving throughput is HTTP-dominated,
+// so machine noise swamps small deltas; the table states the change, it
+// does not gate it.
+func printServeDelta(baseline, current []serveLoadPoint) {
+	if len(baseline) == 0 {
+		return
+	}
+	byClients := map[int]serveLoadPoint{}
+	for _, b := range baseline {
+		byClients[b.Clients] = b
+	}
+	fmt.Printf("\n# qps vs embedded baseline\n")
+	fmt.Printf("%8s %12s %12s %8s\n", "clients", "base qps", "qps", "delta")
+	for _, c := range current {
+		b, ok := byClients[c.Clients]
+		if !ok || b.QPS == 0 {
+			continue
+		}
+		fmt.Printf("%8d %12.0f %12.0f %+7.1f%%\n", c.Clients, b.QPS, c.QPS, 100*(c.QPS/b.QPS-1))
+	}
 }
 
 // sweepClients yields the swept concurrency levels: powers of two up to

@@ -7,13 +7,20 @@
 //
 //	curl -s localhost:8080/v1/groupnn -d '{"query":[[2000,3000],[2500,3500]],"k":3}'
 //
-// Endpoints: POST /v1/groupnn (one query group), POST /v1/batch (many
-// groups, one deadline), POST /v1/insert and /v1/delete (writes into
-// the delta overlay while the mapped base keeps serving), GET /v1/stats
-// (counters, latency percentiles, reload and compaction health), GET
-// /healthz (process liveness), GET /readyz (serving readiness; flips
-// 503 during drain), POST /admin/reload (hot snapshot swap; also on
-// SIGHUP).
+// Endpoints: POST /v1/groupnn (one query group; set "trace": true to
+// get the query's explain report — stage timings, pruning counters,
+// provenance — in the response), POST /v1/batch (many groups, one
+// deadline), POST /v1/insert and /v1/delete (writes into the delta
+// overlay while the mapped base keeps serving), GET /v1/stats
+// (counters, latency percentiles, reload/compaction health and process
+// runtime stats), GET /metrics (Prometheus text exposition), GET
+// /debug/slowlog (the N slowest queries with their explain traces), GET
+// /debug/pprof/* (the standard Go profiles), GET /healthz (process
+// liveness), GET /readyz (serving readiness; flips 503 during drain),
+// POST /admin/reload (hot snapshot swap; also on SIGHUP).
+//
+// Every request gets an X-Request-ID (inbound IDs are honored) and one
+// structured log line on stderr (-log-format text|json, -log-level).
 //
 // Failure behavior: requests carry a deadline (timeout_ms, clamped to
 // -max-timeout) that propagates into the traversal kernels — slow or
@@ -36,7 +43,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -59,11 +66,19 @@ func main() {
 		eager       = flag.Bool("eager-verify", false, "verify the initial snapshot open eagerly")
 		compactAt   = flag.Int("compact-threshold", 0, "overlay size triggering background compaction (0 = disabled)")
 		compactIvl  = flag.Duration("compact-interval", 50*time.Millisecond, "background compactor poll period")
+		slowlogN    = flag.Int("slowlog", 32, "slowest queries retained at /debug/slowlog")
+		logFormat   = flag.String("log-format", "text", "structured log format: text|json")
+		logLevel    = flag.String("log-level", "info", "log level: debug|info|warn|error")
 	)
 	flag.Parse()
 	if *snap == "" {
 		fmt.Fprintln(os.Stderr, "usage: gnnserve -snapshot pp.snap [-addr :8080]")
 		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gnnserve: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -78,15 +93,18 @@ func main() {
 		EagerVerify:      *eager,
 		CompactThreshold: *compactAt,
 		CompactInterval:  *compactIvl,
+		SlowLogSize:      *slowlogN,
+		Logger:           logger,
 	})
 	if err != nil {
-		log.Fatalf("gnnserve: opening %s: %v", *snap, err)
+		logger.Error("opening snapshot failed", "path", *snap, "error", err)
+		os.Exit(1)
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("gnnserve: serving %s on %s", *snap, *addr)
+		logger.Info("serving", "snapshot", *snap, "addr", *addr)
 		errc <- hs.ListenAndServe()
 	}()
 
@@ -96,32 +114,59 @@ func main() {
 		select {
 		case err := <-errc:
 			if err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Fatalf("gnnserve: %v", err)
+				logger.Error("listener failed", "error", err)
+				os.Exit(1)
 			}
 			return
 		case sig := <-sigc:
 			switch sig {
 			case syscall.SIGHUP:
 				if h, err := srv.Reload(""); err != nil {
-					log.Printf("gnnserve: reload rejected, serving previous snapshot: %v", err)
+					logger.Warn("reload rejected, serving previous snapshot", "error", err)
 				} else {
-					log.Printf("gnnserve: reloaded generation %d", h.Generation())
+					logger.Info("reloaded", "generation", h.Generation())
 				}
 				continue
 			default: // SIGTERM / SIGINT: graceful drain
-				log.Printf("gnnserve: %v: draining (up to %v)", sig, srv.DrainTimeout())
+				logger.Info("draining", "signal", sig.String(), "timeout", srv.DrainTimeout().String())
 				srv.NotReady()
 				ctx, cancel := context.WithTimeout(context.Background(), srv.DrainTimeout())
 				if err := hs.Shutdown(ctx); err != nil {
-					log.Printf("gnnserve: drain cut short: %v", err)
+					logger.Warn("drain cut short", "error", err)
 				}
 				cancel()
 				if err := srv.Close(); err != nil {
-					log.Printf("gnnserve: closing index: %v", err)
+					logger.Warn("closing index failed", "error", err)
 				}
-				log.Printf("gnnserve: stopped")
+				logger.Info("stopped")
 				return
 			}
 		}
+	}
+}
+
+// newLogger builds the daemon's structured logger on stderr.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text|json)", format)
 	}
 }

@@ -124,8 +124,15 @@ type Options struct {
 	// nil means unconstrained.
 	Region *geom.Rect
 	// Trace, when non-nil, accumulates per-heuristic pruning diagnostics
-	// (currently populated by MBM and its iterator).
+	// (populated by MQM, SPM, MBM, the MBM iterator and BruteForce; each
+	// kernel fills the counters that apply to it — see Trace).
 	Trace *Trace
+	// Stages, when non-nil, accumulates named per-stage wall times
+	// (scatter per shard, merge, overlay sources). Like Trace it is
+	// optional and nil-safe; unlike Trace it must only be appended to
+	// from one goroutine — parallel stages record into private slots and
+	// are merged at gather time.
+	Stages *StageLog
 	// Cost, when non-nil, accumulates this query's I/O cost in place: node
 	// accesses of every tree the algorithm traverses, plus the page reads
 	// of a disk-resident query set. Give each query its own tracker; the
@@ -408,7 +415,13 @@ func BruteForce(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, e
 		if opt.Cancel.Stop() {
 			return false
 		}
+		if tr := opt.Trace; tr != nil {
+			tr.PointsScanned++
+		}
 		if regionAllows(opt.Region, p) {
+			if tr := opt.Trace; tr != nil {
+				tr.ExactDistances++
+			}
 			best.offer(GroupNeighbor{Point: p, ID: id, Dist: aggDistW(opt.Aggregate, p, qs, w)})
 		}
 		return true
@@ -444,6 +457,12 @@ func bruteForcePacked(p *rtree.Packed, qs []geom.Point, w *weightCtx, opt Option
 		e := s + chunk
 		if e > n {
 			e = n
+		}
+		if tr := opt.Trace; tr != nil {
+			// The fused kernel computes every chunk point's exact group
+			// distance in one pass, region filtering happens after.
+			tr.PointsScanned += e - s
+			tr.ExactDistances += e - s
 		}
 		ec.dbuf = grow(ec.dbuf, e-s)
 		dists := ec.dbuf

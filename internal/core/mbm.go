@@ -89,7 +89,43 @@ func MBM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 	if err := opt.Cancel.Failure(); err != nil {
 		return nil, err
 	}
+	if tr := opt.Trace; tr != nil {
+		it.drainPruneCounts(tr)
+	}
 	return best.results(), nil
+}
+
+// drainPruneCounts classifies everything still queued when best-first
+// MBM stops. Best-first search prunes implicitly — an entry whose
+// heuristic-2 or -3 key never beat the kth distance simply stays in the
+// heap — so the surviving items are exactly the candidates the bounds
+// discarded. The census walks the heaps' backing arrays in place
+// (classification needs no priority order), so it costs one linear read
+// rather than a destructive pop-all; Close resets the heaps either way.
+func (it *GNNIterator) drainPruneCounts(tr *Trace) {
+	if it.rd.Packed() != nil {
+		for _, item := range it.ph.Items() {
+			switch item.Value.state {
+			case nodeCheap:
+				tr.NodesPrunedH2++
+			case nodeTight:
+				tr.NodesPrunedH3++
+			case pointCheap:
+				tr.PointsPrunedQuick++
+			}
+		}
+		return
+	}
+	for _, item := range it.heap.Items() {
+		switch item.Value.state {
+		case nodeCheap:
+			tr.NodesPrunedH2++
+		case nodeTight:
+			tr.NodesPrunedH3++
+		case pointCheap:
+			tr.PointsPrunedQuick++
+		}
+	}
 }
 
 // mbmState carries the per-query state of a depth-first MBM traversal.

@@ -85,9 +85,15 @@ func MQM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 			// result set is final.
 			break
 		}
+		if tr := opt.Trace; tr != nil {
+			tr.StreamAdvances++
+		}
 		tSum += weightOf(i) * (nb.Dist - thresholds[i])
 		thresholds[i] = nb.Dist
 		if regionAllows(opt.Region, nb.Point) {
+			if tr := opt.Trace; tr != nil {
+				tr.ExactDistances++
+			}
 			best.offer(GroupNeighbor{
 				Point: nb.Point,
 				ID:    nb.ID,

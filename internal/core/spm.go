@@ -51,7 +51,7 @@ func SPM(t *rtree.Tree, qs []geom.Point, opt Options) ([]GroupNeighbor, error) {
 	if t.Len() > 0 {
 		run := spmRun{rd: rtree.ReaderOver(t, opt.packedFor(t, false), opt.Cost),
 			qs: qs, gq: ec.groupSoA(qs), q: q, dq: dq, n: n, w: w, region: opt.Region,
-			best: best, ec: ec, cancel: opt.Cancel}
+			best: best, ec: ec, cancel: opt.Cancel, trace: opt.Trace}
 		switch {
 		case run.rd.Packed() != nil && opt.Traversal == DepthFirst:
 			run.dfPacked(run.rd.PackedRoot(), 0)
@@ -82,6 +82,7 @@ type spmRun struct {
 	best   *kbest
 	ec     *ExecContext
 	cancel *CancelCheck
+	trace  *Trace
 }
 
 // spmCentroid computes the approximate centroid and its dist(q,Q).
@@ -113,10 +114,36 @@ func (r *spmRun) offer(e rtree.Entry) {
 	if !regionAllows(r.region, e.Point) {
 		return
 	}
+	if r.trace != nil {
+		r.trace.ExactDistances++
+	}
 	r.best.offer(GroupNeighbor{
 		Point: e.Point, ID: e.ID,
 		Dist: aggDistSoA(Sum, e.Point, r.gq, r.w),
 	})
+}
+
+// tracePrunedH1 classifies candidates cut by heuristic 1 into node and
+// point counters. Only runs with a trace attached.
+func (r *spmRun) tracePrunedH1(cands []rtree.Cand) {
+	for i := range cands {
+		if cands[i].E.IsLeafEntry() {
+			r.trace.PointsPrunedH1++
+		} else {
+			r.trace.NodesPrunedH1++
+		}
+	}
+}
+
+// tracePrunedH1Packed is tracePrunedH1 over packed int32 refs.
+func (r *spmRun) tracePrunedH1Packed(cands []rtree.PCand) {
+	for i := range cands {
+		if _, isPoint := rtree.RefSlot(cands[i].Ref); isPoint {
+			r.trace.PointsPrunedH1++
+		} else {
+			r.trace.NodesPrunedH1++
+		}
+	}
 }
 
 // df is the depth-first variant of Figure 3.4: entries sorted by mindist
@@ -125,6 +152,9 @@ func (r *spmRun) offer(e rtree.Entry) {
 func (r *spmRun) df(nd rtree.Node, depth int) {
 	if r.cancel.Stop() {
 		return
+	}
+	if r.trace != nil {
+		r.trace.NodesVisited++
 	}
 	buf := r.ec.cands.Level(depth)
 	cands := *buf
@@ -142,6 +172,9 @@ func (r *spmRun) df(nd rtree.Node, depth int) {
 	for i := range cands {
 		c := cands[i]
 		if c.D >= r.threshold() {
+			if r.trace != nil {
+				r.tracePrunedH1(cands[i:])
+			}
 			return // heuristic 1 prunes this and all later entries
 		}
 		if c.E.IsLeafEntry() {
@@ -160,6 +193,9 @@ func (r *spmRun) df(nd rtree.Node, depth int) {
 func (r *spmRun) dfPacked(nd int32, depth int) {
 	if r.cancel.Stop() {
 		return
+	}
+	if r.trace != nil {
+		r.trace.NodesVisited++
 	}
 	p := r.rd.Packed()
 	s, e := p.NodeRange(nd)
@@ -187,9 +223,15 @@ func (r *spmRun) dfPacked(nd int32, depth int) {
 	for i := range cands {
 		c := cands[i]
 		if c.D >= r.threshold() {
+			if r.trace != nil {
+				r.tracePrunedH1Packed(cands[i:])
+			}
 			return // heuristic 1 prunes this and all later entries
 		}
 		if slot, isPoint := rtree.RefSlot(c.Ref); isPoint {
+			if r.trace != nil {
+				r.trace.ExactDistances++
+			}
 			pt := p.LeafPoint(slot)
 			r.best.offer(GroupNeighbor{
 				Point: pt, ID: p.LeafID(slot),
@@ -207,6 +249,9 @@ func (r *spmRun) bfPacked() {
 	heap := &r.ec.peheap
 	heap.Reset()
 	push := func(nd int32) {
+		if r.trace != nil {
+			r.trace.NodesVisited++
+		}
 		s, e := p.NodeRange(nd)
 		cnt := int(e - s)
 		r.ec.dbuf = grow(r.ec.dbuf, cnt)
@@ -234,9 +279,26 @@ func (r *spmRun) bfPacked() {
 			return
 		}
 		if item.Priority >= r.threshold() {
+			if r.trace != nil {
+				// Everything still enqueued has a key at least as large, so
+				// the whole frontier is pruned by heuristic 1; drain it into
+				// the counters (tracing only — the heap is pooled and Reset
+				// on next use either way).
+				for ok {
+					if _, isPoint := rtree.RefSlot(item.Value); isPoint {
+						r.trace.PointsPrunedH1++
+					} else {
+						r.trace.NodesPrunedH1++
+					}
+					item, ok = heap.Pop()
+				}
+			}
 			return
 		}
 		if slot, isPoint := rtree.RefSlot(item.Value); isPoint {
+			if r.trace != nil {
+				r.trace.ExactDistances++
+			}
 			pt := p.LeafPoint(slot)
 			r.best.offer(GroupNeighbor{
 				Point: pt, ID: p.LeafID(slot),
@@ -256,6 +318,9 @@ func (r *spmRun) bf() {
 	heap := &r.ec.eheap
 	heap.Reset()
 	push := func(nd rtree.Node) {
+		if r.trace != nil {
+			r.trace.NodesVisited++
+		}
 		for _, e := range nd.Entries() {
 			if e.IsLeafEntry() {
 				heap.Push(e, geom.Dist(r.q, e.Point))
@@ -274,6 +339,18 @@ func (r *spmRun) bf() {
 			return
 		}
 		if item.Priority >= r.threshold() {
+			if r.trace != nil {
+				// The frontier's keys are all ≥ this one: heuristic 1 prunes
+				// every remaining entry (see bfPacked).
+				for ok {
+					if item.Value.IsLeafEntry() {
+						r.trace.PointsPrunedH1++
+					} else {
+						r.trace.NodesPrunedH1++
+					}
+					item, ok = heap.Pop()
+				}
+			}
 			return
 		}
 		if item.Value.IsLeafEntry() {

@@ -70,6 +70,14 @@ func (h *Heap[T]) Pop() (item Item[T], ok bool) {
 	return min, true
 }
 
+// Items exposes the queued items in heap order — NOT priority order —
+// as a read-only view of the backing array. It exists for diagnostics
+// that classify the surviving entries of a finished traversal (the
+// explain trace's pruning census) without paying a destructive pop-all:
+// callers must not mutate the slice and must not hold it across a
+// Push/Pop/Reset.
+func (h *Heap[T]) Items() []Item[T] { return h.items }
+
 // Clear removes all items, retaining capacity.
 func (h *Heap[T]) Clear() {
 	for i := range h.items {

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"strings"
 	"time"
 
@@ -29,6 +31,10 @@ type QueryRequest struct {
 	// TimeoutMS overrides the server's default per-request deadline,
 	// clamped to the configured maximum.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Trace asks for the query's explain report (stage timings, pruning
+	// counters, provenance) to be echoed in the response. Collecting it
+	// never changes the results.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/batch: the shared options apply
@@ -56,11 +62,13 @@ type CostJSON struct {
 }
 
 // QueryResponse is the body of a successful /v1/groupnn response.
+// Explain is present only when the request set "trace": true.
 type QueryResponse struct {
-	Results    []ResultJSON `json:"results"`
-	Cost       CostJSON     `json:"cost"`
-	ElapsedUS  int64        `json:"elapsed_us"`
-	Generation uint64       `json:"generation"`
+	Results    []ResultJSON      `json:"results"`
+	Cost       CostJSON          `json:"cost"`
+	ElapsedUS  int64             `json:"elapsed_us"`
+	Generation uint64            `json:"generation"`
+	Explain    *gnn.QueryExplain `json:"explain,omitempty"`
 }
 
 // BatchEntryJSON is one query's outcome inside a /v1/batch response.
@@ -152,24 +160,34 @@ type StatsResponse struct {
 		LastCompactionUS  int64  `json:"last_compaction_us"`
 		LastCompactionErr string `json:"last_compaction_error,omitempty"`
 	} `json:"overlay"`
+	// Runtime reports basic process health so operators don't need a
+	// sidecar exporter for it.
+	Runtime struct {
+		Goroutines    int     `json:"goroutines"`
+		HeapBytes     uint64  `json:"heap_bytes"`
+		GCPauseP99US  float64 `json:"gc_pause_p99_us"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	} `json:"runtime"`
 }
 
 // routes mounts every endpoint. Query endpoints pass through the
-// admission and panic-containment wrapper; control-plane endpoints are
+// admission and panic-containment wrapper; control-plane endpoints —
+// including /metrics, the slow-query log and the pprof handlers — are
 // never throttled (an overloaded server must still answer its health
-// checks and accept a reload).
+// checks, surface its telemetry and accept a reload).
 func (s *Server) routes() *http.ServeMux {
+	s.initTelemetry()
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/groupnn", s.guard(s.handleGroupNN))
-	mux.HandleFunc("POST /v1/batch", s.guard(s.handleBatch))
-	mux.HandleFunc("POST /v1/insert", s.guard(s.handleInsert))
-	mux.HandleFunc("POST /v1/delete", s.guard(s.handleDelete))
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/groupnn", s.instrument(epGroupNN, s.guard(s.handleGroupNN)))
+	mux.HandleFunc("POST /v1/batch", s.instrument(epBatch, s.guard(s.handleBatch)))
+	mux.HandleFunc("POST /v1/insert", s.instrument(epInsert, s.guard(s.handleInsert)))
+	mux.HandleFunc("POST /v1/delete", s.instrument(epDelete, s.guard(s.handleDelete)))
+	mux.HandleFunc("GET /v1/stats", s.instrument(epNone, s.handleStats))
+	mux.HandleFunc("GET /healthz", s.instrument(epNone, func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /readyz", s.instrument(epNone, func(w http.ResponseWriter, r *http.Request) {
 		if s.ready.Load() {
 			w.WriteHeader(http.StatusOK)
 			fmt.Fprintln(w, "ready")
@@ -177,9 +195,21 @@ func (s *Server) routes() *http.ServeMux {
 		}
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
-	})
-	mux.HandleFunc("POST /admin/reload", s.handleReload)
+	}))
+	mux.HandleFunc("POST /admin/reload", s.instrument(epAdmin, s.handleReload))
+	mux.Handle("GET /metrics", s.metrics.reg.Handler())
+	mux.HandleFunc("GET /debug/slowlog", s.handleSlowLog)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// handleSlowLog serves the retained slowest queries, slowest first.
+func (s *Server) handleSlowLog(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"slowest": s.slow.snapshot()})
 }
 
 // guard wraps a query handler with panic containment and admission
@@ -198,6 +228,7 @@ func (s *Server) guard(h http.HandlerFunc) http.HandlerFunc {
 			writeError(w, http.StatusServiceUnavailable, "draining")
 			return
 		}
+		enqueued := time.Now()
 		release, err := s.admit(r.Context())
 		if err != nil {
 			if errors.Is(err, errSaturated) {
@@ -217,6 +248,9 @@ func (s *Server) guard(h http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		defer release()
+		// The admission wait becomes the explain report's first stage, so
+		// a trace distinguishes "slow kernel" from "slow to get a slot".
+		r = r.WithContext(context.WithValue(r.Context(), ctxKeyAdmissionWait, time.Since(enqueued)))
 		s.stats.inflight.Add(1)
 		defer s.stats.inflight.Add(-1)
 		h(w, r)
@@ -237,20 +271,83 @@ func (s *Server) handleGroupNN(w http.ResponseWriter, r *http.Request) {
 
 	h := s.liveHandle()
 	start := time.Now()
-	res, cost, err := h.q.GroupNNWithCostContext(ctx, query, opts...)
+	// Every query runs explained: the probe is a few counter increments
+	// and clock reads, and having the trace in hand is what lets the
+	// slow-query log capture a query that only turned out slow at the
+	// end. Results are bit-identical to the untraced call.
+	res, ex, err := h.q.GroupNNExplainContext(ctx, query, opts...)
 	elapsed := time.Since(start)
+	if ex != nil {
+		if wait := admissionWaitFrom(r.Context()); wait > 0 {
+			ex.Stages = append([]gnn.StageTiming{
+				{Name: "admission", Shard: -1, DurationUS: wait.Microseconds()},
+			}, ex.Stages...)
+		}
+	}
+	entry := slowEntry{
+		Time:      slowStamp(time.Now()),
+		RequestID: requestIDFrom(r.Context()),
+		Endpoint:  "groupnn",
+		ElapsedUS: elapsed.Microseconds(),
+		K:         max(req.K, 1),
+		GroupSize: len(query),
+		Algo:      algoNames[parseAlgoID(strings.ToLower(req.Algo))],
+		Agg:       normAgg(req.Agg),
+		Explain:   ex,
+	}
 	if err != nil {
+		// Failed queries compete for the slow log too — a deadline blowout
+		// is exactly the kind of query an operator wants to see.
+		entry.Outcome = outcomeLabel(err)
+		if s.slow.record(entry) {
+			s.metrics.slowLogged.Inc()
+		}
 		s.failQuery(w, err)
 		return
 	}
 	s.stats.served.Add(1)
-	s.hist.observe(uint64(elapsed.Microseconds()))
-	writeJSON(w, http.StatusOK, QueryResponse{
+	us := uint64(elapsed.Microseconds())
+	s.hist.observe(us)
+	s.metrics.observeQuery(epGroupNN, parseAlgoID(strings.ToLower(req.Algo)), us)
+	entry.Outcome = "ok"
+	if s.slow.record(entry) {
+		s.metrics.slowLogged.Inc()
+	}
+	var cost gnn.Cost
+	if ex != nil {
+		cost = ex.Cost
+	}
+	resp := QueryResponse{
 		Results:    toJSONResults(res),
 		Cost:       toJSONCost(cost),
 		ElapsedUS:  elapsed.Microseconds(),
 		Generation: h.generation,
-	})
+	}
+	if req.Trace {
+		resp.Explain = ex
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// normAgg canonicalises a request's aggregate label.
+func normAgg(agg string) string {
+	a := strings.ToLower(agg)
+	if a == "" {
+		return "sum"
+	}
+	return a
+}
+
+// outcomeLabel names a query error for the slow log.
+func outcomeLabel(err error) string {
+	switch {
+	case errors.Is(err, gnn.ErrDeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, gnn.ErrCanceled):
+		return "canceled"
+	default:
+		return "error"
+	}
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -299,7 +396,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		entries[i].Results = toJSONResults(br.Results)
 	}
 	s.stats.served.Add(1)
-	s.hist.observe(uint64(elapsed.Microseconds()))
+	us := uint64(elapsed.Microseconds())
+	s.hist.observe(us)
+	s.metrics.observeQuery(epBatch, parseAlgoID(strings.ToLower(req.Algo)), us)
+	// A batch competes for the slow log as one unit: there is no
+	// per-query explain, so GroupSize reports how many groups it carried.
+	if s.slow.record(slowEntry{
+		Time:      slowStamp(time.Now()),
+		RequestID: requestIDFrom(r.Context()),
+		Endpoint:  "batch",
+		ElapsedUS: elapsed.Microseconds(),
+		K:         max(req.K, 1),
+		GroupSize: len(queries),
+		Algo:      algoNames[parseAlgoID(strings.ToLower(req.Algo))],
+		Agg:       normAgg(req.Agg),
+		Outcome:   "ok",
+	}) {
+		s.metrics.slowLogged.Inc()
+	}
 	writeJSON(w, http.StatusOK, BatchResponse{
 		Entries:    entries,
 		ElapsedUS:  elapsed.Microseconds(),
@@ -405,6 +519,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	p := s.hist.percentiles(0.50, 0.99, 0.999)
 	resp.LatencyUS.Mean = s.hist.meanUS()
 	resp.LatencyUS.P50, resp.LatencyUS.P99, resp.LatencyUS.P999 = p[0], p[1], p[2]
+
+	rt := s.runtime.sample()
+	resp.Runtime.Goroutines = runtime.NumGoroutine()
+	resp.Runtime.HeapBytes = rt.heapBytes
+	resp.Runtime.GCPauseP99US = rt.gcPauseP99US
+	resp.Runtime.UptimeSeconds = time.Since(s.startedAt).Seconds()
 	writeJSON(w, http.StatusOK, resp)
 }
 

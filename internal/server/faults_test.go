@@ -96,6 +96,18 @@ func (f *fakeIndex) GroupNNWithCostContext(ctx context.Context, query []gnn.Poin
 	return []gnn.Result{{Point: gnn.Point{1, 2}, ID: 7, Dist: 3}}, gnn.Cost{NodeAccesses: 1}, nil
 }
 
+func (f *fakeIndex) GroupNNExplainContext(ctx context.Context, query []gnn.Point, opts ...gnn.QueryOption) ([]gnn.Result, *gnn.QueryExplain, error) {
+	res, cost, err := f.GroupNNWithCostContext(ctx, query, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, &gnn.QueryExplain{
+		Algorithm: "MBM", Aggregate: "sum", Layout: "packed",
+		K: 1, GroupSize: len(query), Cost: cost,
+		Stages: []gnn.StageTiming{{Name: "query", Shard: -1, DurationUS: 1}},
+	}, nil
+}
+
 func (f *fakeIndex) GroupNNBatchContext(ctx context.Context, queries [][]gnn.Point, opts ...gnn.QueryOption) ([]gnn.BatchResult, error) {
 	out := make([]gnn.BatchResult, len(queries))
 	for i := range queries {

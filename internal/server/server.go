@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"runtime"
@@ -35,9 +36,12 @@ import (
 )
 
 // Queryable is the serving surface the daemon needs from an index,
-// satisfied by both *gnn.Index and *gnn.ShardedIndex.
+// satisfied by both *gnn.Index and *gnn.ShardedIndex. The explain
+// variant powers /v1/groupnn: its trace feeds the slow-query log and
+// the opt-in "trace" echo, and collecting it never changes results.
 type Queryable interface {
 	GroupNNWithCostContext(ctx context.Context, query []gnn.Point, opts ...gnn.QueryOption) ([]gnn.Result, gnn.Cost, error)
+	GroupNNExplainContext(ctx context.Context, query []gnn.Point, opts ...gnn.QueryOption) ([]gnn.Result, *gnn.QueryExplain, error)
 	GroupNNBatchContext(ctx context.Context, queries [][]gnn.Point, opts ...gnn.QueryOption) ([]gnn.BatchResult, error)
 	Stats() gnn.Stats
 	Close() error
@@ -97,6 +101,11 @@ type Config struct {
 	// CompactInterval is the compactor poll period (default 50ms when
 	// the compactor is enabled).
 	CompactInterval time.Duration
+	// SlowLogSize is how many of the slowest queries /debug/slowlog
+	// retains, each with its explain trace (default 32).
+	SlowLogSize int
+	// Logger receives one structured line per request (nil = discard).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -152,6 +161,16 @@ type Server struct {
 	stats statsCounters
 	hist  histogram
 	mux   *http.ServeMux
+
+	// Observability plane, built once by initTelemetry: the Prometheus
+	// registry and pre-registered series, the slow-query log, the shared
+	// runtime/metrics sampler, the request logger and the ID generator.
+	metrics   *serverMetrics
+	slow      *slowLog
+	runtime   *runtimeSampler
+	logger    *slog.Logger
+	reqIDs    *reqIDGen
+	startedAt time.Time
 }
 
 // statsCounters are the daemon's monotonic failure-mode counters,
@@ -178,6 +197,7 @@ type statsCounters struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg, sem: make(chan struct{}, cfg.MaxInflight)}
+	s.initTelemetry()
 	h, err := s.open(cfg.SnapshotPath, cfg.EagerVerify)
 	if err != nil {
 		return nil, err
@@ -186,6 +206,26 @@ func New(cfg Config) (*Server, error) {
 	s.mux = s.routes()
 	s.ready.Store(true)
 	return s, nil
+}
+
+// initTelemetry builds the observability plane. Idempotent: New calls
+// it up front and routes calls it again so a hand-assembled Server (the
+// fault-injection tests) gets the same plane. Registration renders
+// every label string here, once; the request path only touches the
+// pre-resolved series.
+func (s *Server) initTelemetry() {
+	if s.metrics != nil {
+		return
+	}
+	s.startedAt = time.Now()
+	s.runtime = newRuntimeSampler()
+	s.slow = newSlowLog(s.cfg.SlowLogSize)
+	s.reqIDs = newReqIDGen()
+	s.logger = s.cfg.Logger
+	if s.logger == nil {
+		s.logger = slog.New(slog.DiscardHandler)
+	}
+	s.metrics = newServerMetrics(s)
 }
 
 // open maps the snapshot at path into a fresh handle (not yet live).
@@ -282,12 +322,14 @@ func (s *Server) Reload(path string) (*handle, error) {
 	h, err := s.open(path, true)
 	if err != nil {
 		s.stats.reloadsFailed.Add(1)
+		s.metrics.reloadsFailed.Inc()
 		msg := err.Error()
 		s.stats.lastReloadErr.Store(&msg)
 		return nil, err
 	}
 	s.live.Store(h)
 	s.stats.reloads.Add(1)
+	s.metrics.reloadsOK.Inc()
 	s.stats.lastReloadErr.Store(nil)
 	// The old mapping drains via its refcount: Close blocks until the
 	// last query that acquired it finishes, so it must not run on this
@@ -324,6 +366,8 @@ func (s *Server) admit(ctx context.Context) (func(), error) {
 		return s.release, nil
 	default:
 	}
+	s.metrics.queueDepth.Add(1)
+	defer s.metrics.queueDepth.Add(-1)
 	t := time.NewTimer(s.cfg.QueueWait)
 	defer t.Stop()
 	select {

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gnn"
+)
+
+// slowEntry is one retained slow query, served by GET /debug/slowlog.
+type slowEntry struct {
+	Time      string            `json:"time"`
+	RequestID string            `json:"request_id,omitempty"`
+	Endpoint  string            `json:"endpoint"`
+	ElapsedUS int64             `json:"elapsed_us"`
+	K         int               `json:"k"`
+	GroupSize int               `json:"group_size"`
+	Algo      string            `json:"algo"`
+	Agg       string            `json:"agg"`
+	Outcome   string            `json:"outcome"`
+	Explain   *gnn.QueryExplain `json:"explain,omitempty"`
+}
+
+// slowLog retains the N slowest queries seen so far, each with its
+// explain trace. The design is lock-light: once the log is full, its
+// minimum retained latency is published in an atomic, and the common
+// case — a query faster than everything already retained — is a single
+// load and compare. Only a query that actually qualifies takes the
+// mutex to displace the current minimum.
+type slowLog struct {
+	// floorUS is the smallest ElapsedUS currently retained once the log
+	// is full (0 while filling): the admission fast path.
+	floorUS atomic.Uint64
+	mu      sync.Mutex
+	entries []slowEntry
+	cap     int
+}
+
+const defaultSlowLogSize = 32
+
+func newSlowLog(capacity int) *slowLog {
+	if capacity <= 0 {
+		capacity = defaultSlowLogSize
+	}
+	return &slowLog{entries: make([]slowEntry, 0, capacity), cap: capacity}
+}
+
+// record offers a completed query. Returns true when it was retained.
+func (l *slowLog) record(e slowEntry) bool {
+	if uint64(e.ElapsedUS) < l.floorUS.Load() {
+		return false // faster than everything retained; no lock taken
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) < l.cap {
+		l.entries = append(l.entries, e)
+		if len(l.entries) == l.cap {
+			l.floorUS.Store(l.minLocked())
+		}
+		return true
+	}
+	// Full: displace the current minimum (re-check under the lock — the
+	// atomic floor may be stale by one concurrent insert).
+	minI := 0
+	for i := range l.entries {
+		if l.entries[i].ElapsedUS < l.entries[minI].ElapsedUS {
+			minI = i
+		}
+	}
+	if e.ElapsedUS <= l.entries[minI].ElapsedUS {
+		return false
+	}
+	l.entries[minI] = e
+	l.floorUS.Store(l.minLocked())
+	return true
+}
+
+func (l *slowLog) minLocked() uint64 {
+	m := l.entries[0].ElapsedUS
+	for _, e := range l.entries[1:] {
+		if e.ElapsedUS < m {
+			m = e.ElapsedUS
+		}
+	}
+	return uint64(m)
+}
+
+// snapshot returns the retained entries, slowest first.
+func (l *slowLog) snapshot() []slowEntry {
+	l.mu.Lock()
+	out := make([]slowEntry, len(l.entries))
+	copy(out, l.entries)
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ElapsedUS > out[j].ElapsedUS })
+	return out
+}
+
+// slowStamp formats the entry timestamp (UTC, RFC3339 with µs).
+func slowStamp(t time.Time) string { return t.UTC().Format("2006-01-02T15:04:05.000000Z") }

@@ -3,6 +3,7 @@ package shard
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"gnn/internal/core"
 	"gnn/internal/geom"
@@ -35,10 +36,11 @@ func (e *engine) release() { e.scatters.Done() }
 // fills in its private execution context before running the kernel.
 type scatterTask struct {
 	qs     []geom.Point
-	opt    core.Options // per-shard Cost/Shared/Packed wired by Search
+	opt    core.Options // per-shard Cost/Trace/Shared/Packed wired by Search
 	unit   Unit
 	kernel Kernel
 	run    *shardRun
+	timed  bool // record the shard's wall time into run.dur
 	wg     *sync.WaitGroup
 }
 
@@ -68,7 +70,14 @@ func (e *engine) worker(i int) {
 		// runKernel contains panics: a resident worker must outlive any
 		// single query's failure, or one bad request would wedge every
 		// future scatter on a dead channel.
+		var start time.Time
+		if t.timed {
+			start = time.Now()
+		}
 		t.run.list, t.run.err = runKernel(t.kernel, t.unit.Tree, t.qs, t.opt)
+		if t.timed {
+			t.run.dur = time.Since(start)
+		}
 		t.wg.Done()
 	}
 }
@@ -76,13 +85,13 @@ func (e *engine) worker(i int) {
 // scatter runs one query's per-shard tasks on the pinned workers and
 // waits for all of them. runs[i] receives shard i's result list, error
 // and cost; optFor wires the per-shard options.
-func (e *engine) scatter(qs []geom.Point, runs []shardRun, units []Unit, kernel Kernel, optFor func(i int) core.Options) {
+func (e *engine) scatter(qs []geom.Point, runs []shardRun, units []Unit, kernel Kernel, timed bool, optFor func(i int) core.Options) {
 	var wg sync.WaitGroup
 	wg.Add(len(units))
 	for i := range units {
 		e.jobs[i] <- scatterTask{
 			qs: qs, opt: optFor(i), unit: units[i],
-			kernel: kernel, run: &runs[i], wg: &wg,
+			kernel: kernel, run: &runs[i], timed: timed, wg: &wg,
 		}
 	}
 	wg.Wait()

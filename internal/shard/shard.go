@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"gnn/internal/core"
 	"gnn/internal/geom"
@@ -197,16 +198,20 @@ func (s *Set) Sizes() []int {
 // core.BruteForce) run identically against every shard.
 type Kernel func(t *rtree.Tree, qs []geom.Point, opt core.Options) ([]core.GroupNeighbor, error)
 
-// shardRun is the per-shard slot of one scattered query: its result list
-// and its own cost tracker (kernels must never share one). The slots sit
-// in one slice written by concurrent shard workers, so each is padded
-// out to its own cache line — a worker bumping its tracker must not
-// bounce the line under its neighbour.
+// shardRun is the per-shard slot of one scattered query: its result list,
+// its own cost tracker, and — when the query is traced — its own trace
+// and wall time (kernels must never share any of these; a query-wide
+// Trace written by concurrent workers would race). The slots sit in one
+// slice written by concurrent shard workers, so each is padded out to
+// its own cache line — a worker bumping its tracker must not bounce the
+// line under its neighbour.
 type shardRun struct {
-	list []core.GroupNeighbor
-	tk   pagestore.CostTracker
-	err  error
-	_    [64]byte
+	list  []core.GroupNeighbor
+	tk    pagestore.CostTracker
+	err   error
+	trace core.Trace
+	dur   time.Duration
+	_     [64]byte
 }
 
 // Search answers one k-best query by scatter-gather: kernel runs against
@@ -235,20 +240,41 @@ func (s *Set) Search(qs []geom.Point, opt core.Options, usePacked bool, workers 
 	if bound == nil {
 		bound = core.NewSharedBound()
 	}
+	// Diagnostics are per-shard state like the cost tracker: a traced
+	// scatter redirects each worker into its run slot's private trace and
+	// merges at gather time; stage timing rides the same flag machinery.
+	traced := opt.Trace != nil
+	timed := opt.Stages != nil
 	runs := make([]shardRun, n)
-	runShard := func(i int, ec *core.ExecContext) {
+	perShardOpt := func(i int) core.Options {
 		o := opt
 		o.Cost = &runs[i].tk
-		o.Exec = ec
 		o.Shared = bound
 		// A CancelCheck is single-goroutine state: each shard of the
 		// scatter polls the same context through its own fork.
 		o.Cancel = opt.Cancel.Fork()
+		o.Trace = nil
+		o.Stages = nil
+		if traced {
+			o.Trace = &runs[i].trace
+		}
 		o.Packed = nil
 		if usePacked {
 			o.Packed = s.units[i].Packed
 		}
+		return o
+	}
+	runShard := func(i int, ec *core.ExecContext) {
+		o := perShardOpt(i)
+		o.Exec = ec
+		var start time.Time
+		if timed {
+			start = time.Now()
+		}
 		runs[i].list, runs[i].err = runKernel(kernel, s.units[i].Tree, qs, o)
+		if timed {
+			runs[i].dur = time.Since(start)
+		}
 	}
 	if workers > n {
 		workers = n
@@ -270,16 +296,9 @@ func (s *Set) Search(qs []geom.Point, opt core.Options, usePacked bool, workers 
 		// i with that worker's private context, so the fan-out shares
 		// nothing but the pruning bound.
 		if eng := s.acquireEngine(); eng != nil {
-			eng.scatter(qs, runs, s.units, kernel, func(i int) core.Options {
-				o := opt
-				o.Cost = &runs[i].tk
+			eng.scatter(qs, runs, s.units, kernel, timed, func(i int) core.Options {
+				o := perShardOpt(i)
 				o.Exec = nil // the pinned worker supplies its own
-				o.Shared = bound
-				o.Cancel = opt.Cancel.Fork()
-				o.Packed = nil
-				if usePacked {
-					o.Packed = s.units[i].Packed
-				}
 				return o
 			})
 			eng.release()
@@ -301,9 +320,23 @@ func (s *Set) Search(qs []geom.Point, opt core.Options, usePacked bool, workers 
 		if opt.Cost != nil {
 			opt.Cost.Add(runs[i].tk)
 		}
+		// Gather runs on one goroutine, so the per-shard diagnostics fold
+		// into the query-wide sinks without synchronisation.
+		opt.Trace.Merge(&runs[i].trace)
+		if timed {
+			opt.Stages.Record("scatter", i, runs[i].dur)
+		}
 		lists[i] = runs[i].list
 	}
-	return core.MergeNeighbors(k, lists), nil
+	var mergeStart time.Time
+	if timed {
+		mergeStart = time.Now()
+	}
+	merged := core.MergeNeighbors(k, lists)
+	if timed {
+		opt.Stages.Record("merge", -1, time.Since(mergeStart))
+	}
+	return merged, nil
 }
 
 // runKernel invokes the kernel with per-shard panic containment: a panic

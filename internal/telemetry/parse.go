@@ -1,0 +1,331 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one parsed metric family: its # TYPE declaration plus all
+// samples that belong to it (for histograms, the _bucket/_sum/_count
+// series).
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// ParseText is a minimal, strict Prometheus text-format parser. It
+// accepts exactly the subset the exposition in this package emits —
+// # HELP / # TYPE headers followed by sample lines — and validates
+// structural invariants that Prometheus itself enforces:
+//
+//   - every sample belongs to a family declared by a preceding # TYPE
+//   - at most one # TYPE per family, and it precedes its samples
+//   - label fragments are well-formed ({key="value",...}, escaped)
+//   - values parse as floats (+Inf/-Inf/NaN accepted)
+//   - histogram families carry _bucket/_sum/_count series only, each
+//     bucket set is cumulative and non-decreasing, ends in le="+Inf",
+//     and _count equals the +Inf bucket
+//
+// CI round-trips every line WritePrometheus emits through this parser,
+// so a formatting regression fails the build rather than a scrape.
+func ParseText(r io.Reader) ([]Family, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var (
+		fams  []*Family
+		byIdx = map[string]int{}
+		typed = map[string]string{}
+		helps = map[string]string{}
+	)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, text, err := parseComment(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			switch kind {
+			case "HELP":
+				helps[name] = text
+			case "TYPE":
+				if _, dup := typed[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate # TYPE for %s", lineNo, name)
+				}
+				switch text {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, text)
+				}
+				typed[name] = text
+				byIdx[name] = len(fams)
+				fams = append(fams, &Family{Name: name, Help: helps[name], Type: text})
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		famName, ok := owningFamily(s.Name, typed)
+		if !ok {
+			return nil, fmt.Errorf("line %d: sample %s has no preceding # TYPE", lineNo, s.Name)
+		}
+		f := fams[byIdx[famName]]
+		if f.Type == "histogram" {
+			if err := checkHistogramSample(f.Name, s); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+		}
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Family, 0, len(fams))
+	for _, f := range fams {
+		if f.Type == "histogram" {
+			if err := validateHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, *f)
+	}
+	return out, nil
+}
+
+func parseComment(line string) (kind, name, text string, err error) {
+	rest, ok := strings.CutPrefix(line, "# ")
+	if !ok {
+		// Bare comments are legal in the format but this exposition
+		// never emits them; reject so garbage can't hide in output.
+		return "", "", "", fmt.Errorf("malformed comment %q", line)
+	}
+	kind, rest, ok = strings.Cut(rest, " ")
+	if !ok || (kind != "HELP" && kind != "TYPE") {
+		return "", "", "", fmt.Errorf("malformed comment %q", line)
+	}
+	name, text, _ = strings.Cut(rest, " ")
+	if !validName(name) {
+		return "", "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	return kind, name, text, nil
+}
+
+// owningFamily resolves a sample name to its declared family,
+// stripping histogram suffixes when the base family is a histogram.
+func owningFamily(sample string, typed map[string]string) (string, bool) {
+	if _, ok := typed[sample]; ok {
+		return sample, true
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(sample, suf); ok {
+			if t, declared := typed[base]; declared && t == "histogram" {
+				return base, true
+			}
+		}
+	}
+	return "", false
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end, err := parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, err
+		}
+		rest = rest[end:]
+		if rest == "" || rest[0] != ' ' {
+			return s, fmt.Errorf("missing value in %q", line)
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes a {k="v",...} fragment starting at text[0]=='{'
+// and returns the index one past the closing brace.
+func parseLabels(text string, into map[string]string) (int, error) {
+	i := 1
+	for {
+		if i >= len(text) {
+			return 0, fmt.Errorf("unterminated label set")
+		}
+		if text[i] == '}' {
+			return i + 1, nil
+		}
+		eq := strings.IndexByte(text[i:], '=')
+		if eq < 0 {
+			return 0, fmt.Errorf("malformed label set %q", text)
+		}
+		key := text[i : i+eq]
+		if key == "" {
+			return 0, fmt.Errorf("empty label key in %q", text)
+		}
+		i += eq + 1
+		if i >= len(text) || text[i] != '"' {
+			return 0, fmt.Errorf("unquoted label value in %q", text)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(text) {
+				return 0, fmt.Errorf("unterminated label value in %q", text)
+			}
+			c := text[i]
+			if c == '\\' {
+				if i+1 >= len(text) {
+					return 0, fmt.Errorf("dangling escape in %q", text)
+				}
+				switch text[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, fmt.Errorf("bad escape \\%c in %q", text[i+1], text)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := into[key]; dup {
+			return 0, fmt.Errorf("duplicate label %q", key)
+		}
+		into[key] = val.String()
+		if i < len(text) && text[i] == ',' {
+			i++
+		}
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func checkHistogramSample(base string, s Sample) error {
+	switch s.Name {
+	case base + "_sum", base + "_count":
+		return nil
+	case base + "_bucket":
+		if _, ok := s.Labels["le"]; !ok {
+			return fmt.Errorf("%s_bucket sample missing le label", base)
+		}
+		return nil
+	}
+	return fmt.Errorf("sample %s not valid in histogram family %s", s.Name, base)
+}
+
+// validateHistogram checks cumulative bucket invariants per series
+// (grouped by the non-le labels).
+func validateHistogram(f *Family) error {
+	type bkt struct {
+		le    float64
+		count float64
+	}
+	buckets := map[string][]bkt{}
+	counts := map[string]float64{}
+	for _, s := range f.Samples {
+		key := seriesKey(s.Labels)
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, err := parseValue(s.Labels["le"])
+			if err != nil {
+				return fmt.Errorf("%s: bad le %q", f.Name, s.Labels["le"])
+			}
+			buckets[key] = append(buckets[key], bkt{le, s.Value})
+		case f.Name + "_count":
+			counts[key] = s.Value
+		}
+	}
+	for key, bs := range buckets {
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		last := bs[len(bs)-1]
+		if !math.IsInf(last.le, 1) {
+			return fmt.Errorf("%s{%s}: missing le=\"+Inf\" bucket", f.Name, key)
+		}
+		prev := -1.0
+		for _, b := range bs {
+			if b.count < prev {
+				return fmt.Errorf("%s{%s}: bucket counts not cumulative at le=%g", f.Name, key, b.le)
+			}
+			prev = b.count
+		}
+		if c, ok := counts[key]; ok && c != last.count {
+			return fmt.Errorf("%s{%s}: _count %g != +Inf bucket %g", f.Name, key, c, last.count)
+		}
+	}
+	return nil
+}
+
+// seriesKey renders the non-le labels into a stable grouping key.
+func seriesKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k == "le" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+		b.WriteByte(';')
+	}
+	return b.String()
+}

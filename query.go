@@ -3,6 +3,7 @@ package gnn
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"gnn/internal/core"
 	"gnn/internal/geom"
@@ -136,6 +137,19 @@ type queryConfig struct {
 	layout      Layout
 	shards      int
 	genericMax  bool
+	// probe, when non-nil, collects the diagnostics GroupNNExplain
+	// reports: pruning counters, per-stage wall times and execution
+	// provenance. It is set only by the explain entry points — plain
+	// queries carry a nil probe and skip all collection.
+	probe *explainProbe
+}
+
+// explainProbe is the per-query diagnostic sink behind GroupNNExplain.
+type explainProbe struct {
+	trace   core.Trace
+	stages  core.StageLog
+	packed  bool // the traversal ran on the packed layout
+	overlay bool // overlay sources were merged into the answer
 }
 
 // WithK requests the k best group neighbors (default 1).
@@ -208,6 +222,10 @@ func (c queryConfig) coreOptions() core.Options {
 		Region: c.region, Cancel: c.cancel, GenericMax: c.genericMax}
 	if c.depthFirst {
 		o.Traversal = core.DepthFirst
+	}
+	if c.probe != nil {
+		o.Trace = &c.probe.trace
+		o.Stages = &c.probe.stages
 	}
 	return o
 }
@@ -293,12 +311,23 @@ func (ix *Index) groupNN(query []Point, c queryConfig, tk *pagestore.CostTracker
 	if err != nil {
 		return nil, err
 	}
+	if c.probe != nil {
+		c.probe.packed = p != nil
+		c.probe.overlay = v.ov != nil
+	}
 	if v.ov == nil {
 		// No overlay writes: exactly the single-source path, bit for bit.
 		opt.Packed = p
+		var start time.Time
+		if opt.Stages != nil {
+			start = time.Now()
+		}
 		gs, err := kern(v.tree, qs, opt)
 		if err != nil {
 			return nil, err
+		}
+		if opt.Stages != nil {
+			opt.Stages.Record("query", -1, time.Since(start))
 		}
 		return toResults(gs), nil
 	}
@@ -319,6 +348,20 @@ func overlayQuery(v *viewState, qs []geom.Point, opt core.Options, basePacked *r
 	ov := v.ov
 	shared := core.NewSharedBound()
 	lists := make([][]core.GroupNeighbor, 0, 3)
+	// Stage timing rides the sequential source order: one entry per
+	// overlay source, plus the final merge.
+	timed := opt.Stages != nil
+	var start time.Time
+	if timed {
+		start = time.Now()
+	}
+	mark := func(name string) {
+		if timed {
+			now := time.Now()
+			opt.Stages.Record(name, -1, now.Sub(start))
+			start = now
+		}
+	}
 
 	bopt := opt
 	bopt.Packed = basePacked
@@ -331,6 +374,7 @@ func overlayQuery(v *viewState, qs []geom.Point, opt core.Options, basePacked *r
 		return nil, err
 	}
 	lists = append(lists, gs)
+	mark("base")
 
 	if ov.delta != nil {
 		dopt := opt
@@ -344,6 +388,7 @@ func overlayQuery(v *viewState, qs []geom.Point, opt core.Options, basePacked *r
 			return nil, err
 		}
 		lists = append(lists, gs)
+		mark("delta")
 	}
 
 	if pend := ov.pts[ov.folded:]; len(pend) > 0 {
@@ -355,8 +400,11 @@ func overlayQuery(v *viewState, qs []geom.Point, opt core.Options, basePacked *r
 			return nil, err
 		}
 		lists = append(lists, gs)
+		mark("pending")
 	}
-	return core.MergeNeighbors(k, lists), nil
+	merged := core.MergeNeighbors(k, lists)
+	mark("merge")
+	return merged, nil
 }
 
 // kernelFor maps a public algorithm to its core entry point — the single

@@ -382,6 +382,10 @@ func (sx *ShardedIndex) groupNN(query []Point, c queryConfig, tk *pagestore.Cost
 	if workers == 0 {
 		workers = defaultWorkers
 	}
+	if c.probe != nil {
+		c.probe.packed = usePacked
+		c.probe.overlay = v.ov != nil
+	}
 	var gs []core.GroupNeighbor
 	if v.ov == nil {
 		// No overlay writes: exactly the old scatter-gather, bit for bit.
@@ -407,6 +411,21 @@ func shardedOverlayQuery(v *shardedView, qs []geom.Point, opt core.Options, useP
 	ov := v.ov
 	shared := core.NewSharedBound()
 	lists := make([][]core.GroupNeighbor, 0, 3)
+	// The base scatter records its own per-shard "scatter" and "merge"
+	// stages inside Search; the overlay sources and final merge are timed
+	// here, sequentially.
+	timed := opt.Stages != nil
+	var start time.Time
+	if timed {
+		start = time.Now()
+	}
+	mark := func(name string) {
+		if timed {
+			now := time.Now()
+			opt.Stages.Record(name, -1, now.Sub(start))
+			start = now
+		}
+	}
 
 	bopt := opt
 	bopt.Shared = shared
@@ -418,6 +437,7 @@ func shardedOverlayQuery(v *shardedView, qs []geom.Point, opt core.Options, useP
 		return nil, err
 	}
 	lists = append(lists, gs)
+	mark("base")
 
 	if ov.delta != nil {
 		dopt := opt
@@ -431,6 +451,7 @@ func shardedOverlayQuery(v *shardedView, qs []geom.Point, opt core.Options, useP
 			return nil, err
 		}
 		lists = append(lists, gs)
+		mark("delta")
 	}
 
 	if pend := ov.pts[ov.folded:]; len(pend) > 0 {
@@ -442,8 +463,11 @@ func shardedOverlayQuery(v *shardedView, qs []geom.Point, opt core.Options, useP
 			return nil, err
 		}
 		lists = append(lists, gs)
+		mark("pending")
 	}
-	return core.MergeNeighbors(k, lists), nil
+	merged := core.MergeNeighbors(k, lists)
+	mark("overlay-merge")
+	return merged, nil
 }
 
 // GroupNNIterator starts an incremental GNN scan over all shards: the
